@@ -1,0 +1,103 @@
+"""Ablation — the secure-memory budget (the paper's 3-5 MB constraint).
+
+The whole design of GradSec follows from TrustZone's scarce secure memory
+(§3.3). This ablation sweeps device budgets and batch sizes and reports
+which protection configurations fit — quantifying the constraint that
+makes "protect everything" impossible and selective protection necessary.
+"""
+
+import pytest
+
+from repro.bench.tables import layers_label, print_table
+from repro.nn import alexnet, lenet5
+from repro.tee import CostModel, DeviceProfile, RASPBERRY_PI_3B, SecureMemoryExhausted
+
+CONFIGS = [(2,), (5,), (2, 5), (1, 2), (2, 3, 4, 5), (1, 2, 3, 4, 5)]
+BUDGETS_MIB = [3, 4, 5]
+
+
+def _fits(model, config, budget_bytes, batch_size):
+    profile = DeviceProfile(
+        name=f"budget-{budget_bytes}",
+        ree_seconds_per_flop=RASPBERRY_PI_3B.ree_seconds_per_flop,
+        tee_seconds_per_flop=RASPBERRY_PI_3B.tee_seconds_per_flop,
+        kernel_base_seconds=RASPBERRY_PI_3B.kernel_base_seconds,
+        world_switch_seconds=RASPBERRY_PI_3B.world_switch_seconds,
+        alloc_coefficient=RASPBERRY_PI_3B.alloc_coefficient,
+        alloc_exponent=RASPBERRY_PI_3B.alloc_exponent,
+        secure_memory_bytes=budget_bytes,
+    )
+    cost_model = CostModel(profile, batch_size=batch_size)
+    try:
+        cost_model.check_fits(model, config)
+        return True
+    except SecureMemoryExhausted:
+        return False
+
+
+def test_lenet_configs_vs_budget(show, benchmark):
+    model = lenet5()
+
+    def sweep():
+        table = {}
+        for budget in BUDGETS_MIB:
+            for config in CONFIGS:
+                table[(budget, config)] = _fits(
+                    model, config, budget * 1024 * 1024, batch_size=32
+                )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    lines = []
+    for config in CONFIGS:
+        cells = "  ".join(
+            ("fits " if table[(b, config)] else "OOM  ") for b in BUDGETS_MIB
+        )
+        lines.append(f"  {layers_label(config):<16} | {cells}")
+    print_table(
+        f"LeNet-5 @ batch 32: protected set vs secure-memory budget {BUDGETS_MIB} MiB",
+        lines,
+    )
+    # The paper's working configs fit a 4 MiB device...
+    assert table[(4, (2, 5))]
+    assert table[(4, (2, 3, 4, 5))]
+    # ...but full-model protection does not fit the smallest budget.
+    assert not table[(3, (1, 2, 3, 4, 5))]
+
+
+def test_alexnet_cannot_protect_dense_tail(show, benchmark):
+    """AlexNet's dense layers alone exceed any TrustZone budget — the
+    constraint behind selective protection."""
+    model = alexnet()
+    cost_model = CostModel(batch_size=32)
+    needed = benchmark.pedantic(
+        lambda: cost_model.tee_memory_bytes(model, (6, 7, 8)), rounds=3, iterations=1
+    )
+    show(
+        f"\nAlexNet dense tail (L6-L8) needs {needed / 2**20:.1f} MiB of secure "
+        f"memory vs the device's {RASPBERRY_PI_3B.secure_memory_bytes / 2**20:.0f} MiB"
+    )
+    with pytest.raises(SecureMemoryExhausted):
+        cost_model.check_fits(model, (6, 7, 8))
+    # A single early conv layer still fits.
+    cost_model.check_fits(model, (1,))
+
+
+def test_batch_size_drives_footprint(show, benchmark):
+    """Activation buffers scale with batch size; weights do not."""
+    model = lenet5()
+
+    def footprints():
+        return {
+            batch: CostModel(batch_size=batch).tee_memory_bytes(model, (1, 2))
+            for batch in (8, 16, 32, 64)
+        }
+
+    sizes = benchmark.pedantic(footprints, rounds=3, iterations=1)
+    lines = [
+        f"  batch {batch:>3}: L1+L2 footprint {size / 2**20:5.3f} MiB"
+        for batch, size in sizes.items()
+    ]
+    print_table("TEE footprint of L1+L2 vs batch size (LeNet-5)", lines)
+    assert sizes[64] > 3 * sizes[8]  # activation-dominated
+    assert sizes[64] < 8 * sizes[8]  # weights don't scale with batch

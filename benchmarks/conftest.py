@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures, printing
+paper-vs-measured rows (captured with ``pytest benchmarks/ --benchmark-only -s``
+or via the tee'd bench_output.txt).  The pytest-benchmark fixture times a
+representative unit of work from the same pipeline.
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print unconditionally (pytest captures stdout; -s or teeing shows it)."""
+
+    def _show(text: str) -> None:
+        print(text)
+        sys.stdout.flush()
+
+    return _show

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Attack gallery: run DRIA and MIA against protected and unprotected models.
+
+Shows the paper's core security story on one screen:
+
+* DRIA reconstructs a training image from gradients — until the early conv
+  layers move into the enclave;
+* MIA tells members from non-members via gradient features — and collapses
+  to a coin flip when every weight layer is shielded.
+
+Run:  python examples/attack_gallery.py   (~1 minute)
+"""
+
+import numpy as np
+
+from repro.attacks import DataReconstructionAttack, MembershipInferenceAttack
+from repro.attacks.mia import train_target_model
+from repro.data import synthetic_cifar
+from repro.nn import lenet5
+
+
+def ascii_image(image: np.ndarray, width: int = 32) -> str:
+    """Render a (3, H, W) image as ASCII luminance art."""
+    luminance = image.mean(axis=0)
+    luminance = (luminance - luminance.min()) / (np.ptp(luminance) + 1e-9)
+    palette = " .:-=+*#%@"
+    rows = []
+    for r in range(0, luminance.shape[0], 2):  # 2:1 aspect correction
+        rows.append(
+            "".join(palette[int(v * (len(palette) - 1))] for v in luminance[r][:width])
+        )
+    return "\n".join(rows)
+
+
+def dria_demo() -> None:
+    print("=" * 64)
+    print("DRIA: gradient-matching reconstruction (LeNet-5)")
+    print("=" * 64)
+    model = lenet5(num_classes=10, seed=1)
+    data = synthetic_cifar(num_samples=2, num_classes=10, seed=0)
+    x, y = data.x[:1], data.one_hot_labels()[:1]
+    attack = DataReconstructionAttack(model, iterations=150, seed=0)
+
+    print("\noriginal image:")
+    print(ascii_image(x[0]))
+    for protected, label in [((), "no protection"), ((1, 2), "L1+L2 in enclave")]:
+        result = attack.run(x, y, protected=protected)
+        print(f"\nreconstruction with {label} (ImageLoss={result.score:.2f}):")
+        print(ascii_image(result.detail["report"].reconstruction[0]))
+
+
+def mia_demo() -> None:
+    print("\n" + "=" * 64)
+    print("MIA: membership inference from gradient features (LeNet-5)")
+    print("=" * 64)
+    n, classes = 160, 20
+    data = synthetic_cifar(num_samples=2 * n, num_classes=classes, noise=0.5, seed=0)
+    members = data.subset(np.arange(n))
+    nonmembers = data.subset(np.arange(n, 2 * n))
+    model = lenet5(num_classes=classes, seed=5, activation="relu", scale=0.5)
+    train_target_model(model, members, epochs=10)
+    print(
+        f"target: member acc={model.accuracy(members.x, members.one_hot_labels()):.2f} "
+        f"nonmember acc={model.accuracy(nonmembers.x, nonmembers.one_hot_labels()):.2f}"
+    )
+    attack = MembershipInferenceAttack(model, probes_per_class=80, seed=0)
+    for protected, label in [
+        ((), "no protection"),
+        ((5,), "L5 (dense head) in enclave"),
+        ((1, 2, 3, 4, 5), "every layer in enclave"),
+    ]:
+        result = attack.run(members, nonmembers, protected=protected)
+        print(f"  {label:<28} AUC={result.score:.3f}")
+
+
+if __name__ == "__main__":
+    dria_demo()
+    mia_demo()

@@ -1,0 +1,197 @@
+"""Data-Property Inference Attack (DPIA) — Melis et al. [35], client-side.
+
+A long-term attack: the attacker participates in FL, keeps per-cycle
+snapshots of the global model (protected layers arrive sealed, so only the
+unprotected layers of each snapshot are observable), and asks whether the
+*other* clients' training batches exhibited a private property (e.g.
+gender, glasses) during each cycle.
+
+Attack-model training (the paper's §8.2 procedure):
+  for each observed snapshot, compute gradient features of auxiliary
+  property / non-property batches; hide the columns of whatever layers the
+  moving window protected that cycle (NaN) and mean-impute.
+
+Inference: difference consecutive snapshots (flaw 1 at global scale) to get
+aggregated gradients, featurise with the same per-cycle masking, impute
+with the training means, and score with the attack model (random forest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.datasets import ArrayDataset
+from ..ml.forest import RandomForestClassifier
+from ..ml.metrics import roc_auc_score
+from ..ml.preprocess import MeanImputer
+from ..nn.model import Sequential, WeightsList
+from .base import AttackResult
+from .features import features_from_weight_grads, gradient_feature_vector
+
+__all__ = ["PropertyInferenceAttack", "DPIADataset"]
+
+AttackModelFactory = Callable[[], object]
+
+
+@dataclass
+class DPIADataset:
+    """The attacker's labelled gradient dataset (NaN marks hidden columns)."""
+
+    features: np.ndarray
+    labels: np.ndarray
+
+
+class PropertyInferenceAttack:
+    """Property inference over FL cycles.
+
+    Parameters
+    ----------
+    model:
+        A workspace model (same architecture as the global one); its weights
+        are overwritten with snapshots during feature extraction.
+    attack_model_factory:
+        Binary classifier factory; defaults to the paper's random forest.
+    batch_size:
+        Auxiliary batch size used to compute gradient features.
+    batches_per_snapshot:
+        Property/non-property batches drawn per snapshot when building the
+        training set (more = bigger D_grad).
+    seed:
+        Sampling and attack-model randomness.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        attack_model_factory: Optional[AttackModelFactory] = None,
+        batch_size: int = 16,
+        batches_per_snapshot: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.attack_model_factory = attack_model_factory or (
+            lambda: RandomForestClassifier(n_estimators=40, max_depth=8, seed=self.seed)
+        )
+        self.batch_size = int(batch_size)
+        self.batches_per_snapshot = int(batches_per_snapshot)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def _sample_batch(
+        self, dataset: ArrayDataset, want_property: bool, rng: np.random.Generator
+    ):
+        if dataset.properties is None:
+            raise ValueError("auxiliary dataset must carry property labels")
+        pool = np.flatnonzero(dataset.properties == (1 if want_property else 0))
+        if pool.size == 0:
+            raise ValueError(
+                f"auxiliary dataset has no {'property' if want_property else 'non-property'} samples"
+            )
+        idx = rng.choice(pool, size=min(self.batch_size, pool.size), replace=False)
+        onehot = dataset.one_hot_labels()
+        return dataset.x[idx], onehot[idx]
+
+    def build_training_set(
+        self,
+        snapshots: Sequence[WeightsList],
+        auxiliary: ArrayDataset,
+        protected_per_cycle: Sequence[frozenset],
+    ) -> DPIADataset:
+        """D_grad: gradient features of aux prop/non-prop batches per cycle."""
+        if len(protected_per_cycle) < len(snapshots):
+            raise ValueError("need a protected set for every snapshot")
+        rng = np.random.default_rng(self.seed)
+        rows: List[np.ndarray] = []
+        labels: List[int] = []
+        for cycle, weights in enumerate(snapshots):
+            self.model.set_weights(weights)
+            hidden = protected_per_cycle[cycle]
+            for _ in range(self.batches_per_snapshot):
+                for want in (True, False):
+                    x, y = self._sample_batch(auxiliary, want, rng)
+                    rows.append(
+                        gradient_feature_vector(self.model, x, y, protected=hidden)
+                    )
+                    labels.append(1 if want else 0)
+        return DPIADataset(np.stack(rows), np.asarray(labels))
+
+    def test_features(
+        self,
+        snapshots: Sequence[WeightsList],
+        protected_per_cycle: Sequence[frozenset],
+        lr: float,
+    ) -> np.ndarray:
+        """Aggregated-gradient features for each cycle transition.
+
+        Only layers visible in *both* adjacent snapshots can be differenced,
+        so a layer protected in either cycle contributes NaN.
+        """
+        rows: List[np.ndarray] = []
+        for cycle in range(len(snapshots) - 1):
+            before, after = snapshots[cycle], snapshots[cycle + 1]
+            hidden = set(protected_per_cycle[cycle]) | set(
+                protected_per_cycle[cycle + 1]
+            )
+            grads: List[Optional[dict]] = []
+            for b, a in zip(before, after):
+                if not b:
+                    grads.append(None)
+                    continue
+                grads.append({k: (b[k] - a[k]) / lr for k in b})
+            rows.append(features_from_weight_grads(self.model, grads, hidden))
+        return np.stack(rows)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        snapshots: Sequence[WeightsList],
+        auxiliary: ArrayDataset,
+        protected_per_cycle: Sequence[frozenset],
+        cycle_truth: Sequence[int],
+        lr: float,
+    ) -> AttackResult:
+        """Full attack: train on aux gradients, score cycle transitions.
+
+        Parameters
+        ----------
+        snapshots:
+            Global-model weights per cycle (length C+1 for C transitions).
+        auxiliary:
+            Attacker's property-labelled data.
+        protected_per_cycle:
+            Layers the enclave hid in each cycle (length >= len(snapshots)).
+        cycle_truth:
+            Ground truth per transition: 1 if the victims' batches carried
+            the property during that cycle.
+        lr:
+            The FL learning rate (needed to convert weight diffs to
+            gradients).
+        """
+        train = self.build_training_set(snapshots, auxiliary, protected_per_cycle)
+        imputer = MeanImputer()
+        x_train = imputer.fit_transform(train.features)
+        attack_model = self.attack_model_factory()
+        attack_model.fit(x_train, train.labels)
+
+        x_test = imputer.transform(
+            self.test_features(snapshots, protected_per_cycle, lr)
+        )
+        truth = np.asarray(cycle_truth)
+        if truth.shape[0] != x_test.shape[0]:
+            raise ValueError(
+                f"cycle_truth has {truth.shape[0]} entries for "
+                f"{x_test.shape[0]} transitions"
+            )
+        scores = attack_model.predict_proba(x_test)
+        auc = roc_auc_score(truth, scores)
+        protected_union = frozenset().union(*protected_per_cycle) if protected_per_cycle else frozenset()
+        return AttackResult(
+            attack="DPIA",
+            protected=frozenset(protected_union),
+            score=float(auc),
+            metric="AUC",
+            detail={"transitions": int(x_test.shape[0])},
+        )

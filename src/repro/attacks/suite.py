@@ -1,0 +1,169 @@
+"""Security-audit suite: run every attack against one protection policy.
+
+The paper evaluates each attack in its own setup; deployments want the
+opposite view — *given my policy, what does every attack achieve?* The
+suite runs DRIA, MIA and DPIA against a policy and produces a verdict per
+attack, using each attack's paper-calibrated success criterion:
+
+* DRIA succeeds if ImageLoss < threshold (paper: < 1; the default here is
+  scaled to the synthetic data, see Table 1 reproduction notes);
+* MIA / DPIA succeed if AUC exceeds 0.5 by a configurable margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.policy import ProtectionPolicy
+from ..data.synthetic import synthetic_cifar
+from ..nn.zoo import lenet5
+from .base import AttackResult
+from .dria import DataReconstructionAttack
+from .mia import MembershipInferenceAttack, train_target_model
+
+__all__ = ["AttackVerdict", "SecurityReport", "AttackSuite"]
+
+
+@dataclass(frozen=True)
+class AttackVerdict:
+    """One attack's outcome against the audited policy."""
+
+    result: AttackResult
+    succeeded: bool
+    criterion: str
+
+
+@dataclass
+class SecurityReport:
+    """Aggregate audit outcome."""
+
+    policy_description: str
+    verdicts: Dict[str, AttackVerdict] = field(default_factory=dict)
+
+    @property
+    def secure(self) -> bool:
+        """True when no attack in the suite succeeded."""
+        return not any(v.succeeded for v in self.verdicts.values())
+
+    def format(self) -> str:
+        lines = [f"security audit of {self.policy_description}"]
+        for name, verdict in self.verdicts.items():
+            status = "ATTACK SUCCEEDS" if verdict.succeeded else "defended"
+            lines.append(
+                f"  {name:<6} {verdict.result.metric}="
+                f"{verdict.result.score:.3f}  ({verdict.criterion})  -> {status}"
+            )
+        lines.append(f"  overall: {'SECURE' if self.secure else 'NOT SECURE'}")
+        return "\n".join(lines)
+
+
+class AttackSuite:
+    """Runs the single-cycle attacks (DRIA, MIA) against a policy.
+
+    DPIA needs a multi-cycle FL run, so the suite exposes it separately via
+    :meth:`audit_dpia` (see :func:`repro.bench.experiments.dpia_experiment`
+    for the full pipeline); :meth:`audit` covers the single-shot attacks.
+
+    Parameters
+    ----------
+    dria_threshold:
+        ImageLoss below which reconstruction counts as successful. The
+        paper uses < 1 on CIFAR-100; on the synthetic stand-in, unprotected
+        reconstructions land around 3 and defeated ones above 10, so the
+        default splits those regimes.
+    mia_margin:
+        MIA succeeds if AUC > 0.5 + margin.
+    fast:
+        Shrink every attack's budget (tests / CI).
+    """
+
+    def __init__(
+        self,
+        dria_threshold: float = 8.0,
+        mia_margin: float = 0.2,
+        seed: int = 0,
+        fast: bool = False,
+    ) -> None:
+        self.dria_threshold = float(dria_threshold)
+        self.mia_margin = float(mia_margin)
+        self.seed = int(seed)
+        self.fast = bool(fast)
+
+    def audit(self, policy: ProtectionPolicy) -> SecurityReport:
+        """Run DRIA and MIA against ``policy`` on reference workloads."""
+        protected = tuple(sorted(policy.layers_for_cycle(0)))
+        report = SecurityReport(policy.describe())
+
+        # --- DRIA on the paper's LeNet-5 -------------------------------
+        iterations = 40 if self.fast else 150
+        dria_model = lenet5(num_classes=10, seed=self.seed + 1)
+        data = synthetic_cifar(num_samples=2, num_classes=10, seed=self.seed)
+        dria = DataReconstructionAttack(dria_model, iterations=iterations, seed=self.seed)
+        try:
+            dria_result = dria.run(
+                data.x[:1], data.one_hot_labels()[:1], protected=protected
+            )
+            dria_success = dria_result.score < self.dria_threshold
+        except ValueError:  # everything protected: no gradients to match
+            dria_result = AttackResult(
+                "DRIA", frozenset(protected), float("inf"), "ImageLoss"
+            )
+            dria_success = False
+        report.verdicts["DRIA"] = AttackVerdict(
+            dria_result,
+            dria_success,
+            f"ImageLoss < {self.dria_threshold}",
+        )
+
+        # --- MIA on an overfit target ----------------------------------
+        n = 80 if self.fast else 160
+        epochs = 10  # enough memorisation for a clear unprotected signal
+        classes = 10 if self.fast else 20
+        mia_data = synthetic_cifar(
+            num_samples=2 * n, num_classes=classes, noise=0.5, seed=self.seed
+        )
+        members = mia_data.subset(np.arange(n))
+        nonmembers = mia_data.subset(np.arange(n, 2 * n))
+        target = lenet5(
+            num_classes=classes, seed=self.seed + 5, activation="relu", scale=0.5
+        )
+        train_target_model(target, members, epochs=epochs)
+        mia = MembershipInferenceAttack(
+            target, probes_per_class=40 if self.fast else 80, seed=self.seed
+        )
+        mia_result = mia.run(members, nonmembers, protected=protected)
+        report.verdicts["MIA"] = AttackVerdict(
+            mia_result,
+            mia_result.score > 0.5 + self.mia_margin,
+            f"AUC > {0.5 + self.mia_margin:.2f}",
+        )
+        return report
+
+    def audit_dpia(
+        self, policy: ProtectionPolicy, cycles: int = 24
+    ) -> AttackVerdict:
+        """Run the multi-cycle DPIA pipeline against ``policy``.
+
+        Separate from :meth:`audit` because it simulates an FL run
+        (seconds-to-minutes depending on ``cycles``); the policy must be
+        for a 5-layer model (the reference DPIA workload is LeNet-5).
+        """
+        from ..bench.experiments import dpia_experiment
+
+        if policy.num_layers != 5:
+            raise ValueError("the DPIA reference workload uses a 5-layer model")
+        row = dpia_experiment(
+            [(policy.describe(), policy)],
+            cycles=cycles,
+            fast=self.fast,
+            seed=self.seed,
+        )[0]
+        result = AttackResult("DPIA", frozenset(row.protected), row.score, "AUC")
+        return AttackVerdict(
+            result,
+            row.score > 0.5 + self.mia_margin,
+            f"AUC > {0.5 + self.mia_margin:.2f}",
+        )

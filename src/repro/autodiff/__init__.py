@@ -1,0 +1,20 @@
+"""Reverse-mode autodiff engine with double-backward support.
+
+The engine is the substrate for :mod:`repro.nn` (the Darknet stand-in) and
+for the DRIA attack, which differentiates through the model's gradient
+computation.
+"""
+
+from . import functional, ops
+from .gradcheck import check_gradients, numerical_gradient
+from .tensor import Tensor, as_tensor, grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "grad",
+    "ops",
+    "functional",
+    "check_gradients",
+    "numerical_gradient",
+]

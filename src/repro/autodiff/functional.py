@@ -1,0 +1,126 @@
+"""Composite differentiable functions built from primitive ops.
+
+These are the building blocks the :mod:`repro.nn` layers use.  Because they
+are pure compositions of the primitives in :mod:`repro.autodiff.ops`, all of
+them support double backward.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import ops
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "linear", "conv2d", "max_pool2d", "flatten",
+    "softmax", "log_softmax", "cross_entropy", "mse",
+]
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias``.
+
+    Parameters
+    ----------
+    x: shape ``(N, in_features)``.
+    weight: shape ``(out_features, in_features)``.
+    bias: shape ``(out_features,)`` or None.
+    """
+    out = ops.matmul(x, ops.transpose(weight))
+    if bias is not None:
+        out = ops.add(out, ops.reshape(bias, (1, -1)))
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation) in NCHW layout.
+
+    Parameters
+    ----------
+    x: shape ``(N, C, H, W)``.
+    weight: shape ``(F, C, KH, KW)``.
+    bias: shape ``(F,)`` or None.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c, h, w = x.shape
+    f, wc, kh, kw = weight.shape
+    if wc != c:
+        raise ValueError(f"channel mismatch: input has {c}, weight expects {wc}")
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+
+    cols = ops.im2col(x, (kh, kw), stride, pad)        # (N, C*KH*KW, OH*OW)
+    cols = ops.transpose(cols, (1, 0, 2))              # (CK, N, P)
+    cols = ops.reshape(cols, (c * kh * kw, n * oh * ow))
+    w_mat = ops.reshape(weight, (f, c * kh * kw))
+    out = ops.matmul(w_mat, cols)                      # (F, N*P)
+    out = ops.reshape(out, (f, n, oh, ow))
+    out = ops.transpose(out, (1, 0, 2, 3))             # (N, F, OH, OW)
+    if bias is not None:
+        out = ops.add(out, ops.reshape(bias, (1, f, 1, 1)))
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping max pooling (stride == kernel)."""
+    return ops.maxpool2d(x, kernel)
+
+
+def flatten(x: Tensor) -> Tensor:
+    """Collapse all non-batch dimensions: (N, ...) -> (N, D)."""
+    n = x.shape[0]
+    return ops.reshape(x, (n, -1))
+
+
+def _stable_shift(x: Tensor) -> Tensor:
+    """Subtract the per-row max (as a constant) for numerical stability."""
+    shift = Tensor(x.data.max(axis=1, keepdims=True))
+    return ops.sub(x, shift)
+
+
+def softmax(x: Tensor) -> Tensor:
+    """Row-wise softmax for a 2-D logits tensor (N, K)."""
+    z = ops.exp(_stable_shift(x))
+    total = ops.sum_(z, axis=1, keepdims=True)
+    return ops.div(z, total)
+
+
+def log_softmax(x: Tensor) -> Tensor:
+    """Row-wise log-softmax for a 2-D logits tensor (N, K)."""
+    shifted = _stable_shift(x)
+    log_total = ops.log(ops.sum_(ops.exp(shifted), axis=1, keepdims=True))
+    return ops.sub(shifted, log_total)
+
+
+def cross_entropy(logits: Tensor, targets: Tensor) -> Tensor:
+    """Mean categorical cross-entropy.
+
+    Parameters
+    ----------
+    logits: shape ``(N, K)`` raw scores.
+    targets: shape ``(N, K)`` one-hot (or soft) labels; treated as constant.
+    """
+    targets = as_tensor(targets)
+    if targets.shape != logits.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} must match logits shape {logits.shape}"
+        )
+    n = logits.shape[0]
+    picked = ops.mul(log_softmax(logits), targets.detach())
+    return ops.mul(ops.sum_(picked), -1.0 / n)
+
+
+def mse(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = ops.sub(prediction, as_tensor(target))
+    return ops.mean(ops.mul(diff, diff))

@@ -1,0 +1,66 @@
+"""Numerical gradient checking utilities.
+
+Used by the test-suite to validate every primitive and composite op against
+central finite differences, including the double-backward path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, grad
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` wrt inputs[index]."""
+    base = [t.data.copy() for t in inputs]
+    target = base[index]
+    numeric = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = target[idx]
+
+        target[idx] = original + eps
+        plus = fn(*[Tensor(b) for b in base]).item()
+        target[idx] = original - eps
+        minus = fn(*[Tensor(b) for b in base]).item()
+        target[idx] = original
+
+        numeric[idx] = (plus - minus) / (2.0 * eps)
+        it.iternext()
+    return numeric
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert that analytic gradients of scalar ``fn`` match finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch.
+    """
+    live = [Tensor(t.data.copy(), requires_grad=True) for t in inputs]
+    out = fn(*live)
+    analytic = grad(out, live, allow_unused=True)
+    for i, (inp, g) in enumerate(zip(live, analytic)):
+        numeric = numerical_gradient(fn, live, i, eps=eps)
+        got = np.zeros_like(inp.data) if g is None else g.data
+        if not np.allclose(got, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(got - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{got}\nnumeric:\n{numeric}"
+            )

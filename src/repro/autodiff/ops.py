@@ -1,0 +1,538 @@
+"""Primitive differentiable operations.
+
+Every backward rule below is written in terms of the primitives themselves,
+so gradients are graph-connected tensors and arbitrary-order differentiation
+works (this is what lets the DRIA attack optimise through the model's own
+backward pass).
+
+The module attaches operator overloads and convenience methods to
+:class:`repro.autodiff.tensor.Tensor` at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow_", "exp", "log", "sqrt",
+    "matmul", "sum_", "mean", "reshape", "transpose", "broadcast_to",
+    "getitem", "pad2d", "relu", "sigmoid", "tanh", "abs_",
+    "leaky_relu", "softplus", "clip",
+    "im2col", "col2im", "maxpool2d", "concatenate",
+]
+
+
+def _result_requires(*tensors: Tensor) -> bool:
+    return any(t.requires_grad or t._grad_fn is not None for t in tensors)
+
+
+def _make(data, parents, grad_fn, name: str = "") -> Tensor:
+    if _result_requires(*parents):
+        return Tensor(data, requires_grad=False, parents=parents, grad_fn=grad_fn, name=name)
+    return Tensor(data)
+
+
+# ----------------------------------------------------------------------
+# Broadcasting helpers
+# ----------------------------------------------------------------------
+
+def _unbroadcast(g: Tensor, shape: tuple) -> Tensor:
+    """Reduce gradient ``g`` back to ``shape`` after numpy broadcasting."""
+    if g.shape == shape:
+        return g
+    # Sum away prepended axes.
+    extra = g.ndim - len(shape)
+    if extra > 0:
+        g = sum_(g, axis=tuple(range(extra)), keepdims=False)
+    # Sum over axes that were broadcast from 1.
+    axes = tuple(i for i, (gs, s) in enumerate(zip(g.shape, shape)) if s == 1 and gs != 1)
+    if axes:
+        g = sum_(g, axis=axes, keepdims=True)
+    if g.shape != shape:
+        g = reshape(g, shape)
+    return g
+
+
+def broadcast_to(x: Tensor, shape: tuple) -> Tensor:
+    """Broadcast ``x`` to ``shape`` (differentiable)."""
+    x = as_tensor(x)
+    target = tuple(shape)
+    data = np.broadcast_to(x.data, target).copy()
+    x_shape = x.shape
+
+    def grad_fn(g):
+        return (_unbroadcast(g, x_shape),)
+
+    return _make(data, (x,), grad_fn, "broadcast_to")
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    a_shape, b_shape = a.shape, b.shape
+
+    def grad_fn(g):
+        return (_unbroadcast(g, a_shape), _unbroadcast(g, b_shape))
+
+    return _make(a.data + b.data, (a, b), grad_fn, "add")
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    a_shape, b_shape = a.shape, b.shape
+
+    def grad_fn(g):
+        return (_unbroadcast(g, a_shape), _unbroadcast(neg(g), b_shape))
+
+    return _make(a.data - b.data, (a, b), grad_fn, "sub")
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    a_shape, b_shape = a.shape, b.shape
+
+    def grad_fn(g):
+        return (_unbroadcast(mul(g, b), a_shape), _unbroadcast(mul(g, a), b_shape))
+
+    return _make(a.data * b.data, (a, b), grad_fn, "mul")
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    return mul(a, pow_(b, -1.0))
+
+
+def neg(a) -> Tensor:
+    a = as_tensor(a)
+
+    def grad_fn(g):
+        return (neg(g),)
+
+    return _make(-a.data, (a,), grad_fn, "neg")
+
+
+def pow_(a, exponent: float) -> Tensor:
+    """Raise ``a`` to a constant scalar power."""
+    a = as_tensor(a)
+    exponent = float(exponent)
+
+    def grad_fn(g):
+        return (mul(g, mul(pow_(a, exponent - 1.0), exponent)),)
+
+    return _make(a.data ** exponent, (a,), grad_fn, "pow")
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+    if not _result_requires(a):
+        return Tensor(out_data)
+    out = Tensor(out_data, parents=(a,), grad_fn=None, name="exp")
+
+    def grad_fn(g):
+        return (mul(g, out),)
+
+    out._grad_fn = grad_fn
+    return out
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+
+    def grad_fn(g):
+        return (div(g, a),)
+
+    return _make(np.log(a.data), (a,), grad_fn, "log")
+
+
+def sqrt(a) -> Tensor:
+    return pow_(a, 0.5)
+
+
+def abs_(a) -> Tensor:
+    a = as_tensor(a)
+    sign = Tensor(np.sign(a.data))
+
+    def grad_fn(g):
+        return (mul(g, sign),)
+
+    return _make(np.abs(a.data), (a,), grad_fn, "abs")
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+
+def matmul(a, b) -> Tensor:
+    """Matrix product of 2-D tensors."""
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"matmul expects 2-D tensors, got {a.shape} @ {b.shape}")
+
+    def grad_fn(g):
+        return (matmul(g, transpose(b)), matmul(transpose(a), g))
+
+    return _make(a.data @ b.data, (a, b), grad_fn, "matmul")
+
+
+def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
+    a = as_tensor(a)
+    if axes is None:
+        axes = tuple(reversed(range(a.ndim)))
+    axes = tuple(axes)
+    inverse = tuple(np.argsort(axes))
+
+    def grad_fn(g):
+        return (transpose(g, inverse),)
+
+    return _make(np.transpose(a.data, axes).copy(), (a,), grad_fn, "transpose")
+
+
+def reshape(a, shape) -> Tensor:
+    a = as_tensor(a)
+    original = a.shape
+
+    def grad_fn(g):
+        return (reshape(g, original),)
+
+    return _make(a.data.reshape(shape).copy(), (a,), grad_fn, "reshape")
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def grad_fn(g):
+        grads = []
+        for i, t in enumerate(tensors):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+            grads.append(getitem(g, tuple(index)))
+        return tuple(grads)
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return _make(data, tuple(tensors), grad_fn, "concatenate")
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+def sum_(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    a_shape = a.shape
+    if axis is None:
+        norm_axes = tuple(range(a.ndim))
+    elif isinstance(axis, int):
+        norm_axes = (axis % a.ndim,)
+    else:
+        norm_axes = tuple(ax % a.ndim for ax in axis)
+
+    def grad_fn(g):
+        if not keepdims:
+            kept = [1 if i in norm_axes else s for i, s in enumerate(a_shape)]
+            g = reshape(g, tuple(kept))
+        return (broadcast_to(g, a_shape),)
+
+    data = a.data.sum(axis=norm_axes if axis is not None else None, keepdims=keepdims)
+    data = np.asarray(data)
+    return _make(data, (a,), grad_fn, "sum")
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    if axis is None:
+        count = a.size
+    elif isinstance(axis, int):
+        count = a.shape[axis % a.ndim]
+    else:
+        count = int(np.prod([a.shape[ax % a.ndim] for ax in axis]))
+    return mul(sum_(a, axis=axis, keepdims=keepdims), 1.0 / count)
+
+
+# ----------------------------------------------------------------------
+# Indexing and padding
+# ----------------------------------------------------------------------
+
+def getitem(a, index) -> Tensor:
+    """Basic (slice / int / tuple) indexing; backward scatters into zeros."""
+    a = as_tensor(a)
+    a_shape = a.shape
+
+    def grad_fn(g):
+        return (_scatter(g, index, a_shape),)
+
+    return _make(np.asarray(a.data[index]).copy(), (a,), grad_fn, "getitem")
+
+
+def _scatter(g: Tensor, index, target_shape: tuple) -> Tensor:
+    """Adjoint of :func:`getitem`: place ``g`` at ``index`` in a zero tensor."""
+    def grad_fn(gg):
+        return (getitem(gg, index),)
+
+    data = np.zeros(target_shape, dtype=g.data.dtype)
+    data[index] = g.data
+    return _make(data, (g,), grad_fn, "scatter")
+
+
+def pad2d(a, pad: int) -> Tensor:
+    """Zero-pad the last two axes of a 4-D tensor by ``pad`` on each side."""
+    a = as_tensor(a)
+    if pad == 0:
+        return a
+    if a.ndim != 4:
+        raise ValueError(f"pad2d expects a 4-D tensor, got shape {a.shape}")
+
+    index = (slice(None), slice(None), slice(pad, a.shape[2] + pad), slice(pad, a.shape[3] + pad))
+
+    def grad_fn(g):
+        return (getitem(g, index),)
+
+    data = np.pad(a.data, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    return _make(data, (a,), grad_fn, "pad2d")
+
+
+# ----------------------------------------------------------------------
+# Nonlinearities
+# ----------------------------------------------------------------------
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    mask = Tensor((a.data > 0).astype(a.data.dtype))
+
+    def grad_fn(g):
+        return (mul(g, mask),)
+
+    return _make(np.maximum(a.data, 0.0), (a,), grad_fn, "relu")
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+    if not _result_requires(a):
+        return Tensor(out_data)
+    out = Tensor(out_data, parents=(a,), grad_fn=None, name="sigmoid")
+
+    def grad_fn(g):
+        return (mul(g, mul(out, sub(1.0, out))),)
+
+    out._grad_fn = grad_fn
+    return out
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+    if not _result_requires(a):
+        return Tensor(out_data)
+    out = Tensor(out_data, parents=(a,), grad_fn=None, name="tanh")
+
+    def grad_fn(g):
+        return (mul(g, sub(1.0, mul(out, out))),)
+
+    out._grad_fn = grad_fn
+    return out
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    a = as_tensor(a)
+    slope = float(negative_slope)
+    factor = Tensor(np.where(a.data > 0, 1.0, slope))
+
+    def grad_fn(g):
+        return (mul(g, factor),)
+
+    data = np.where(a.data > 0, a.data, slope * a.data)
+    return _make(data, (a,), grad_fn, "leaky_relu")
+
+
+def softplus(a) -> Tensor:
+    """Numerically stable ``log(1 + exp(a))`` with a sigmoid derivative."""
+    a = as_tensor(a)
+    data = np.logaddexp(0.0, a.data)
+    if not _result_requires(a):
+        return Tensor(data)
+    out = Tensor(data, parents=(a,), grad_fn=None, name="softplus")
+
+    def grad_fn(g):
+        return (mul(g, sigmoid(a)),)
+
+    out._grad_fn = grad_fn
+    return out
+
+
+def clip(a, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient is 1 inside, 0 outside."""
+    a = as_tensor(a)
+    if low > high:
+        raise ValueError(f"clip bounds inverted: {low} > {high}")
+    mask = Tensor(((a.data >= low) & (a.data <= high)).astype(a.data.dtype))
+
+    def grad_fn(g):
+        return (mul(g, mask),)
+
+    return _make(np.clip(a.data, low, high), (a,), grad_fn, "clip")
+
+
+# ----------------------------------------------------------------------
+# Convolution building blocks (mutually adjoint linear maps)
+# ----------------------------------------------------------------------
+
+def _conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size "
+            f"(in={size}, k={kernel}, s={stride}, p={pad})"
+        )
+    return out
+
+
+def _im2col_array(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kh, stride, pad)
+    ow = _conv_output_size(w, kw, stride, pad)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j, :, :] = xp[
+                :, :, i : i + stride * oh : stride, j : j + stride * ow : stride
+            ]
+    return cols.reshape(n, c * kh * kw, oh * ow)
+
+
+def _col2im_array(
+    cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    n, c, h, w = x_shape
+    oh = _conv_output_size(h, kh, stride, pad)
+    ow = _conv_output_size(w, kw, stride, pad)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            xp[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[
+                :, :, i, j, :, :
+            ]
+    if pad:
+        return xp[:, :, pad : pad + h, pad : pad + w].copy()
+    return xp
+
+
+def im2col(x, kernel: Tuple[int, int], stride: int, pad: int) -> Tensor:
+    """Unfold image patches: (N,C,H,W) -> (N, C*KH*KW, OH*OW)."""
+    x = as_tensor(x)
+    kh, kw = kernel
+    x_shape = x.shape
+
+    def grad_fn(g):
+        return (col2im(g, x_shape, kernel, stride, pad),)
+
+    return _make(_im2col_array(x.data, kh, kw, stride, pad), (x,), grad_fn, "im2col")
+
+
+def col2im(cols, x_shape: tuple, kernel: Tuple[int, int], stride: int, pad: int) -> Tensor:
+    """Adjoint of :func:`im2col` (scatter-add patches back into an image)."""
+    cols = as_tensor(cols)
+    kh, kw = kernel
+
+    def grad_fn(g):
+        return (im2col(g, kernel, stride, pad),)
+
+    data = _col2im_array(cols.data, tuple(x_shape), kh, kw, stride, pad)
+    return _make(data, (cols,), grad_fn, "col2im")
+
+
+# ----------------------------------------------------------------------
+# Max pooling (non-overlapping windows)
+# ----------------------------------------------------------------------
+
+def maxpool2d(x, kernel: int = 2) -> Tensor:
+    """Max pool with square non-overlapping windows (stride == kernel)."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"maxpool2d requires spatial dims divisible by kernel "
+            f"(shape={x.shape}, kernel={kernel})"
+        )
+    oh, ow = h // kernel, w // kernel
+    windows = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, kernel * kernel)
+    idx = windows.argmax(axis=-1)
+    out_data = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
+
+    def grad_fn(g):
+        return (_maxpool_scatter(g, idx, x.shape, kernel),)
+
+    return _make(out_data, (x,), grad_fn, "maxpool2d")
+
+
+def _maxpool_scatter(g: Tensor, idx: np.ndarray, x_shape: tuple, kernel: int) -> Tensor:
+    n, c, h, w = x_shape
+    oh, ow = h // kernel, w // kernel
+
+    def grad_fn(gg):
+        return (_maxpool_gather(gg, idx, kernel),)
+
+    windows = np.zeros((n, c, oh, ow, kernel * kernel), dtype=g.data.dtype)
+    np.put_along_axis(windows, idx[..., None], g.data[..., None], axis=-1)
+    data = (
+        windows.reshape(n, c, oh, ow, kernel, kernel)
+        .transpose(0, 1, 2, 4, 3, 5)
+        .reshape(n, c, h, w)
+    )
+    return _make(data, (g,), grad_fn, "maxpool_scatter")
+
+
+def _maxpool_gather(x: Tensor, idx: np.ndarray, kernel: int) -> Tensor:
+    n, c, h, w = x.shape
+    oh, ow = h // kernel, w // kernel
+
+    def grad_fn(g):
+        return (_maxpool_scatter(g, idx, x.shape, kernel),)
+
+    windows = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, kernel * kernel)
+    data = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
+    return _make(data, (x,), grad_fn, "maxpool_gather")
+
+
+# ----------------------------------------------------------------------
+# Operator overloads
+# ----------------------------------------------------------------------
+
+def _install_operators() -> None:
+    Tensor.__add__ = lambda self, other: add(self, other)
+    Tensor.__radd__ = lambda self, other: add(other, self)
+    Tensor.__sub__ = lambda self, other: sub(self, other)
+    Tensor.__rsub__ = lambda self, other: sub(other, self)
+    Tensor.__mul__ = lambda self, other: mul(self, other)
+    Tensor.__rmul__ = lambda self, other: mul(other, self)
+    Tensor.__truediv__ = lambda self, other: div(self, other)
+    Tensor.__rtruediv__ = lambda self, other: div(other, self)
+    Tensor.__neg__ = lambda self: neg(self)
+    Tensor.__pow__ = lambda self, exponent: pow_(self, exponent)
+    Tensor.__matmul__ = lambda self, other: matmul(self, other)
+    Tensor.__getitem__ = lambda self, index: getitem(self, index)
+    Tensor.sum = lambda self, axis=None, keepdims=False: sum_(self, axis, keepdims)
+    Tensor.mean = lambda self, axis=None, keepdims=False: mean(self, axis, keepdims)
+    Tensor.reshape = lambda self, *shape: reshape(
+        self, shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list)) else shape
+    )
+    Tensor.transpose = lambda self, axes=None: transpose(self, axes)
+    Tensor.exp = lambda self: exp(self)
+    Tensor.log = lambda self: log(self)
+    Tensor.abs = lambda self: abs_(self)
+
+
+_install_operators()

@@ -1,0 +1,74 @@
+"""Gecko [15] — membership privacy through quantized models.
+
+The paper's software-only related-work baseline: quantize the network so
+that gradients and confidences carry less per-sample information,
+trading accuracy for membership privacy. This module implements
+post-training uniform weight quantization (binarisation at the extreme,
+as Gecko's design advocates) and a helper to evaluate its accuracy /
+MIA-resistance trade-off in the baseline comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn.model import Sequential
+
+__all__ = ["quantize_model", "QuantizationReport"]
+
+
+@dataclass
+class QuantizationReport:
+    """Effect of quantizing one model."""
+
+    bits: int
+    max_weight_error: float
+    accuracy_before: Optional[float] = None
+    accuracy_after: Optional[float] = None
+
+
+def _quantize_array(values: np.ndarray, bits: int) -> np.ndarray:
+    if bits == 1:
+        # Binary connect: sign * mean magnitude.
+        scale = np.abs(values).mean() or 1.0
+        return np.where(values >= 0, scale, -scale)
+    levels = (1 << (bits - 1)) - 1
+    scale = np.abs(values).max() or 1.0
+    return np.round(values / scale * levels) / levels * scale
+
+
+def quantize_model(
+    model: Sequential,
+    bits: int = 8,
+    x_eval: Optional[np.ndarray] = None,
+    y_eval: Optional[np.ndarray] = None,
+) -> QuantizationReport:
+    """Quantize every weight tensor of ``model`` in place.
+
+    Parameters
+    ----------
+    model:
+        Model to quantize (weights overwritten).
+    bits:
+        Per-weight precision; 1 gives binary-connect style weights.
+    x_eval / y_eval:
+        Optional evaluation batch to record the accuracy impact.
+    """
+    if not 1 <= bits <= 16:
+        raise ValueError("bits must be in 1..16")
+    accuracy_before = (
+        model.accuracy(x_eval, y_eval) if x_eval is not None and y_eval is not None else None
+    )
+    worst = 0.0
+    for layer in model.layers:
+        for name, param in layer.params.items():
+            quantized = _quantize_array(param.data, bits)
+            worst = max(worst, float(np.abs(quantized - param.data).max()))
+            param.data = quantized
+    accuracy_after = (
+        model.accuracy(x_eval, y_eval) if x_eval is not None and y_eval is not None else None
+    )
+    return QuantizationReport(bits, worst, accuracy_before, accuracy_after)

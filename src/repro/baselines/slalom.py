@@ -1,0 +1,127 @@
+"""Slalom [47] — verified outsourcing of dense layers from a TEE.
+
+The paper's related-work baseline for *inference*: the enclave delegates
+each linear layer's matrix product to a fast untrusted processor and
+verifies the result with Freivalds' probabilistic check (``r^T (W x) ==
+(r^T W) x`` for a random ``r``, with ``r^T W`` precomputed inside the
+enclave). The paper's critique — which this module lets the benchmark
+demonstrate — is that Slalom only supports private *inference* with fixed
+weights, not training.
+
+The simulator runs the outsourced computation in the normal world, the
+check in the secure world, and flags tampered results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..nn.layers import ACTIVATIONS, Dense
+from ..nn.model import Sequential
+from ..tee.world import TEEError, secure_world
+
+__all__ = ["SlalomVerificationError", "SlalomInference"]
+
+
+class SlalomVerificationError(TEEError):
+    """The untrusted processor returned a result that failed Freivalds."""
+
+
+@dataclass
+class _OutsourcedLayer:
+    weight: np.ndarray           # handed to the untrusted processor
+    bias: Optional[np.ndarray]
+    activation: str
+    check_vector: np.ndarray     # r, secret
+    check_row: np.ndarray        # r^T W, precomputed in the enclave
+
+
+class SlalomInference:
+    """Verified private inference for a stack of dense layers.
+
+    Parameters
+    ----------
+    model:
+        A Sequential of Dense layers (Slalom's published scope; conv layers
+        are outsourced the same way in the paper but we keep the dense
+        restriction explicit).
+    repetitions:
+        Independent Freivalds checks per layer; the soundness error decays
+        exponentially with this count.
+    seed:
+        Randomness of the secret check vectors.
+    """
+
+    def __init__(self, model: Sequential, repetitions: int = 2, seed: int = 0) -> None:
+        for layer in model.layers:
+            if not isinstance(layer, Dense):
+                raise ValueError(
+                    "Slalom outsources linear layers only; "
+                    f"{type(layer).__name__} is unsupported (and training is "
+                    "unsupported entirely — the paper's critique)"
+                )
+        self.model = model
+        self.repetitions = int(repetitions)
+        rng = np.random.default_rng(seed)
+        self._layers: List[_OutsourcedLayer] = []
+        with secure_world():
+            for layer in model.layers:
+                weight = layer.params["weight"].data.copy()
+                bias = (
+                    layer.params["bias"].data.copy() if "bias" in layer.params else None
+                )
+                r = rng.integers(1, 2**20, size=(self.repetitions, weight.shape[0]))
+                self._layers.append(
+                    _OutsourcedLayer(
+                        weight=weight,
+                        bias=bias,
+                        activation=layer.activation,
+                        check_vector=r.astype(np.float64),
+                        check_row=r.astype(np.float64) @ weight,
+                    )
+                )
+        self.outsourced_calls = 0
+        self.verifications = 0
+
+    # -- the untrusted processor -----------------------------------------
+    def _untrusted_matmul(self, x: np.ndarray, weight: np.ndarray,
+                          tamper: Optional[Callable] = None) -> np.ndarray:
+        self.outsourced_calls += 1
+        result = x @ weight.T
+        if tamper is not None:
+            result = tamper(result)
+        return result
+
+    # -- enclave-side verification ------------------------------------------
+    def _verify(self, layer: _OutsourcedLayer, x: np.ndarray, result: np.ndarray) -> None:
+        self.verifications += 1
+        with secure_world():
+            # r^T (W x) must equal (r^T W) x; O(n) per check vs O(n^2) redo.
+            lhs = result @ layer.check_vector.T          # (N, reps)
+            rhs = x @ layer.check_row.T                  # (N, reps)
+            if not np.allclose(lhs, rhs, rtol=1e-9, atol=1e-6):
+                raise SlalomVerificationError(
+                    "outsourced matrix product failed Freivalds verification"
+                )
+
+    def predict(self, x: np.ndarray, tamper: Optional[Callable] = None) -> np.ndarray:
+        """Verified forward pass; ``tamper`` injects a malicious processor."""
+        out = np.asarray(x, dtype=np.float64)
+        if out.ndim > 2:
+            out = out.reshape(out.shape[0], -1)
+        for layer in self._layers:
+            product = self._untrusted_matmul(out, layer.weight, tamper)
+            self._verify(layer, out, product)
+            if layer.bias is not None:
+                product = product + layer.bias
+            from ..autodiff import Tensor
+
+            out = ACTIVATIONS[layer.activation](Tensor(product)).data
+        return out
+
+    def supports_training(self) -> bool:
+        """Slalom precomputes ``r^T W`` for *fixed* weights: no training."""
+        return False

@@ -1,0 +1,87 @@
+"""The paper's published numbers, used for side-by-side reporting.
+
+Every benchmark prints its measured values next to these so EXPERIMENTS.md
+can record paper-vs-measured for each table and figure.  Values are
+transcribed from the Middleware '22 paper (GradSec).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "TABLE1",
+    "TABLE5_STATIC",
+    "TABLE5_DYNAMIC",
+    "TABLE6_STATIC",
+    "TABLE6_DYNAMIC_MW2",
+    "TABLE6_DYNAMIC_MW3",
+    "TABLE6_DYNAMIC_MW4",
+    "FIG6_LENET_AUC",
+    "TABLE6_BASELINE",
+]
+
+# Table 1 — headline comparison.
+TABLE1 = {
+    "DRIA": {"success": "ImageLoss < 1", "darknetz_layers": (2,), "gradsec_layers": (2,)},
+    "MIA": {"success": "AUC=0.95", "darknetz_layers": (5,), "gradsec_layers": (5,)},
+    "DRIA+MIA": {
+        "darknetz_layers": (2, 3, 4, 5),
+        "gradsec_layers": (2, 5),
+        "time_gain_percent": -8.3,
+        "tcb_gain_percent": -30.0,
+    },
+    "DPIA": {
+        "success": "AUC=0.99",
+        "darknetz_layers": (2, 3, 4, 5),
+        "gradsec": "2 layers in a RR manner",
+        "time_gain_percent": -56.7,
+        "tcb_gain_percent": -8.0,
+    },
+}
+
+# Table 5 — DPIA AUC under GradSec.
+TABLE5_STATIC: Dict[str, float] = {
+    "none": 0.99,
+    "L4": 0.99,
+    "L3+L4": 0.99,
+    "L3+L4+L5": 0.95,
+    "L2+L3+L4+L5": 0.85,
+}
+TABLE5_DYNAMIC: Dict[str, float] = {"MW=2": 0.78, "MW=3": 0.77, "MW=4": 0.80}
+
+# Table 6 — CPU time (user, kernel, alloc seconds) and TEE memory (MiB),
+# LeNet-5, CIFAR-100, batch 32.
+TABLE6_BASELINE = (2.191, 0.021, 0.0, 0.0)
+TABLE6_STATIC: Dict[Tuple[int, ...], Tuple[float, float, float, float]] = {
+    (1,): (1.886, 0.738, 0.09, 1.127),
+    (2,): (1.672, 0.652, 0.34, 0.565),
+    (3,): (1.696, 0.674, 0.34, 0.286),
+    (4,): (1.691, 0.673, 0.34, 0.286),
+    (5,): (2.044, 0.187, 4.68, 0.704),
+    (2, 5): (1.561, 0.846, 5.02, 1.269),
+}
+TABLE6_DYNAMIC_MW2: Dict[Tuple[int, ...], Tuple[float, float, float, float]] = {
+    (1, 2): (1.323, 1.331, 0.43, 1.692),
+    (2, 3): (1.139, 1.275, 0.68, 0.851),
+    (3, 4): (1.134, 1.269, 0.68, 0.572),
+    (4, 5): (1.507, 0.808, 5.02, 0.990),
+}
+TABLE6_DYNAMIC_MW3: Dict[Tuple[int, ...], Tuple[float, float, float, float]] = {
+    (1, 2, 3): (0.708, 2.081, 0.77, 1.978),
+    (2, 3, 4): (0.807, 1.743, 1.02, 1.137),
+    (3, 4, 5): (1.003, 1.418, 5.36, 1.276),
+}
+TABLE6_DYNAMIC_MW4: Dict[Tuple[int, ...], Tuple[float, float, float, float]] = {
+    (1, 2, 3, 4): (0.170, 2.754, 1.11, 2.264),
+    (2, 3, 4, 5): (0.985, 1.420, 5.70, 1.841),
+}
+
+# Figure 6 (a) — MIA AUC on LeNet-5 per protected tail.
+FIG6_LENET_AUC: Dict[Tuple[int, ...], float] = {
+    (): 0.95,
+    (5,): 0.85,
+    (4, 5): 0.84,
+    (3, 4, 5): 0.83,
+    (2, 3, 4, 5): 0.80,
+}

@@ -1,0 +1,26 @@
+"""Row formatting for benchmark output (paper-vs-measured tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["format_comparison", "print_table", "layers_label"]
+
+
+def layers_label(protected: Sequence[int]) -> str:
+    return "+".join(f"L{i}" for i in sorted(protected)) or "none"
+
+
+def format_comparison(
+    label: str, measured: float, paper: Optional[float], metric: str
+) -> str:
+    paper_text = f"{paper:.3f}" if paper is not None else "  n/a"
+    return f"  {label:<24} measured {metric}={measured:7.3f}   paper={paper_text}"
+
+
+def print_table(title: str, rows: Iterable[str]) -> None:
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+    for row in rows:
+        print(row)
+    print(bar)

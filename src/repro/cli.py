@@ -1,0 +1,157 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list                  # what can be regenerated
+    python -m repro table6                # cost-model Table 6
+    python -m repro fig5 --fast           # DRIA sweep, reduced budget
+    python -m repro table5 --cycles 24    # DPIA, custom cycle count
+    python -m repro fig8                  # GradSec vs DarkneTZ
+    python -m repro summary               # Table 1 headline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.experiments import (
+    DPIA_BEST_V_MW,
+    dpia_experiment,
+    dria_experiment,
+    mia_experiment,
+)
+from .bench.reference import TABLE5_DYNAMIC, TABLE5_STATIC, TABLE6_STATIC
+from .bench.tables import format_comparison, layers_label, print_table
+from .core import DarknetzPolicy, DynamicPolicy, NoProtection, StaticPolicy
+from .nn import lenet5
+from .tee import CostModel
+
+__all__ = ["main"]
+
+
+def _cmd_table6(args: argparse.Namespace) -> None:
+    model = lenet5()
+    cost_model = CostModel(batch_size=args.batch_size)
+    baseline = cost_model.cycle_cost(model)
+    rows = [
+        f"  {'baseline':<14} {baseline.user_seconds:5.3f}+{baseline.kernel_seconds:5.3f}+0.000s  0.000 MiB"
+    ]
+    for config in sorted(TABLE6_STATIC):
+        cost = cost_model.cycle_cost(model, config)
+        rows.append(
+            f"  {layers_label(config):<14} {cost.user_seconds:5.3f}+"
+            f"{cost.kernel_seconds:5.3f}+{cost.alloc_seconds:5.3f}s  "
+            f"{cost.tee_memory_mib:5.3f} MiB ({cost.overhead_percent(baseline):+.0f}%)"
+        )
+    print_table(f"Table 6 (batch {args.batch_size})", rows)
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    protected_sets = [(), (1,), (2,), (1, 2), (5,)]
+    rows = dria_experiment(
+        protected_sets,
+        iterations=30 if args.fast else 150,
+        num_classes=10,
+        model_scale=0.5 if args.fast else 1.0,
+    )
+    print_table(
+        "Figure 5 (a): DRIA ImageLoss (LeNet-5)",
+        [f"  {layers_label(r.protected):<8} ImageLoss={r.score:7.3f}" for r in rows],
+    )
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    protected_sets = [(), (5,), (4, 5), (2, 3, 4, 5), (1, 2, 3, 4, 5)]
+    rows = mia_experiment(protected_sets, fast=args.fast)
+    print_table(
+        "Figure 6 (a): MIA AUC (LeNet-5)",
+        [f"  {layers_label(r.protected):<16} AUC={r.score:.3f}" for r in rows],
+    )
+
+
+def _cmd_table5(args: argparse.Namespace) -> None:
+    policies = [
+        ("none", NoProtection(5)),
+        ("L4", StaticPolicy(5, [4])),
+        ("L3+L4", StaticPolicy(5, [3, 4])),
+        ("L2+L3+L4+L5", StaticPolicy(5, [2, 3, 4, 5], max_slices=None)),
+        ("MW=2", DynamicPolicy(5, 2, DPIA_BEST_V_MW[2], seed=3)),
+        ("MW=3", DynamicPolicy(5, 3, DPIA_BEST_V_MW[3], seed=3)),
+        ("MW=4", DynamicPolicy(5, 4, DPIA_BEST_V_MW[4], seed=3)),
+    ]
+    rows = dpia_experiment(policies, cycles=args.cycles, fast=args.fast)
+    paper = {**TABLE5_STATIC, **TABLE5_DYNAMIC}
+    print_table(
+        "Table 5: DPIA AUC",
+        [format_comparison(r.label, r.score, paper.get(r.label), "AUC") for r in rows],
+    )
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    model = lenet5()
+    cost_model = CostModel(batch_size=32)
+    gradsec = cost_model.cycle_cost(model, (2, 5))
+    darknetz = cost_model.cycle_cost(model, (2, 3, 4, 5))
+    policy = DynamicPolicy(5, 2, DPIA_BEST_V_MW[2], seed=0)
+    dynamic, _ = cost_model.dynamic_cost(model, policy.windows, policy.v_mw)
+    print_table(
+        "Figure 8: GradSec vs DarkneTZ",
+        [
+            f"  static  GradSec {{L2,L5}}: {gradsec.total_seconds:6.3f}s  {gradsec.tee_memory_mib:5.3f} MiB",
+            f"  dynamic GradSec (MW=2) : {dynamic.total_seconds:6.3f}s  {dynamic.tee_memory_mib:5.3f} MiB",
+            f"  DarkneTZ {{L2-L5}}      : {darknetz.total_seconds:6.3f}s  {darknetz.tee_memory_mib:5.3f} MiB",
+        ],
+    )
+
+
+def _cmd_summary(args: argparse.Namespace) -> None:
+    _cmd_fig8(args)
+    print("\nAttack side (use 'fig5', 'fig6', 'table5' for details);")
+    print("'--fast' runs every experiment at reduced budget.")
+
+
+_COMMANDS = {
+    "table5": (_cmd_table5, "DPIA AUC, static vs dynamic GradSec"),
+    "table6": (_cmd_table6, "CPU time and TEE memory per configuration"),
+    "fig5": (_cmd_fig5, "DRIA ImageLoss vs protected layers"),
+    "fig6": (_cmd_fig6, "MIA AUC vs protected layers"),
+    "fig8": (_cmd_fig8, "GradSec vs DarkneTZ comparison"),
+    "summary": (_cmd_summary, "headline comparison (Table 1 flavour)"),
+}
+
+
+def _cmd_list(args: argparse.Namespace) -> None:
+    print("available experiments:")
+    for name, (_, description) in _COMMANDS.items():
+        print(f"  {name:<8} {description}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the GradSec paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    for name, (_, description) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=description)
+        sub.add_argument("--fast", action="store_true", help="reduced budget")
+        sub.add_argument("--cycles", type=int, default=36, help="FL cycles (DPIA)")
+        sub.add_argument("--batch-size", type=int, default=32, help="batch size")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        _cmd_list(args)
+        return 0
+    handler, _ = _COMMANDS[args.command]
+    handler(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""GradSec core: protection policies, the shielded trainer, leakage views.
+
+This package implements the paper's primary contribution — selective,
+possibly non-contiguous and cycle-varying protection of DNN layers inside a
+TrustZone enclave during FL client training.
+"""
+
+from .leakage import CycleLeakage
+from .overhead import OverheadRow, dynamic_overhead, policy_overhead, static_overhead
+from .planner import KNOWN_ATTACKS, PolicyPlanner, PolicyRecommendation
+from .policy import (
+    DarknetzPolicy,
+    DynamicPolicy,
+    NoProtection,
+    PolicyError,
+    ProtectionPolicy,
+    StaticPolicy,
+    contiguous_slices,
+)
+from .search import SearchResult, candidate_distributions, search_v_mw
+from .shielded import GradSecTA, ShieldedModel
+
+__all__ = [
+    "ProtectionPolicy", "NoProtection", "StaticPolicy", "DarknetzPolicy",
+    "DynamicPolicy", "PolicyError", "contiguous_slices",
+    "ShieldedModel", "GradSecTA", "CycleLeakage",
+    "OverheadRow", "static_overhead", "dynamic_overhead", "policy_overhead",
+    "SearchResult", "candidate_distributions", "search_v_mw",
+    "PolicyPlanner", "PolicyRecommendation", "KNOWN_ATTACKS",
+]

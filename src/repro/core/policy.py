@@ -1,0 +1,232 @@
+"""Layer-protection policies.
+
+A policy decides which layer indices (1-based, ``L1..Ln``) are shielded in
+the enclave during each FL cycle:
+
+* :class:`StaticPolicy` — GradSec's static mode (§7.1): a fixed set of
+  layers, possibly **non-contiguous** (up to two separate slices, per the
+  paper's description), for every cycle.
+* :class:`DynamicPolicy` — GradSec's dynamic mode (§7.2): a moving window
+  of ``size_mw`` successive layers whose position is drawn each cycle from
+  the probability vector ``V_MW``.
+* :class:`DarknetzPolicy` — the DarkneTZ baseline: exactly one contiguous
+  slice; requesting non-successive layers is a hard error, which is the
+  limitation GradSec removes.
+* :class:`NoProtection` — the unprotected baseline.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PolicyError",
+    "ProtectionPolicy",
+    "NoProtection",
+    "StaticPolicy",
+    "DarknetzPolicy",
+    "DynamicPolicy",
+    "contiguous_slices",
+]
+
+
+class PolicyError(ValueError):
+    """A protection policy was configured outside its legal envelope."""
+
+
+def contiguous_slices(layers: Sequence[int]) -> List[Tuple[int, int]]:
+    """Group a sorted set of layer indices into inclusive (start, end) runs."""
+    ordered = sorted(set(int(i) for i in layers))
+    if not ordered:
+        return []
+    slices: List[Tuple[int, int]] = []
+    start = prev = ordered[0]
+    for index in ordered[1:]:
+        if index == prev + 1:
+            prev = index
+            continue
+        slices.append((start, prev))
+        start = prev = index
+    slices.append((start, prev))
+    return slices
+
+
+class ProtectionPolicy:
+    """Base class: maps an FL cycle number to a set of protected layers."""
+
+    def __init__(self, num_layers: int) -> None:
+        if num_layers <= 0:
+            raise PolicyError("num_layers must be positive")
+        self.num_layers = int(num_layers)
+
+    def layers_for_cycle(self, cycle: int) -> FrozenSet[int]:
+        raise NotImplementedError
+
+    def all_possible_sets(self) -> List[FrozenSet[int]]:
+        """Every distinct protected set the policy can produce."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def _check_range(self, layers: Sequence[int]) -> FrozenSet[int]:
+        layer_set = frozenset(int(i) for i in layers)
+        for index in layer_set:
+            if not 1 <= index <= self.num_layers:
+                raise PolicyError(
+                    f"layer index {index} outside 1..{self.num_layers}"
+                )
+        return layer_set
+
+
+class NoProtection(ProtectionPolicy):
+    """Train fully in the normal world (the paper's baseline row)."""
+
+    def layers_for_cycle(self, cycle: int) -> FrozenSet[int]:
+        return frozenset()
+
+    def all_possible_sets(self) -> List[FrozenSet[int]]:
+        return [frozenset()]
+
+    def describe(self) -> str:
+        return "no protection"
+
+
+class StaticPolicy(ProtectionPolicy):
+    """Static GradSec: a fixed, possibly non-contiguous set of layers.
+
+    Parameters
+    ----------
+    num_layers:
+        Depth of the model.
+    layers:
+        1-based indices to shield every cycle.
+    max_slices:
+        Maximum number of separate contiguous runs (the paper supports "one
+        or two separate slices"); pass ``None`` to lift the restriction.
+    """
+
+    def __init__(self, num_layers: int, layers: Sequence[int], max_slices: int | None = 2) -> None:
+        super().__init__(num_layers)
+        self.layers = self._check_range(layers)
+        self.slices = contiguous_slices(self.layers)
+        if max_slices is not None and len(self.slices) > max_slices:
+            raise PolicyError(
+                f"static GradSec supports at most {max_slices} slices, "
+                f"got {len(self.slices)}: {self.slices}"
+            )
+
+    def layers_for_cycle(self, cycle: int) -> FrozenSet[int]:
+        return self.layers
+
+    def all_possible_sets(self) -> List[FrozenSet[int]]:
+        return [self.layers]
+
+    def describe(self) -> str:
+        pretty = "+".join(f"L{i}" for i in sorted(self.layers)) or "none"
+        return f"static GradSec [{pretty}]"
+
+
+class DarknetzPolicy(ProtectionPolicy):
+    """DarkneTZ baseline: one contiguous slice of layers only.
+
+    DarkneTZ protects the *last* layers of a model (or generally one run of
+    successive layers).  Asking it for non-successive layers raises — this
+    is exactly the capability gap Table 1 quantifies.
+    """
+
+    def __init__(self, num_layers: int, layers: Sequence[int]) -> None:
+        super().__init__(num_layers)
+        self.layers = self._check_range(layers)
+        slices = contiguous_slices(self.layers)
+        if len(slices) > 1:
+            raise PolicyError(
+                "DarkneTZ can only protect successive layers; "
+                f"{sorted(self.layers)} spans {len(slices)} separate slices "
+                "(use StaticPolicy for non-contiguous protection)"
+            )
+
+    def layers_for_cycle(self, cycle: int) -> FrozenSet[int]:
+        return self.layers
+
+    def all_possible_sets(self) -> List[FrozenSet[int]]:
+        return [self.layers]
+
+    def describe(self) -> str:
+        pretty = "+".join(f"L{i}" for i in sorted(self.layers)) or "none"
+        return f"DarkneTZ [{pretty}]"
+
+
+class DynamicPolicy(ProtectionPolicy):
+    """Dynamic GradSec: a moving window over FL cycles (§7.2).
+
+    Parameters
+    ----------
+    num_layers:
+        Depth of the model.
+    size_mw:
+        Number of successive layers shielded each cycle.
+    v_mw:
+        Probability of each window position; length must be
+        ``num_layers - size_mw + 1`` and the entries must sum to 1.
+    seed:
+        Seed of the per-cycle position draw.  The draw is deterministic in
+        ``(seed, cycle)`` so every participant can replay the schedule.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        size_mw: int,
+        v_mw: Sequence[float],
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_layers)
+        if not 1 <= size_mw <= num_layers:
+            raise PolicyError(f"size_mw must be in 1..{num_layers}, got {size_mw}")
+        self.size_mw = int(size_mw)
+        expected = num_layers - self.size_mw + 1
+        v = np.asarray(v_mw, dtype=np.float64)
+        if v.shape != (expected,):
+            raise PolicyError(
+                f"V_MW must have {expected} entries for size_mw={size_mw} "
+                f"in a {num_layers}-layer model, got {v.shape}"
+            )
+        if (v < 0).any() or abs(v.sum() - 1.0) > 1e-9:
+            raise PolicyError("V_MW entries must be non-negative and sum to 1")
+        self.v_mw = v
+        self.seed = int(seed)
+
+    @property
+    def windows(self) -> List[Tuple[int, ...]]:
+        """All window positions as tuples of 1-based layer indices."""
+        return [
+            tuple(range(start, start + self.size_mw))
+            for start in range(1, self.num_layers - self.size_mw + 2)
+        ]
+
+    def window_for_cycle(self, cycle: int) -> Tuple[int, ...]:
+        """Window position protected during ``cycle`` (deterministic)."""
+        rng = np.random.default_rng((self.seed, int(cycle)))
+        position = rng.choice(len(self.v_mw), p=self.v_mw)
+        return self.windows[int(position)]
+
+    def layers_for_cycle(self, cycle: int) -> FrozenSet[int]:
+        return frozenset(self.window_for_cycle(cycle))
+
+    def all_possible_sets(self) -> List[FrozenSet[int]]:
+        return [frozenset(w) for w, p in zip(self.windows, self.v_mw) if p > 0]
+
+    def expected_protection(self) -> np.ndarray:
+        """Per-layer probability of being protected in a random cycle."""
+        out = np.zeros(self.num_layers)
+        for window, p in zip(self.windows, self.v_mw):
+            for index in window:
+                out[index - 1] += p
+        return out
+
+    def describe(self) -> str:
+        probs = ", ".join(f"{p:.2f}" for p in self.v_mw)
+        return f"dynamic GradSec [MW={self.size_mw}, V_MW=({probs})]"

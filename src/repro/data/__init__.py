@@ -1,0 +1,16 @@
+"""Datasets: containers, batching and the synthetic CIFAR-100 / LFW stand-ins."""
+
+from .datasets import ArrayDataset, Batch
+from .synthetic import class_prototypes, synthetic_cifar, synthetic_lfw
+from .transforms import flatten_samples, image_loss, normalize
+
+__all__ = [
+    "ArrayDataset",
+    "Batch",
+    "synthetic_cifar",
+    "synthetic_lfw",
+    "class_prototypes",
+    "normalize",
+    "image_loss",
+    "flatten_samples",
+]

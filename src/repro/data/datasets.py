@@ -1,0 +1,166 @@
+"""Dataset containers and batching.
+
+The paper trains on CIFAR-100 and LFW.  Neither is available offline, so the
+generators in :mod:`repro.data.synthetic` produce structured stand-ins; this
+module provides the dataset container and the batching/splitting machinery
+that the FL clients and the attacks share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.losses import one_hot
+
+__all__ = ["ArrayDataset", "Batch"]
+
+
+@dataclass
+class Batch:
+    """A training batch: inputs, one-hot labels and (optionally) properties."""
+
+    x: np.ndarray
+    y: np.ndarray
+    properties: Optional[np.ndarray] = None
+
+    @property
+    def size(self) -> int:
+        return int(self.x.shape[0])
+
+
+@dataclass
+class ArrayDataset:
+    """In-memory dataset of images (or feature vectors) with integer labels.
+
+    Parameters
+    ----------
+    x:
+        Samples; first axis is the sample axis.
+    y:
+        Integer class labels, shape ``(N,)``.
+    num_classes:
+        Total number of classes (fixes the one-hot width).
+    properties:
+        Optional binary per-sample property labels (the DPIA target),
+        shape ``(N,)``.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    properties: Optional[np.ndarray] = None
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.x.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"x has {self.x.shape[0]} samples but y has {self.y.shape[0]}"
+            )
+        if self.properties is not None:
+            self.properties = np.asarray(self.properties, dtype=np.int64)
+            if self.properties.shape[0] != self.y.shape[0]:
+                raise ValueError("properties length must match labels")
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        return tuple(self.x.shape[1:])
+
+    def one_hot_labels(self) -> np.ndarray:
+        return one_hot(self.y, self.num_classes)
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "ArrayDataset":
+        """Dataset restricted to ``indices`` (copies)."""
+        indices = np.asarray(indices)
+        return ArrayDataset(
+            self.x[indices].copy(),
+            self.y[indices].copy(),
+            self.num_classes,
+            None if self.properties is None else self.properties[indices].copy(),
+            name=name or self.name,
+        )
+
+    def split(
+        self, fraction: float, rng: Optional[np.random.Generator] = None
+    ) -> Tuple["ArrayDataset", "ArrayDataset"]:
+        """Random split into (first, second) with ``fraction`` in the first."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        rng = rng or np.random.default_rng(0)
+        order = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    def shard(self, num_shards: int) -> list:
+        """Deterministic round-robin sharding (one shard per FL client)."""
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        return [
+            self.subset(np.arange(i, len(self), num_shards), name=f"{self.name}#{i}")
+            for i in range(num_shards)
+        ]
+
+    def dirichlet_shard(
+        self,
+        num_shards: int,
+        alpha: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> list:
+        """Non-IID sharding: per-class Dirichlet allocation across clients.
+
+        The standard FL heterogeneity model — each class's samples are split
+        among clients with proportions drawn from ``Dirichlet(alpha)``.
+        Small ``alpha`` gives highly skewed clients; large ``alpha``
+        approaches IID. Every shard is guaranteed at least one sample.
+        """
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        rng = rng or np.random.default_rng(0)
+        assignments: list = [[] for _ in range(num_shards)]
+        for label in np.unique(self.y):
+            indices = np.flatnonzero(self.y == label)
+            rng.shuffle(indices)
+            proportions = rng.dirichlet(np.full(num_shards, alpha))
+            cuts = (np.cumsum(proportions) * len(indices)).astype(int)[:-1]
+            for shard_index, chunk in enumerate(np.split(indices, cuts)):
+                assignments[shard_index].extend(chunk.tolist())
+        # Repair empty shards by stealing from the largest.
+        for shard_index, members in enumerate(assignments):
+            if not members:
+                donor = max(range(num_shards), key=lambda i: len(assignments[i]))
+                members.append(assignments[donor].pop())
+        return [
+            self.subset(sorted(members), name=f"{self.name}#niid{i}")
+            for i, members in enumerate(assignments)
+        ]
+
+    def batches(
+        self,
+        batch_size: int,
+        rng: Optional[np.random.Generator] = None,
+        shuffle: bool = True,
+        drop_last: bool = False,
+    ) -> Iterator[Batch]:
+        """Iterate over mini-batches of one-hot-labelled samples."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if shuffle:
+            rng = rng or np.random.default_rng(0)
+            order = rng.permutation(order)
+        labels = self.one_hot_labels()
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            if drop_last and idx.shape[0] < batch_size:
+                return
+            props = None if self.properties is None else self.properties[idx]
+            yield Batch(self.x[idx], labels[idx], props)

@@ -1,0 +1,122 @@
+"""Synthetic dataset generators (CIFAR-100 / LFW stand-ins).
+
+No network access is available in this environment, so the paper's datasets
+are replaced by structured synthetic data (documented in DESIGN.md):
+
+* :func:`synthetic_cifar` — class-conditional 32x32x3 images.  Each class
+  owns a smooth random prototype (coarse noise upsampled to full resolution),
+  and samples are the prototype plus pixel noise.  Gradients therefore carry
+  per-class and per-sample signal, which is all DRIA and MIA exploit.
+* :func:`synthetic_lfw` — a face-recognition stand-in whose samples
+  additionally carry a *binary property* that is independent of the task
+  label and imprints a spatial signature, which is what DPIA infers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .datasets import ArrayDataset
+
+__all__ = ["synthetic_cifar", "synthetic_lfw", "class_prototypes"]
+
+
+def _smooth_patterns(
+    count: int, channels: int, height: int, width: int, rng: np.random.Generator,
+    coarse: int = 4,
+) -> np.ndarray:
+    """Low-frequency random patterns: coarse noise, bilinearly upsampled."""
+    coarse_h = max(2, height // coarse)
+    coarse_w = max(2, width // coarse)
+    base = rng.normal(size=(count, channels, coarse_h, coarse_w))
+    # Bilinear upsample via repeated linear interpolation along each axis.
+    ys = np.linspace(0, coarse_h - 1, height)
+    xs = np.linspace(0, coarse_w - 1, width)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, coarse_h - 1)
+    x1 = np.minimum(x0 + 1, coarse_w - 1)
+    wy = (ys - y0)[None, None, :, None]
+    wx = (xs - x0)[None, None, None, :]
+    top = base[:, :, y0][:, :, :, x0] * (1 - wx) + base[:, :, y0][:, :, :, x1] * wx
+    bottom = base[:, :, y1][:, :, :, x0] * (1 - wx) + base[:, :, y1][:, :, :, x1] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def class_prototypes(
+    num_classes: int,
+    shape: Tuple[int, int, int] = (3, 32, 32),
+    seed: int = 0,
+) -> np.ndarray:
+    """Deterministic per-class prototype images in [0, 1]."""
+    c, h, w = shape
+    rng = np.random.default_rng(seed)
+    protos = _smooth_patterns(num_classes, c, h, w, rng)
+    protos = (protos - protos.min()) / (protos.max() - protos.min() + 1e-12)
+    return protos
+
+
+def synthetic_cifar(
+    num_samples: int = 1024,
+    num_classes: int = 100,
+    shape: Tuple[int, int, int] = (3, 32, 32),
+    noise: float = 0.12,
+    seed: int = 0,
+    name: str = "synthetic-cifar100",
+) -> ArrayDataset:
+    """Class-conditional image dataset standing in for CIFAR-100.
+
+    Parameters
+    ----------
+    num_samples: dataset size.
+    num_classes: label cardinality (100 to mirror CIFAR-100).
+    shape: per-sample (C, H, W).
+    noise: per-pixel Gaussian noise amplitude around the class prototype.
+    seed: RNG seed; prototypes use ``seed`` so train/test splits share them.
+    """
+    rng = np.random.default_rng(seed + 1)
+    protos = class_prototypes(num_classes, shape, seed=seed)
+    labels = rng.integers(0, num_classes, size=num_samples)
+    x = protos[labels] + noise * rng.normal(size=(num_samples,) + tuple(shape))
+    x = np.clip(x, 0.0, 1.0)
+    return ArrayDataset(x, labels, num_classes, name=name)
+
+
+def synthetic_lfw(
+    num_samples: int = 1024,
+    num_classes: int = 2,
+    shape: Tuple[int, int, int] = (3, 32, 32),
+    property_rate: float = 0.5,
+    property_strength: float = 0.35,
+    noise: float = 0.12,
+    seed: int = 0,
+    sample_seed: Optional[int] = None,
+    name: str = "synthetic-lfw",
+) -> ArrayDataset:
+    """LFW stand-in with a private binary property (the DPIA target).
+
+    The main task is ``num_classes``-way classification (gender in the
+    paper's DPIA setup).  Independently of the label, each sample carries a
+    binary *property* with probability ``property_rate``; property-positive
+    samples receive a structured spatial signature (a smooth template added
+    to the image), mimicking how a visual attribute (e.g. wearing glasses,
+    race) correlates with pixels but not with the task label.
+
+    ``seed`` fixes the *world structure* (class prototypes and the property
+    signature); ``sample_seed`` (defaults to ``seed``) fixes which samples
+    are drawn.  A DPIA attacker's auxiliary data shares the victim's world
+    (same property signature) but holds different samples: pass the same
+    ``seed`` with a different ``sample_seed``.
+    """
+    rng = np.random.default_rng((seed if sample_seed is None else sample_seed) + 2)
+    protos = class_prototypes(num_classes, shape, seed=seed)
+    signature = class_prototypes(1, shape, seed=seed + 77)[0] - 0.5
+
+    labels = rng.integers(0, num_classes, size=num_samples)
+    properties = (rng.random(num_samples) < property_rate).astype(np.int64)
+    x = protos[labels] + noise * rng.normal(size=(num_samples,) + tuple(shape))
+    x = x + property_strength * properties[:, None, None, None] * signature[None]
+    x = np.clip(x, 0.0, 1.0)
+    return ArrayDataset(x, labels, num_classes, properties=properties, name=name)

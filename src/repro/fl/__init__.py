@@ -1,0 +1,31 @@
+"""Federated learning stack: server, clients, aggregation, selection.
+
+Implements the workflow of the paper's Figure 2 end to end, including the
+attestation-gated client selection, the trusted-I/O-path weight transport,
+and server-side baselines (secure aggregation, differential privacy).
+"""
+
+from .aggregation import fedavg, merge_plain_and_sealed, weighted_average
+from .client import FLClient
+from .compression import SparseUpdate, TopKCompressor
+from .dp import GaussianMechanism, clip_by_norm
+from .history import SnapshotHistory
+from .metrics import RoundRecord, TrainingMonitor
+from .plan import TrainingPlan
+from .robust import coordinate_median, krum, trimmed_mean
+from .secure_agg import PairwiseMasker, aggregate_masked, mask_update
+from .selection import SelectionResult, TEESelector
+from .server import FLServer
+from .transport import Channel, ClientUpdate, ModelDownload
+
+__all__ = [
+    "FLServer", "FLClient", "TrainingPlan",
+    "fedavg", "weighted_average", "merge_plain_and_sealed",
+    "SnapshotHistory", "TEESelector", "SelectionResult",
+    "TrainingMonitor", "RoundRecord",
+    "Channel", "ClientUpdate", "ModelDownload",
+    "PairwiseMasker", "mask_update", "aggregate_masked",
+    "GaussianMechanism", "clip_by_norm",
+    "TopKCompressor", "SparseUpdate",
+    "coordinate_median", "trimmed_mean", "krum",
+]

@@ -1,0 +1,65 @@
+"""Server-side aggregation (FedAvg and helpers)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..nn.model import WeightsList
+
+__all__ = ["fedavg", "weighted_average", "merge_plain_and_sealed"]
+
+
+def weighted_average(
+    weights_list: Sequence[WeightsList], sample_counts: Sequence[int]
+) -> WeightsList:
+    """Sample-weighted average of per-layer weight dicts (FedAvg core)."""
+    if not weights_list:
+        raise ValueError("no client weights to aggregate")
+    if len(weights_list) != len(sample_counts):
+        raise ValueError("weights and sample counts must align")
+    total = float(sum(sample_counts))
+    if total <= 0:
+        raise ValueError("total sample count must be positive")
+    n_layers = len(weights_list[0])
+    for w in weights_list:
+        if len(w) != n_layers:
+            raise ValueError("clients disagree on layer count")
+    out: WeightsList = []
+    for layer_index in range(n_layers):
+        merged: Dict[str, np.ndarray] = {}
+        for key in weights_list[0][layer_index]:
+            merged[key] = sum(
+                (count / total) * np.asarray(w[layer_index][key])
+                for w, count in zip(weights_list, sample_counts)
+            )
+        out.append(merged)
+    return out
+
+
+def fedavg(
+    weights_list: Sequence[WeightsList], sample_counts: Sequence[int] | None = None
+) -> WeightsList:
+    """FedAvg: uniform or sample-weighted average of client weights."""
+    counts = sample_counts or [1] * len(weights_list)
+    return weighted_average(weights_list, counts)
+
+
+def merge_plain_and_sealed(
+    plain: WeightsList, unsealed: WeightsList
+) -> WeightsList:
+    """Recombine a client update: plain layers + unsealed protected layers.
+
+    ``plain`` has empty dicts at protected positions; ``unsealed`` (produced
+    by the server's trusted-I/O-path endpoint) has empty dicts everywhere
+    else.  Exactly one side must supply each layer.
+    """
+    if len(plain) != len(unsealed):
+        raise ValueError("layer count mismatch between plain and sealed parts")
+    merged: WeightsList = []
+    for index, (p, s) in enumerate(zip(plain, unsealed)):
+        if p and s:
+            raise ValueError(f"layer {index} present in both plain and sealed parts")
+        merged.append(dict(p) if p else dict(s))
+    return merged

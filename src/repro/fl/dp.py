@@ -1,0 +1,46 @@
+"""Differentially private update release (server-side baseline).
+
+The paper's related work (§1, §3.2) cites DP as the main software-only
+alternative to TEEs — at the cost of model accuracy.  This module provides
+the standard clip-and-noise Gaussian mechanism on flat update vectors so
+examples and ablations can compare the two defences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GaussianMechanism", "clip_by_norm"]
+
+
+def clip_by_norm(vector: np.ndarray, max_norm: float) -> np.ndarray:
+    """Scale ``vector`` down so its L2 norm is at most ``max_norm``."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    vector = np.asarray(vector, dtype=np.float64)
+    norm = float(np.linalg.norm(vector))
+    if norm <= max_norm:
+        return vector.copy()
+    return vector * (max_norm / norm)
+
+
+@dataclass
+class GaussianMechanism:
+    """Clip to ``clip_norm`` then add ``N(0, sigma^2 * clip_norm^2)`` noise.
+
+    ``sigma`` is the noise multiplier; larger means more privacy and less
+    accuracy (the trade-off TEE-based protection avoids).
+    """
+
+    clip_norm: float = 1.0
+    sigma: float = 1.0
+    seed: int = 0
+
+    def privatize(self, update: np.ndarray, step: int = 0) -> np.ndarray:
+        """DP version of a flat update vector (deterministic per step)."""
+        clipped = clip_by_norm(update, self.clip_norm)
+        rng = np.random.default_rng((self.seed, step))
+        noise = rng.normal(0.0, self.sigma * self.clip_norm, size=clipped.shape)
+        return clipped + noise

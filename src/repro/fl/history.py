@@ -1,0 +1,64 @@
+"""Global-model snapshot history.
+
+DPIA is a long-term attack (§8): the attacker — a participating client —
+receives the global model every cycle, keeps snapshots, and differences
+consecutive ones to obtain *aggregated* gradients.  This module records
+what every participant legitimately observes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.model import WeightsList
+from ..nn.serialize import flatten_weights
+
+__all__ = ["SnapshotHistory"]
+
+
+class SnapshotHistory:
+    """Ordered record of global-model states, one per FL cycle."""
+
+    def __init__(self) -> None:
+        self._snapshots: List[WeightsList] = []
+
+    def record(self, weights: WeightsList) -> None:
+        """Store a deep copy of the global weights."""
+        self._snapshots.append(
+            [{k: np.array(v, copy=True) for k, v in layer.items()} for layer in weights]
+        )
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def snapshot(self, cycle: int) -> WeightsList:
+        return self._snapshots[cycle]
+
+    def aggregated_gradients(self, cycle: int, lr: float = 1.0) -> WeightsList:
+        """Per-layer ``(W_t - W_{t+1}) / lr`` between cycles t and t+1.
+
+        This is the paper's flaw-1 formula applied to the *global* model —
+        what the DPIA attacker feeds its property classifier.
+        """
+        if not 0 <= cycle < len(self._snapshots) - 1:
+            raise IndexError(f"need snapshots {cycle} and {cycle + 1}")
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        before = self._snapshots[cycle]
+        after = self._snapshots[cycle + 1]
+        return [
+            {k: (b[k] - a[k]) / lr for k in b}
+            for b, a in zip(before, after)
+        ]
+
+    def gradient_feature_matrix(self, lr: float = 1.0) -> np.ndarray:
+        """Stacked flat aggregated-gradient vectors, one row per transition."""
+        rows = [
+            flatten_weights(self.aggregated_gradients(c, lr))
+            for c in range(len(self._snapshots) - 1)
+        ]
+        if not rows:
+            return np.zeros((0, 0))
+        return np.stack(rows)

@@ -1,0 +1,100 @@
+"""Round-level evaluation metrics for FL runs.
+
+Tracks per-cycle global-model quality, update magnitudes and traffic, and
+offers a simple convergence check — the operational instrumentation a
+deployment of Figure 2 needs around the core protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn.model import Sequential, WeightsList
+from ..nn.serialize import flatten_weights
+
+__all__ = ["RoundRecord", "TrainingMonitor"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Metrics of one FL cycle."""
+
+    cycle: int
+    loss: float
+    accuracy: float
+    update_norm: float
+    participants: int
+
+
+@dataclass
+class TrainingMonitor:
+    """Evaluates the global model on a held-out set after each cycle.
+
+    Parameters
+    ----------
+    x_eval / y_eval:
+        Held-out evaluation batch (one-hot labels).
+    patience:
+        Consecutive non-improving cycles after which :meth:`converged`
+        reports True.
+    min_delta:
+        Loss improvement below this counts as "not improving".
+    """
+
+    x_eval: np.ndarray
+    y_eval: np.ndarray
+    patience: int = 3
+    min_delta: float = 1e-3
+    records: List[RoundRecord] = field(default_factory=list)
+    _previous_weights: Optional[np.ndarray] = None
+
+    def observe(self, model: Sequential, cycle: int, participants: int) -> RoundRecord:
+        """Record metrics for the model state after ``cycle``."""
+        flat = flatten_weights(model.get_weights())
+        update_norm = (
+            float(np.linalg.norm(flat - self._previous_weights))
+            if self._previous_weights is not None
+            else 0.0
+        )
+        self._previous_weights = flat
+        record = RoundRecord(
+            cycle=cycle,
+            loss=float(model.loss(self.x_eval, self.y_eval).item()),
+            accuracy=model.accuracy(self.x_eval, self.y_eval),
+            update_norm=update_norm,
+            participants=participants,
+        )
+        self.records.append(record)
+        return record
+
+    @property
+    def best_loss(self) -> float:
+        if not self.records:
+            raise ValueError("no rounds observed yet")
+        return min(r.loss for r in self.records)
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("no rounds observed yet")
+        return max(r.accuracy for r in self.records)
+
+    def converged(self) -> bool:
+        """True once the loss has not improved for ``patience`` cycles."""
+        if len(self.records) <= self.patience:
+            return False
+        recent = self.records[-self.patience :]
+        best_before = min(r.loss for r in self.records[: -self.patience])
+        return all(r.loss > best_before - self.min_delta for r in recent)
+
+    def summary(self) -> str:
+        """Multi-line progress report."""
+        lines = ["cycle  loss     accuracy  |update|"]
+        for r in self.records:
+            lines.append(
+                f"{r.cycle:>5}  {r.loss:7.4f}  {r.accuracy:8.3f}  {r.update_norm:8.4f}"
+            )
+        return "\n".join(lines)

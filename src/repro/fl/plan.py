@@ -1,0 +1,55 @@
+"""Training plans.
+
+The FL server ships a plan alongside the model (§5 step 2): the local
+hyper-parameters plus the protection parameters (which layers to shield, or
+the moving-window configuration for dynamic GradSec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["TrainingPlan"]
+
+
+@dataclass(frozen=True)
+class TrainingPlan:
+    """Hyper-parameters and protection configuration for one FL deployment.
+
+    Attributes
+    ----------
+    lr:
+        Local SGD learning rate (the paper's lambda).
+    batch_size:
+        Local mini-batch size (Table 6 uses 32).
+    local_steps:
+        SGD steps per FL cycle on each client.
+    protected_layers:
+        Static protection set (1-based), empty for no static protection.
+    mw_size / v_mw:
+        Dynamic GradSec parameters; ``mw_size=0`` disables dynamic mode.
+    """
+
+    lr: float = 0.1
+    batch_size: int = 32
+    local_steps: int = 1
+    protected_layers: Tuple[int, ...] = ()
+    mw_size: int = 0
+    v_mw: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.local_steps <= 0:
+            raise ValueError("local_steps must be positive")
+        if self.mw_size and self.protected_layers:
+            raise ValueError("static and dynamic protection are exclusive")
+        if self.mw_size and not self.v_mw:
+            raise ValueError("dynamic protection requires v_mw")
+
+    @property
+    def dynamic(self) -> bool:
+        return self.mw_size > 0

@@ -1,0 +1,69 @@
+"""Byzantine-robust aggregation rules.
+
+The paper's related work (SEAR [57]) combines TEEs with Byzantine-robust
+aggregation; these are the standard robust rules a GradSec server can use
+instead of plain FedAvg when some clients may send poisoned updates:
+
+* coordinate-wise **median**;
+* coordinate-wise **trimmed mean** (drop the b largest and smallest);
+* **Krum** (select the update closest to its n-f-2 nearest neighbours).
+
+All operate on flat update vectors (see
+:func:`repro.nn.serialize.flatten_weights`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["coordinate_median", "trimmed_mean", "krum"]
+
+
+def _stack(updates: Sequence[np.ndarray]) -> np.ndarray:
+    if not updates:
+        raise ValueError("no updates to aggregate")
+    matrix = np.stack([np.asarray(u, dtype=np.float64).ravel() for u in updates])
+    return matrix
+
+
+def coordinate_median(updates: Sequence[np.ndarray]) -> np.ndarray:
+    """Coordinate-wise median — tolerates < n/2 arbitrary updates."""
+    return np.median(_stack(updates), axis=0)
+
+
+def trimmed_mean(updates: Sequence[np.ndarray], trim: int = 1) -> np.ndarray:
+    """Coordinate-wise mean after dropping the ``trim`` extremes per side."""
+    matrix = _stack(updates)
+    n = matrix.shape[0]
+    if trim < 0:
+        raise ValueError("trim must be non-negative")
+    if 2 * trim >= n:
+        raise ValueError(f"cannot trim {trim} from each side of {n} updates")
+    ordered = np.sort(matrix, axis=0)
+    return ordered[trim : n - trim].mean(axis=0)
+
+
+def krum(updates: Sequence[np.ndarray], num_byzantine: int = 1) -> np.ndarray:
+    """Krum: return the single update with the smallest neighbour score.
+
+    The score of update i is the sum of squared distances to its
+    ``n - f - 2`` nearest other updates (f = ``num_byzantine``); the
+    minimiser is provably close to the honest majority.
+    """
+    matrix = _stack(updates)
+    n = matrix.shape[0]
+    if num_byzantine < 0:
+        raise ValueError("num_byzantine must be non-negative")
+    closest = n - num_byzantine - 2
+    if closest < 1:
+        raise ValueError(
+            f"Krum needs n >= f + 3 (got n={n}, f={num_byzantine})"
+        )
+    distances = ((matrix[:, None, :] - matrix[None, :, :]) ** 2).sum(axis=2)
+    scores = np.empty(n)
+    for i in range(n):
+        others = np.delete(distances[i], i)
+        scores[i] = np.sort(others)[:closest].sum()
+    return matrix[int(np.argmin(scores))].copy()

@@ -1,0 +1,76 @@
+"""FL client selection (§5 step 1).
+
+The server interrogates candidate clients, runs remote attestation against
+each one's GradSec trusted application, and admits only those that prove a
+genuine TEE running the expected code.  A hybrid mode (the paper's
+future-work direction) additionally admits legacy clients without TEEs,
+marking them so the caller can apply a software-only fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from ..tee.attestation import AttestationVerifier
+from ..tee.world import AttestationError
+
+__all__ = ["AttestableClient", "SelectionResult", "TEESelector"]
+
+
+class AttestableClient(Protocol):
+    """What the selector needs from a client."""
+
+    client_id: str
+
+    def has_tee(self) -> bool: ...
+
+    def attest(self, nonce: bytes):
+        """Return a Quote for the client's GradSec TA (or raise)."""
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one selection round."""
+
+    admitted: List[str] = field(default_factory=list)
+    legacy: List[str] = field(default_factory=list)
+    rejected: List[Tuple[str, str]] = field(default_factory=list)  # (id, reason)
+
+
+class TEESelector:
+    """Attestation-gated client selector.
+
+    Parameters
+    ----------
+    verifier:
+        Server-side attestation verifier, pre-loaded with device keys and
+        the allowed TA measurement.
+    allow_legacy:
+        Hybrid mode — admit clients without TEEs into ``legacy`` instead of
+        rejecting them.
+    """
+
+    def __init__(self, verifier: AttestationVerifier, allow_legacy: bool = False) -> None:
+        self.verifier = verifier
+        self.allow_legacy = bool(allow_legacy)
+
+    def select(self, candidates: Sequence[AttestableClient]) -> SelectionResult:
+        """Interrogate and attest every candidate."""
+        result = SelectionResult()
+        for client in candidates:
+            if not client.has_tee():
+                if self.allow_legacy:
+                    result.legacy.append(client.client_id)
+                else:
+                    result.rejected.append((client.client_id, "no TEE"))
+                continue
+            try:
+                nonce = self.verifier.challenge(client.client_id)
+                quote = client.attest(nonce)
+                self.verifier.verify(quote)
+            except AttestationError as exc:
+                result.rejected.append((client.client_id, str(exc)))
+                continue
+            result.admitted.append(client.client_id)
+        return result

@@ -1,0 +1,167 @@
+"""FL server.
+
+Implements the coordinator of Figure 2: attestation-gated client selection,
+model + plan distribution (protected layers sealed through each client's
+trusted I/O path), update collection and FedAvg aggregation, plus the
+snapshot history every participant observes (DPIA's raw material).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.policy import NoProtection, ProtectionPolicy
+from ..nn.model import Sequential, WeightsList
+from ..tee.attestation import AttestationVerifier
+from .aggregation import fedavg, merge_plain_and_sealed
+from .client import FLClient
+from .history import SnapshotHistory
+from .plan import TrainingPlan
+from .selection import SelectionResult, TEESelector
+from .transport import Channel, ClientUpdate, ModelDownload
+
+__all__ = ["FLServer"]
+
+
+class FLServer:
+    """Coordinates federated training of one global model.
+
+    Parameters
+    ----------
+    model:
+        The global model (mutated in place by aggregation).
+    plan:
+        Hyper-parameters distributed to the clients.
+    policy:
+        Protection policy the deployment mandates (server fixes the static
+        set or the moving-window parameters, §7.2).
+    allow_legacy:
+        Hybrid deployments admit non-TEE clients (future-work mode);
+        protected layers are then only shielded on TEE-capable clients.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        plan: TrainingPlan,
+        policy: Optional[ProtectionPolicy] = None,
+        allow_legacy: bool = False,
+    ) -> None:
+        self.model = model
+        self.plan = plan
+        self.policy = policy or NoProtection(model.num_layers)
+        self.verifier = AttestationVerifier()
+        self.selector = TEESelector(self.verifier, allow_legacy=allow_legacy)
+        self.history = SnapshotHistory()
+        self.channel = Channel()
+        self.cycle = 0
+        self._registered: Dict[str, FLClient] = {}
+
+    # -- enrolment --------------------------------------------------------
+    def register(self, client: FLClient) -> None:
+        """Provision a client's device key and TA measurement."""
+        self._registered[client.client_id] = client
+        self.verifier.register_device(client.client_id, client.device.key)
+        self.verifier.allow_measurement(client.ta_measurement())
+
+    def select(self, clients: Sequence[FLClient]) -> SelectionResult:
+        """Attestation-gated selection (§5 step 1)."""
+        for client in clients:
+            if client.client_id not in self._registered:
+                self.register(client)
+        return self.selector.select(clients)
+
+    # -- one FL cycle -------------------------------------------------------
+    def _make_download(self, client: FLClient, protected: frozenset) -> ModelDownload:
+        weights = self.model.get_weights()
+        plain: WeightsList = []
+        sealed_src: WeightsList = []
+        for index, layer_weights in enumerate(weights, start=1):
+            if index in protected:
+                plain.append({})
+                sealed_src.append(layer_weights)
+            else:
+                plain.append(layer_weights)
+                sealed_src.append({})
+        sealed = client.iopath.seal(sealed_src) if protected else None
+        return ModelDownload(
+            cycle=self.cycle,
+            plain_weights=plain,
+            sealed_weights=sealed,
+            protected_layers=tuple(sorted(protected)),
+        )
+
+    def _merge_update(self, client: FLClient, update: ClientUpdate) -> WeightsList:
+        if update.sealed_weights is None:
+            return update.plain_weights
+        unsealed = client.iopath.unseal_remote(update.sealed_weights)
+        return merge_plain_and_sealed(update.plain_weights, unsealed)
+
+    def run_cycle(self, participants: Sequence[FLClient]) -> List[ClientUpdate]:
+        """One full cycle: distribute, train, collect, aggregate."""
+        if not participants:
+            raise ValueError("no participants in this cycle")
+        if len(self.history) == 0:
+            self.history.record(self.model.get_weights())
+        protected = self.policy.layers_for_cycle(self.cycle)
+        updates: List[ClientUpdate] = []
+        merged: List[WeightsList] = []
+        counts: List[int] = []
+        for client in participants:
+            effective = protected if client.has_tee() else frozenset()
+            download = self.channel.send_download(
+                self._make_download(client, effective)
+            )
+            update = self.channel.send_update(client.run_cycle(download, self.plan))
+            updates.append(update)
+            merged.append(self._merge_update(client, update))
+            counts.append(update.num_samples)
+        new_global = fedavg(merged, counts)
+        self.model.set_weights(new_global)
+        self.history.record(new_global)
+        self.cycle += 1
+        return updates
+
+    def run(self, participants: Sequence[FLClient], cycles: int) -> None:
+        """Run several cycles with a fixed participant set."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        for _ in range(cycles):
+            self.run_cycle(participants)
+
+    def sample_participants(
+        self,
+        pool: Sequence[FLClient],
+        fraction: float,
+        rng=None,
+    ) -> List[FLClient]:
+        """Per-cycle client sampling (production FL trains on a subset).
+
+        Draws ``ceil(fraction * len(pool))`` clients uniformly without
+        replacement; at least one client is always selected.
+        """
+        if not pool:
+            raise ValueError("client pool is empty")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = rng or np.random.default_rng(self.cycle)
+        count = max(1, math.ceil(fraction * len(pool)))
+        indices = rng.choice(len(pool), size=count, replace=False)
+        return [pool[i] for i in sorted(indices)]
+
+    def run_sampled(
+        self,
+        pool: Sequence[FLClient],
+        cycles: int,
+        fraction: float = 0.5,
+        rng=None,
+    ) -> None:
+        """Run cycles, sampling a fresh participant subset each time."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        rng = rng or np.random.default_rng(7)
+        for _ in range(cycles):
+            self.run_cycle(self.sample_participants(pool, fraction, rng))

@@ -1,0 +1,64 @@
+"""Feature preprocessing for the attack pipelines."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MeanImputer"]
+
+
+class StandardScaler:
+    """Per-feature standardisation to zero mean / unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+class MeanImputer:
+    """Fill NaN features with the column mean — the paper's strategy for
+    gradient columns hidden by the moving window (§8.2: "the incomplete
+    columns of the train set are filled with the mean strategy")."""
+
+    def __init__(self) -> None:
+        self.fill_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MeanImputer":
+        x = np.asarray(x, dtype=np.float64)
+        with warnings.catch_warnings():
+            # All-NaN columns are expected (fully hidden layers) and handled
+            # below; silence numpy's empty-slice warning for them.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            fill = np.nanmean(x, axis=0)
+        # Columns that are NaN in *every* row have no information: fill 0.
+        self.fill_ = np.where(np.isnan(fill), 0.0, fill)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.fill_ is None:
+            raise RuntimeError("imputer is not fitted")
+        x = np.asarray(x, dtype=np.float64).copy()
+        mask = np.isnan(x)
+        x[mask] = np.broadcast_to(self.fill_, x.shape)[mask]
+        return x
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

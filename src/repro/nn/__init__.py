@@ -1,0 +1,30 @@
+"""Numpy neural-network framework (the Darknet/DarkneTZ stand-in).
+
+Provides the layers, models, losses and optimisers that the GradSec core
+(:mod:`repro.core`) partitions between the normal world and the TrustZone
+enclave.
+"""
+
+from .layers import ACTIVATIONS, Conv2D, Dense, Dropout, Flatten, Layer, MaxPool2D, SimpleRNN
+from .losses import CategoricalCrossEntropy, MeanSquaredError, one_hot
+from .model import Sequential
+from .optim import SGD, Adam, Optimizer
+from .serialize import (
+    flatten_weights,
+    load_weights,
+    save_weights,
+    unflatten_weights,
+    weights_from_bytes,
+    weights_to_bytes,
+)
+from .zoo import alexnet, lenet5, mlp
+
+__all__ = [
+    "Layer", "Conv2D", "Dense", "Dropout", "MaxPool2D", "Flatten", "SimpleRNN",
+    "ACTIVATIONS", "Sequential",
+    "CategoricalCrossEntropy", "MeanSquaredError", "one_hot",
+    "Optimizer", "SGD", "Adam",
+    "weights_to_bytes", "weights_from_bytes", "save_weights", "load_weights",
+    "flatten_weights", "unflatten_weights",
+    "lenet5", "alexnet", "mlp",
+]

@@ -1,0 +1,38 @@
+"""Loss functions (object form of :mod:`repro.autodiff.functional` losses)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, functional as F
+
+__all__ = ["CategoricalCrossEntropy", "MeanSquaredError", "one_hot"]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer labels as a one-hot matrix ``(N, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ValueError("labels out of range for one_hot encoding")
+    out = np.zeros((labels.shape[0], num_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+class CategoricalCrossEntropy:
+    """Mean categorical cross-entropy over softmax outputs.
+
+    This is the loss named in the paper (§6) for multi-class classifiers.
+    """
+
+    def __call__(self, logits: Tensor, targets) -> Tensor:
+        return F.cross_entropy(logits, Tensor(np.asarray(targets)))
+
+
+class MeanSquaredError:
+    """Mean squared error (used by tests and the DRIA image-loss metric)."""
+
+    def __call__(self, prediction: Tensor, target) -> Tensor:
+        return F.mse(prediction, Tensor(np.asarray(target)))

@@ -1,0 +1,89 @@
+"""Optimisers.
+
+``SGD`` is the update rule the paper's formula (1) assumes
+(``W^{t+1} = W^t - lambda * dW``) and the one whose weight-difference flaw
+the first leakage vector exploits.  ``Adam`` is provided for the attacks
+(DRIA can optimise with Adam or L-BFGS, per §3.2) and for faster example
+training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimiser: updates a fixed list of parameter tensors in-place."""
+
+    def __init__(self, parameters: Sequence[Tensor], lr: float) -> None:
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one update given gradients aligned with ``parameters``."""
+        if len(grads) != len(self.parameters):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.parameters)} parameters"
+            )
+        arrays = [g.data if isinstance(g, Tensor) else np.asarray(g) for g in grads]
+        self._apply(arrays)
+
+    def _apply(self, grads: List[np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, parameters: Sequence[Tensor], lr: float = 0.1, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = float(momentum)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _apply(self, grads: List[np.ndarray]) -> None:
+        for i, (param, g) in enumerate(zip(self.parameters, grads)):
+            if self.momentum:
+                v = self._velocity.get(i)
+                v = self.momentum * v + g if v is not None else g.copy()
+                self._velocity[i] = v
+                update = v
+            else:
+                update = g
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2, self.eps = float(beta1), float(beta2), float(eps)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def _apply(self, grads: List[np.ndarray]) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for i, (param, g) in enumerate(zip(self.parameters, grads)):
+            m = self._m.get(i, np.zeros_like(g))
+            v = self._v.get(i, np.zeros_like(g))
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * g * g
+            self._m[i], self._v[i] = m, v
+            m_hat = m / (1 - b1 ** self._t)
+            v_hat = v / (1 - b2 ** self._t)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,104 @@
+"""Remote attestation.
+
+TrustZone has no native attestation, so the paper points at add-on solutions
+(WaTZ, or a TPM-like root of trust).  The simulator models the standard
+measure-quote-verify protocol:
+
+1. the device holds an attestation key provisioned by a manufacturer CA;
+2. the TEE *measures* a trusted application (digest of its code surface);
+3. a verifier sends a fresh nonce and receives a :class:`Quote` binding
+   measurement + nonce under the device key;
+4. the verifier checks the signature, the nonce (replay protection) and the
+   measurement against an allow-list.
+
+The FL server uses this during client selection (§5 step 1) to only admit
+TEE-capable clients running the expected GradSec TA.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from .trusted_app import TrustedApplication
+from .world import AttestationError
+
+__all__ = ["Quote", "AttestationDevice", "AttestationVerifier"]
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation statement."""
+
+    device_id: str
+    measurement: str
+    nonce: bytes
+    signature: bytes
+
+    def payload(self) -> bytes:
+        return self.device_id.encode() + bytes.fromhex(self.measurement) + self.nonce
+
+
+class AttestationDevice:
+    """Device-side attestation: holds the key, produces quotes."""
+
+    def __init__(self, device_id: str, attestation_key: Optional[bytes] = None) -> None:
+        self.device_id = device_id
+        self._key = attestation_key or secrets.token_bytes(32)
+
+    @property
+    def key(self) -> bytes:
+        """The symmetric attestation key (shared with the verifier's CA)."""
+        return self._key
+
+    def quote(self, ta: TrustedApplication, nonce: bytes) -> Quote:
+        """Produce a quote over ``ta``'s measurement and a verifier nonce."""
+        measurement = ta.measurement()
+        body = self.device_id.encode() + bytes.fromhex(measurement) + nonce
+        signature = hmac.new(self._key, body, hashlib.sha256).digest()
+        return Quote(self.device_id, measurement, nonce, signature)
+
+
+class AttestationVerifier:
+    """Server-side verifier with a key registry and a measurement allow-list."""
+
+    def __init__(self) -> None:
+        self._device_keys: Dict[str, bytes] = {}
+        self._allowed: Set[str] = set()
+        self._outstanding: Dict[str, bytes] = {}
+
+    def register_device(self, device_id: str, key: bytes) -> None:
+        """Trust a device's attestation key (manufacturer provisioning)."""
+        self._device_keys[device_id] = key
+
+    def allow_measurement(self, measurement: str) -> None:
+        """Accept TAs whose code measures to ``measurement``."""
+        self._allowed.add(measurement)
+
+    def challenge(self, device_id: str) -> bytes:
+        """Issue a fresh nonce for ``device_id``."""
+        nonce = secrets.token_bytes(16)
+        self._outstanding[device_id] = nonce
+        return nonce
+
+    def verify(self, quote: Quote) -> bool:
+        """Check a quote; raises :class:`AttestationError` on any failure."""
+        key = self._device_keys.get(quote.device_id)
+        if key is None:
+            raise AttestationError(f"unknown device {quote.device_id!r}")
+        expected_nonce = self._outstanding.pop(quote.device_id, None)
+        if expected_nonce is None or not hmac.compare_digest(expected_nonce, quote.nonce):
+            raise AttestationError(
+                f"stale or missing nonce for device {quote.device_id!r}"
+            )
+        expected_sig = hmac.new(key, quote.payload(), hashlib.sha256).digest()
+        if not hmac.compare_digest(expected_sig, quote.signature):
+            raise AttestationError(f"bad signature from device {quote.device_id!r}")
+        if quote.measurement not in self._allowed:
+            raise AttestationError(
+                f"measurement {quote.measurement[:16]}… is not on the allow-list"
+            )
+        return True

@@ -1,0 +1,107 @@
+"""Simulator cryptography.
+
+The real OP-TEE uses AES-GCM and hardware-fused keys.  Offline and without
+third-party crypto libraries, the simulator builds an authenticated stream
+cipher from the standard library's HMAC-SHA256:
+
+* keystream blocks ``HMAC(key, nonce || counter)`` XORed with the plaintext
+  (CTR-mode construction), plus
+* an encrypt-then-MAC tag ``HMAC(mac_key, nonce || ciphertext)``.
+
+This is not meant to resist real cryptanalysis — it exists so that the
+secure-storage and trusted-I/O *protocols* (key hierarchy, nonce handling,
+tamper detection, atomic updates) are faithfully exercised end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+
+__all__ = ["derive_key", "encrypt", "decrypt", "random_key", "SealedBlob", "CryptoError"]
+
+KEY_BYTES = 32
+NONCE_BYTES = 16
+TAG_BYTES = 32
+_BLOCK = 32  # SHA-256 digest size
+
+
+class CryptoError(Exception):
+    """Decryption failed (bad key or tampered ciphertext)."""
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """An encrypted, authenticated payload."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        return self.nonce + self.tag + self.ciphertext
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SealedBlob":
+        if len(blob) < NONCE_BYTES + TAG_BYTES:
+            raise CryptoError("sealed blob too short")
+        return cls(
+            nonce=blob[:NONCE_BYTES],
+            tag=blob[NONCE_BYTES : NONCE_BYTES + TAG_BYTES],
+            ciphertext=blob[NONCE_BYTES + TAG_BYTES :],
+        )
+
+
+def random_key(rng_bytes: int = KEY_BYTES) -> bytes:
+    """Fresh random key (e.g. a per-object File Encryption Key)."""
+    return secrets.token_bytes(rng_bytes)
+
+
+def derive_key(parent: bytes, *context: bytes) -> bytes:
+    """HKDF-style one-step key derivation: ``HMAC(parent, ctx0 || 0x1f || ...)``.
+
+    Used for the paper's key hierarchy: the Trusted-Application Storage Key
+    (TSK) is derived from the per-device Secure Storage Key (SSK) and the
+    TA's UUID (§7.3).
+    """
+    info = b"\x1f".join(context)
+    return hmac.new(parent, info, hashlib.sha256).digest()
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for counter in range((length + _BLOCK - 1) // _BLOCK):
+        blocks.append(
+            hmac.new(key, nonce + counter.to_bytes(8, "big"), hashlib.sha256).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def encrypt(key: bytes, plaintext: bytes, nonce: bytes | None = None) -> SealedBlob:
+    """Authenticated encryption (CTR + encrypt-then-MAC)."""
+    if len(key) != KEY_BYTES:
+        raise ValueError(f"key must be {KEY_BYTES} bytes")
+    nonce = secrets.token_bytes(NONCE_BYTES) if nonce is None else nonce
+    if len(nonce) != NONCE_BYTES:
+        raise ValueError(f"nonce must be {NONCE_BYTES} bytes")
+    enc_key = derive_key(key, b"enc")
+    mac_key = derive_key(key, b"mac")
+    stream = _keystream(enc_key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(mac_key, nonce + ciphertext, hashlib.sha256).digest()
+    return SealedBlob(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+
+def decrypt(key: bytes, blob: SealedBlob) -> bytes:
+    """Verify and decrypt; raises :class:`CryptoError` on any tampering."""
+    if len(key) != KEY_BYTES:
+        raise ValueError(f"key must be {KEY_BYTES} bytes")
+    enc_key = derive_key(key, b"enc")
+    mac_key = derive_key(key, b"mac")
+    expected = hmac.new(mac_key, blob.nonce + blob.ciphertext, hashlib.sha256).digest()
+    if not hmac.compare_digest(expected, blob.tag):
+        raise CryptoError("authentication tag mismatch (tampered or wrong key)")
+    stream = _keystream(enc_key, blob.nonce, len(blob.ciphertext))
+    return bytes(c ^ s for c, s in zip(blob.ciphertext, stream))

@@ -1,0 +1,118 @@
+"""The secure monitor (SMC) — the only gate between the two worlds.
+
+Normal-world code calls :meth:`SecureMonitor.smc` naming a trusted
+application and a command; the monitor switches the calling thread into the
+secure world, dispatches to the TA, switches back, and accounts for the
+world-switch cost.  The per-call counters feed the cost model's
+world-switch term and give tests a way to assert that protected
+computation really crossed the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from .trusted_app import TrustedApplication
+from .world import TEEError, secure_world
+
+__all__ = ["SecureMonitor", "SMCStats", "Session"]
+
+
+@dataclass
+class SMCStats:
+    """Counters maintained by the monitor."""
+
+    calls: int = 0
+    per_ta: Dict[str, int] = field(default_factory=dict)
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+
+    def record(self, ta_name: str) -> None:
+        self.calls += 1
+        self.per_ta[ta_name] = self.per_ta.get(ta_name, 0) + 1
+
+
+@dataclass
+class Session:
+    """A GlobalPlatform-style client session with one TA."""
+
+    session_id: int
+    ta_uuid: str
+    open: bool = True
+    invocations: int = 0
+
+
+class SecureMonitor:
+    """Dispatches secure monitor calls (SMCs) to registered TAs.
+
+    Besides raw ``smc`` dispatch, the monitor implements the
+    GlobalPlatform-style session protocol OP-TEE clients use:
+    :meth:`open_session` / :meth:`invoke` / :meth:`close_session`.
+    """
+
+    def __init__(self) -> None:
+        self._tas: Dict[str, TrustedApplication] = {}
+        self._sessions: Dict[int, Session] = {}
+        self._next_session = 1
+        self.stats = SMCStats()
+
+    def install(self, ta: TrustedApplication) -> None:
+        """Install a trusted application into the secure world."""
+        if ta.uuid in self._tas:
+            raise TEEError(f"TA with uuid {ta.uuid} already installed")
+        self._tas[ta.uuid] = ta
+
+    def uninstall(self, uuid: str) -> None:
+        if uuid not in self._tas:
+            raise KeyError(f"no TA with uuid {uuid}")
+        del self._tas[uuid]
+
+    def installed(self) -> tuple:
+        """UUIDs of installed TAs."""
+        return tuple(sorted(self._tas))
+
+    def ta(self, uuid: str) -> TrustedApplication:
+        try:
+            return self._tas[uuid]
+        except KeyError:
+            raise KeyError(f"no TA with uuid {uuid}") from None
+
+    def smc(self, uuid: str, command: str, **params: Any) -> Any:
+        """World-switch into the secure world and invoke a TA command."""
+        ta = self.ta(uuid)
+        self.stats.record(ta.name)
+        with secure_world():
+            return ta.invoke(command, **params)
+
+    # -- GlobalPlatform-style sessions ------------------------------------
+    def open_session(self, uuid: str) -> int:
+        """Open a client session with a TA; returns the session id."""
+        self.ta(uuid)  # validates the UUID
+        session = Session(self._next_session, uuid)
+        self._sessions[session.session_id] = session
+        self._next_session += 1
+        self.stats.sessions_opened += 1
+        return session.session_id
+
+    def invoke(self, session_id: int, command: str, **params: Any) -> Any:
+        """Invoke a TA command within an open session."""
+        session = self._sessions.get(session_id)
+        if session is None or not session.open:
+            raise TEEError(f"session {session_id} is not open")
+        session.invocations += 1
+        return self.smc(session.ta_uuid, command, **params)
+
+    def close_session(self, session_id: int) -> None:
+        """Close a session; further invokes through it fail."""
+        session = self._sessions.get(session_id)
+        if session is None or not session.open:
+            raise TEEError(f"session {session_id} is not open")
+        session.open = False
+        self.stats.sessions_closed += 1
+
+    def session(self, session_id: int) -> Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no session {session_id}") from None

@@ -1,0 +1,62 @@
+"""Device profiles for the cost model.
+
+The constants below are calibrated against the paper's own Table 6
+measurements on a Raspberry Pi 3B+ (Cortex-A53 @1.4 GHz, OP-TEE):
+
+* ``ree_seconds_per_flop`` fixes the baseline — one LeNet-5 FL cycle
+  (batch 32, forward + backward ≈ 3x forward FLOPs) takes 2.191 s of user
+  time outside the enclave.
+* ``tee_seconds_per_flop`` reproduces the kernel-time increase when a layer
+  moves into the enclave (≈1.25x REE cost, from the L2 row).
+* ``alloc_coefficient`` / ``alloc_exponent`` fit the enclave memory
+  allocation time as ``a * params^b`` through the paper's three data points
+  (900 → 0.09 s, 3 600 → 0.34 s, 76 800 → 4.68 s); allocation is additive
+  across protected layers (L2+L5 = 5.02 s in the paper, exactly the sum).
+* ``secure_memory_bytes`` is 4 MiB, mid-range of the paper's "3–5 MB".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile", "RASPBERRY_PI_3B"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Calibration constants of a TrustZone-capable device."""
+
+    name: str
+    ree_seconds_per_flop: float
+    tee_seconds_per_flop: float
+    kernel_base_seconds: float
+    world_switch_seconds: float
+    alloc_coefficient: float
+    alloc_exponent: float
+    secure_memory_bytes: int
+    backward_flops_factor: float = 2.0  # backward ≈ 2x forward FLOPs
+
+    def training_flops_factor(self) -> float:
+        """Forward + backward cost multiplier on forward FLOPs."""
+        return 1.0 + self.backward_flops_factor
+
+    def alloc_seconds(self, weight_params: int) -> float:
+        """Enclave allocation time for a layer with ``weight_params`` weights."""
+        if weight_params <= 0:
+            return 0.0
+        return self.alloc_coefficient * float(weight_params) ** self.alloc_exponent
+
+
+# One LeNet-5 cycle (batch 32): forward FLOPs/sample = 1,996,800 (see
+# repro.nn.zoo.lenet5 layer shapes), so total = 1.9968e6 * 3 * 32 = 191.7e6
+# FLOPs.  2.191 s / 191.7e6 = 11.43 ns/FLOP in the REE.
+RASPBERRY_PI_3B = DeviceProfile(
+    name="raspberry-pi-3b+",
+    ree_seconds_per_flop=11.43e-9,
+    tee_seconds_per_flop=14.3e-9,
+    kernel_base_seconds=0.021,
+    world_switch_seconds=0.02,
+    alloc_coefficient=2.15e-4,
+    alloc_exponent=0.888,
+    secure_memory_bytes=4 * 1024 * 1024,
+)

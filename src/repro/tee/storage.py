@@ -1,0 +1,203 @@
+"""OP-TEE-style secure storage.
+
+Implements the key hierarchy of the paper's §7.3:
+
+* **SSK** — per-device Secure Storage Key (fused at manufacture; here, owned
+  by the :class:`SecureStorage` instance).
+* **TSK** — Trusted-Application Storage Key, derived from the SSK and the
+  TA's UUID, so two TAs on the same device cannot read each other's objects.
+* **FEK** — per-object random File Encryption Key; the object payload is
+  encrypted under the FEK and the FEK is wrapped under the TSK.
+
+Objects are confidential (encrypted), authenticated (MAC-checked on read,
+raising :class:`~repro.tee.world.IntegrityError` on any bit flip), updated
+atomically (a failed write leaves the previous version intact), and
+**rollback-protected**: every write increments a monotonic counter held in
+trusted storage (modelling RPMB's replay-protected counters), and the
+counter value travels inside the authenticated ciphertext — so an attacker
+who replays an *older, genuinely-sealed* blob is caught
+(:class:`RollbackError`). Two backends mirror OP-TEE's *REE FS* (files in
+the untrusted filesystem) and *RPMB* (an in-memory region).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, Optional
+
+from . import crypto
+from .world import IntegrityError, TEEError
+
+__all__ = [
+    "SecureStorage",
+    "InMemoryBackend",
+    "ReeFsBackend",
+    "StorageBackend",
+    "RollbackError",
+]
+
+
+class RollbackError(TEEError):
+    """A stale (replayed) version of a secure object was served."""
+
+
+class StorageBackend:
+    """Minimal key/value blob store the secure storage writes through."""
+
+    def put(self, key: str, blob: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> tuple:
+        raise NotImplementedError
+
+
+class InMemoryBackend(StorageBackend):
+    """RPMB-like backend: blobs live in memory."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[str, bytes] = {}
+
+    def put(self, key: str, blob: bytes) -> None:
+        self._blobs[key] = bytes(blob)
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._blobs.get(key)
+
+    def delete(self, key: str) -> None:
+        self._blobs.pop(key, None)
+
+    def keys(self) -> tuple:
+        return tuple(sorted(self._blobs))
+
+
+class ReeFsBackend(StorageBackend):
+    """REE-FS backend: encrypted blobs stored as files in the normal world.
+
+    Writes are atomic: the blob is written to a temporary file in the same
+    directory and ``os.replace``d into place.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        safe = key.replace("/", "_").replace("..", "_")
+        return os.path.join(self.directory, safe + ".sec")
+
+    def put(self, key: str, blob: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def get(self, key: str) -> Optional[bytes]:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        if os.path.exists(path):
+            os.unlink(path)
+
+    def keys(self) -> tuple:
+        names = [n[:-4] for n in os.listdir(self.directory) if n.endswith(".sec")]
+        return tuple(sorted(names))
+
+
+class SecureStorage:
+    """Per-device secure storage with the SSK → TSK → FEK hierarchy.
+
+    Parameters
+    ----------
+    backend:
+        Where sealed blobs land (default: in-memory, RPMB-like).
+    ssk:
+        Per-device Secure Storage Key; random when omitted.
+    """
+
+    _MAGIC = b"GSEC2"
+    _VERSION_BYTES = 8
+
+    def __init__(self, backend: Optional[StorageBackend] = None, ssk: Optional[bytes] = None) -> None:
+        self.backend = backend or InMemoryBackend()
+        self._ssk = ssk or crypto.random_key()
+        # Monotonic write counters per object — held in trusted storage
+        # (the role RPMB's replay-protected counters play on real devices).
+        self._counters: Dict[str, int] = {}
+
+    def _tsk(self, ta_uuid: str) -> bytes:
+        return crypto.derive_key(self._ssk, b"tsk", ta_uuid.encode())
+
+    def put(self, ta_uuid: str, name: str, payload: bytes) -> None:
+        """Store ``payload`` for TA ``ta_uuid`` under object ``name``."""
+        key = self._key(ta_uuid, name)
+        version = self._counters.get(key, 0) + 1
+        fek = crypto.random_key()
+        versioned = version.to_bytes(self._VERSION_BYTES, "big") + payload
+        sealed_payload = crypto.encrypt(fek, versioned).to_bytes()
+        wrapped_fek = crypto.encrypt(self._tsk(ta_uuid), fek).to_bytes()
+        blob = (
+            self._MAGIC
+            + len(wrapped_fek).to_bytes(4, "big")
+            + wrapped_fek
+            + sealed_payload
+        )
+        self.backend.put(key, blob)
+        self._counters[key] = version
+
+    def get(self, ta_uuid: str, name: str) -> bytes:
+        """Fetch and verify an object; raises on absence, tampering or replay."""
+        key = self._key(ta_uuid, name)
+        blob = self.backend.get(key)
+        if blob is None:
+            raise KeyError(f"no secure object {name!r} for TA {ta_uuid}")
+        try:
+            if blob[: len(self._MAGIC)] != self._MAGIC:
+                raise crypto.CryptoError("bad magic")
+            offset = len(self._MAGIC)
+            fek_len = int.from_bytes(blob[offset : offset + 4], "big")
+            offset += 4
+            wrapped_fek = crypto.SealedBlob.from_bytes(blob[offset : offset + fek_len])
+            sealed_payload = crypto.SealedBlob.from_bytes(blob[offset + fek_len :])
+            fek = crypto.decrypt(self._tsk(ta_uuid), wrapped_fek)
+            versioned = crypto.decrypt(fek, sealed_payload)
+        except crypto.CryptoError as exc:
+            raise IntegrityError(
+                f"secure object {name!r} for TA {ta_uuid} failed verification: {exc}"
+            ) from exc
+        version = int.from_bytes(versioned[: self._VERSION_BYTES], "big")
+        expected = self._counters.get(key, 0)
+        if version != expected:
+            raise RollbackError(
+                f"secure object {name!r} for TA {ta_uuid} has version "
+                f"{version}, trusted counter says {expected} (replay attack?)"
+            )
+        return versioned[self._VERSION_BYTES :]
+
+    def delete(self, ta_uuid: str, name: str) -> None:
+        self.backend.delete(self._key(ta_uuid, name))
+        self._counters.pop(self._key(ta_uuid, name), None)
+
+    def objects(self) -> tuple:
+        """All stored object keys (as visible to the untrusted backend)."""
+        return self.backend.keys()
+
+    @staticmethod
+    def _key(ta_uuid: str, name: str) -> str:
+        return f"{ta_uuid}:{name}"

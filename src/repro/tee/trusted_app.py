@@ -1,0 +1,75 @@
+"""Trusted applications (TAs).
+
+A TA is the unit of code that runs in the secure world.  Each TA has a UUID
+(which parameterises its storage keys) and a *measurement* — a digest of its
+code/configuration — which remote attestation reports to the FL server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import uuid as uuid_module
+from typing import Any, Callable, Dict
+
+from .world import require_secure_world
+
+__all__ = ["TrustedApplication"]
+
+
+class TrustedApplication:
+    """Base class for secure-world services.
+
+    Subclasses register command handlers with :meth:`register`; the secure
+    monitor dispatches :meth:`invoke` calls to them.  ``invoke`` refuses to
+    run outside the secure world, so a TA can only ever be reached through
+    an SMC.
+
+    Parameters
+    ----------
+    name:
+        Human-readable TA name.
+    uuid:
+        Stable identifier; derived from the name when omitted.
+    version:
+        Included in the measurement, so upgrading a TA changes what it
+        attests as.
+    """
+
+    def __init__(self, name: str, uuid: str | None = None, version: str = "1.0") -> None:
+        self.name = name
+        self.uuid = uuid or str(uuid_module.uuid5(uuid_module.NAMESPACE_DNS, name))
+        self.version = version
+        self._commands: Dict[str, Callable[..., Any]] = {}
+
+    def register(self, command: str, handler: Callable[..., Any]) -> None:
+        """Expose ``handler`` under ``command`` to SMC callers."""
+        self._commands[command] = handler
+
+    @property
+    def commands(self) -> tuple:
+        return tuple(sorted(self._commands))
+
+    def invoke(self, command: str, **params: Any) -> Any:
+        """Run a registered command (secure world only)."""
+        require_secure_world(f"invoking TA {self.name!r}")
+        handler = self._commands.get(command)
+        if handler is None:
+            raise KeyError(
+                f"TA {self.name!r} has no command {command!r}; "
+                f"available: {self.commands}"
+            )
+        return handler(**params)
+
+    def measurement(self) -> str:
+        """Attestation measurement: digest of identity + command surface."""
+        blob = json.dumps(
+            {
+                "name": self.name,
+                "uuid": self.uuid,
+                "version": self.version,
+                "commands": self.commands,
+            },
+            sort_keys=True,
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()

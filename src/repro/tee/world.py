@@ -1,0 +1,91 @@
+"""Execution worlds and the security exceptions of the TrustZone simulator.
+
+ARM TrustZone splits execution into a Rich Execution Environment (REE — the
+"normal world") and a Trusted Execution Environment (TEE — the "secure
+world").  The simulator models that split as an ambient *current world*
+(a context variable): code running while the secure world is active may read
+shielded buffers and invoke TEE-kernel services; normal-world code that
+touches protected state gets a :class:`SecureWorldViolation`, which is
+exactly the guarantee GradSec builds on.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from contextlib import contextmanager
+
+__all__ = [
+    "World",
+    "current_world",
+    "secure_world",
+    "require_secure_world",
+    "TEEError",
+    "SecureWorldViolation",
+    "SecureMemoryExhausted",
+    "IntegrityError",
+    "AttestationError",
+]
+
+
+class TEEError(Exception):
+    """Base class for every TrustZone-simulator error."""
+
+
+class SecureWorldViolation(TEEError):
+    """Normal-world code attempted to access secure-world state."""
+
+
+class SecureMemoryExhausted(TEEError):
+    """The secure memory pool cannot satisfy an allocation.
+
+    TrustZone secure memory is scarce (3–5 MB per the paper, §3.3); running
+    out is the constraint that motivates protecting only *some* layers.
+    """
+
+
+class IntegrityError(TEEError):
+    """Secure-storage object failed its authenticity check."""
+
+
+class AttestationError(TEEError):
+    """Remote attestation failed (bad measurement or bad signature)."""
+
+
+class World(enum.Enum):
+    """The two TrustZone execution worlds."""
+
+    NORMAL = "normal"
+    SECURE = "secure"
+
+
+_state = threading.local()
+
+
+def current_world() -> World:
+    """World the calling thread is currently executing in."""
+    return getattr(_state, "world", World.NORMAL)
+
+
+@contextmanager
+def secure_world():
+    """Enter the secure world for the duration of the context.
+
+    Only the secure monitor (:mod:`repro.tee.monitor`) should use this
+    directly; everything else reaches the secure world through an SMC call.
+    """
+    previous = current_world()
+    _state.world = World.SECURE
+    try:
+        yield
+    finally:
+        _state.world = previous
+
+
+def require_secure_world(operation: str = "operation") -> None:
+    """Raise :class:`SecureWorldViolation` unless running in the secure world."""
+    if current_world() is not World.SECURE:
+        raise SecureWorldViolation(
+            f"{operation} is only permitted in the secure world "
+            f"(current world: {current_world().value})"
+        )

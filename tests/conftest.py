@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar
+from repro.nn import lenet5, mlp, one_hot
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_model():
+    """A tiny 3-layer MLP for fast structural tests."""
+    return mlp(num_classes=4, input_shape=(6,), hidden=(8, 5), seed=0)
+
+
+@pytest.fixture
+def tiny_lenet():
+    """A reduced LeNet-5: same 5-layer structure, fewer filters."""
+    return lenet5(num_classes=5, seed=0, scale=0.5)
+
+
+@pytest.fixture
+def lenet():
+    """The paper's LeNet-5 (Table 4 shapes)."""
+    return lenet5(num_classes=100, seed=0)
+
+
+@pytest.fixture
+def image_batch(rng):
+    x = rng.normal(0.5, 0.2, size=(8, 3, 32, 32))
+    y = one_hot(rng.integers(0, 5, 8), 5)
+    return x, y
+
+
+@pytest.fixture
+def small_dataset():
+    return synthetic_cifar(num_samples=64, num_classes=5, seed=3)

@@ -1,0 +1,80 @@
+"""Tests for the shadow-model MIA extension."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import ShadowModelAttack
+from repro.attacks.mia import train_target_model
+from repro.data import synthetic_cifar
+from repro.nn import lenet5
+
+
+@pytest.fixture(scope="module")
+def world():
+    n, classes = 80, 10
+    data = synthetic_cifar(num_samples=4 * n, num_classes=classes, noise=0.5, seed=0)
+    factory = lambda seed: lenet5(
+        num_classes=classes, seed=seed, activation="relu", scale=0.5
+    )
+    target = factory(5)
+    members = data.subset(np.arange(n))
+    train_target_model(target, members, epochs=10)
+    return {
+        "target": target,
+        "members": members,
+        "nonmembers": data.subset(np.arange(n, 2 * n)),
+        "shadow_pool": data.subset(np.arange(2 * n, 4 * n)),
+        "factory": factory,
+    }
+
+
+class TestShadowModelAttack:
+    def test_transfers_above_chance(self, world):
+        attack = ShadowModelAttack(
+            world["factory"], num_shadows=2, epochs=10, probes_per_side=40, seed=0
+        )
+        result = attack.run(
+            world["target"], world["members"], world["nonmembers"], world["shadow_pool"]
+        )
+        assert result.score > 0.65
+        assert result.detail["shadows"] == 2
+
+    def test_full_protection_defeats_transfer(self, world):
+        attack = ShadowModelAttack(
+            world["factory"], num_shadows=1, epochs=3, probes_per_side=10, seed=0
+        )
+        result = attack.run(
+            world["target"],
+            world["members"],
+            world["nonmembers"],
+            world["shadow_pool"],
+            protected=(1, 2, 3, 4, 5),
+        )
+        assert result.score == 0.5
+
+    def test_attack_name_and_protection_recorded(self, world):
+        attack = ShadowModelAttack(
+            world["factory"], num_shadows=1, epochs=2, probes_per_side=8, seed=0
+        )
+        result = attack.run(
+            world["target"],
+            world["members"],
+            world["nonmembers"],
+            world["shadow_pool"],
+            protected=(5,),
+        )
+        assert result.attack == "shadow-MIA"
+        assert result.protected == {5}
+
+    def test_training_rows_scale_with_shadows(self, world):
+        one = ShadowModelAttack(
+            world["factory"], num_shadows=1, epochs=2, probes_per_side=8, seed=0
+        ).run(
+            world["target"], world["members"], world["nonmembers"], world["shadow_pool"]
+        )
+        two = ShadowModelAttack(
+            world["factory"], num_shadows=2, epochs=2, probes_per_side=8, seed=0
+        ).run(
+            world["target"], world["members"], world["nonmembers"], world["shadow_pool"]
+        )
+        assert two.detail["train_rows"] == 2 * one.detail["train_rows"]

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for autodiff invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import Tensor, grad
+from repro.autodiff import ops
+
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.load_profile("ci")
+
+
+def arrays(shape):
+    return hnp.arrays(
+        np.float64,
+        shape,
+        elements=st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False),
+    )
+
+
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_add_commutes(a, b):
+    np.testing.assert_allclose(
+        ops.add(Tensor(a), Tensor(b)).data, ops.add(Tensor(b), Tensor(a)).data
+    )
+
+
+@given(arrays((2, 3)), arrays((2, 3)), arrays((2, 3)))
+def test_mul_distributes_over_add(a, b, c):
+    left = ops.mul(Tensor(a), ops.add(Tensor(b), Tensor(c))).data
+    right = ops.add(ops.mul(Tensor(a), Tensor(b)), ops.mul(Tensor(a), Tensor(c))).data
+    np.testing.assert_allclose(left, right, atol=1e-12)
+
+
+@given(arrays((4, 5)))
+def test_transpose_is_involution(a):
+    t = Tensor(a)
+    np.testing.assert_allclose(t.transpose().transpose().data, a)
+
+
+@given(arrays((2, 6)))
+def test_reshape_roundtrip(a):
+    t = Tensor(a)
+    np.testing.assert_allclose(t.reshape((3, 4)).reshape((2, 6)).data, a)
+
+
+@given(arrays((3, 4)))
+def test_sum_of_parts_equals_total(a):
+    t = Tensor(a)
+    np.testing.assert_allclose(
+        t.sum(axis=0).sum().item(), t.sum().item(), rtol=1e-10, atol=1e-12
+    )
+
+
+@given(arrays((2, 2, 4, 4)))
+def test_im2col_preserves_energy_without_overlap(x):
+    """With stride == kernel (no overlap), im2col is a permutation."""
+    cols = ops.im2col(Tensor(x), (2, 2), 2, 0)
+    np.testing.assert_allclose(
+        np.sort(cols.data.ravel()), np.sort(x.ravel()), atol=1e-12
+    )
+
+
+@given(arrays((1, 2, 4, 4)))
+def test_col2im_im2col_adjoint_identity(x):
+    """<im2col(x), y> == <x, col2im(y)> for random y."""
+    kernel, stride, pad = (3, 3), 1, 1
+    cols = ops.im2col(Tensor(x), kernel, stride, pad)
+    y = np.random.default_rng(0).normal(size=cols.shape)
+    lhs = float((cols.data * y).sum())
+    rhs = float(
+        (ops.col2im(Tensor(y), x.shape, kernel, stride, pad).data * x).sum()
+    )
+    assert abs(lhs - rhs) < 1e-8
+
+
+@given(arrays((3,)))
+def test_gradient_of_sum_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    (g,) = grad(t.sum(), [t])
+    np.testing.assert_allclose(g.data, np.ones(3))
+
+
+@given(arrays((3,)), arrays((3,)))
+def test_gradient_linearity(a, b):
+    """grad of (f + g) equals grad f + grad g."""
+    ta = Tensor(a, requires_grad=True)
+    f = (ta * Tensor(b)).sum()
+    g_ = (ta * ta).sum()
+    (combined,) = grad(f + g_, [ta])
+    ta2 = Tensor(a, requires_grad=True)
+    (gf,) = grad((ta2 * Tensor(b)).sum(), [ta2])
+    ta3 = Tensor(a, requires_grad=True)
+    (gg,) = grad((ta3 * ta3).sum(), [ta3])
+    np.testing.assert_allclose(combined.data, gf.data + gg.data, atol=1e-10)
+
+
+@given(arrays((2, 4, 4)))
+def test_maxpool_output_bounded_by_input(x):
+    x4 = x[None]
+    out = ops.maxpool2d(Tensor(x4), 2).data
+    assert out.max() <= x4.max() + 1e-12
+    assert out.min() >= x4.min() - 1e-12

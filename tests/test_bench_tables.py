@@ -1,0 +1,56 @@
+"""Tests for benchmark table formatting and reference data integrity."""
+
+import pytest
+
+from repro.bench.reference import (
+    FIG6_LENET_AUC,
+    TABLE5_DYNAMIC,
+    TABLE5_STATIC,
+    TABLE6_DYNAMIC_MW2,
+    TABLE6_DYNAMIC_MW3,
+    TABLE6_DYNAMIC_MW4,
+    TABLE6_STATIC,
+)
+from repro.bench.tables import format_comparison, layers_label
+
+
+class TestFormatting:
+    def test_layers_label(self):
+        assert layers_label([5, 2]) == "L2+L5"
+        assert layers_label([]) == "none"
+
+    def test_format_comparison_with_paper_value(self):
+        text = format_comparison("L2", 0.5, 0.565, "AUC")
+        assert "0.500" in text and "0.565" in text
+
+    def test_format_comparison_without_paper_value(self):
+        assert "n/a" in format_comparison("x", 1.0, None, "s")
+
+
+class TestReferenceIntegrity:
+    """The transcribed paper numbers must be self-consistent."""
+
+    def test_table6_allocation_additive_in_paper(self):
+        # The paper's own data: alloc(L2+L5) == alloc(L2) + alloc(L5).
+        assert TABLE6_STATIC[(2, 5)][2] == pytest.approx(
+            TABLE6_STATIC[(2,)][2] + TABLE6_STATIC[(5,)][2], abs=1e-9
+        )
+
+    def test_table6_memory_roughly_additive(self):
+        combined = TABLE6_STATIC[(2, 5)][3]
+        parts = TABLE6_STATIC[(2,)][3] + TABLE6_STATIC[(5,)][3]
+        assert combined == pytest.approx(parts, abs=0.01)
+
+    def test_dynamic_windows_cover_expected_positions(self):
+        assert set(TABLE6_DYNAMIC_MW2) == {(1, 2), (2, 3), (3, 4), (4, 5)}
+        assert set(TABLE6_DYNAMIC_MW3) == {(1, 2, 3), (2, 3, 4), (3, 4, 5)}
+        assert set(TABLE6_DYNAMIC_MW4) == {(1, 2, 3, 4), (2, 3, 4, 5)}
+
+    def test_table5_dynamic_beats_static(self):
+        # The paper's central claim, as transcribed.
+        assert TABLE5_DYNAMIC["MW=2"] < min(TABLE5_STATIC.values())
+
+    def test_fig6_auc_monotone_decreasing_with_protection(self):
+        ordered = [(), (5,), (4, 5), (3, 4, 5), (2, 3, 4, 5)]
+        values = [FIG6_LENET_AUC[c] for c in ordered]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_fast_flag(self):
+        args = build_parser().parse_args(["fig5", "--fast"])
+        assert args.fast is True
+
+    def test_cycles_option(self):
+        args = build_parser().parse_args(["table5", "--cycles", "12"])
+        assert args.cycles == 12
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table5", "table6", "fig5", "fig6", "fig8"):
+            assert name in out
+
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "L2+L5" in out
+        assert "MiB" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "DarkneTZ" in out
+
+    def test_fig5_fast(self, capsys):
+        assert main(["fig5", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "ImageLoss" in out
+
+    def test_fig6_fast(self, capsys):
+        assert main(["fig6", "--fast"]) == 0
+        assert "AUC" in capsys.readouterr().out
+
+    def test_table5_fast(self, capsys):
+        assert main(["table5", "--fast"]) == 0
+        assert "MW=2" in capsys.readouterr().out
+
+    def test_summary(self, capsys):
+        assert main(["summary"]) == 0
+        assert "GradSec" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Tests for the V_MW search procedure."""
+
+import numpy as np
+import pytest
+
+from repro.core import candidate_distributions, search_v_mw
+
+
+class TestCandidates:
+    def test_all_valid_distributions(self):
+        for v in candidate_distributions(4, random_candidates=5):
+            assert len(v) == 4
+            assert all(p >= 0 for p in v)
+            assert sum(v) == pytest.approx(1.0)
+
+    def test_includes_uniform(self):
+        candidates = candidate_distributions(4)
+        assert any(np.allclose(v, 0.25) for v in candidates)
+
+    def test_includes_skewed_corners(self):
+        candidates = candidate_distributions(3, random_candidates=0)
+        assert any(max(v) > 0.8 for v in candidates)
+
+    def test_rejects_nonpositive_positions(self):
+        with pytest.raises(ValueError):
+            candidate_distributions(0)
+
+
+class TestSearch:
+    def test_picks_minimum_score(self):
+        candidates = [(1.0, 0.0), (0.0, 1.0), (0.5, 0.5)]
+        scores = {(1.0, 0.0): 0.9, (0.0, 1.0): 0.6, (0.5, 0.5): 0.75}
+        result = search_v_mw(candidates, lambda v: scores[v])
+        assert result.best_v_mw == (0.0, 1.0)
+        assert result.best_score == 0.6
+
+    def test_records_all_scores(self):
+        result = search_v_mw([(1.0,), (1.0,)], lambda v: 0.5)
+        assert len(result.scores) == 2
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            search_v_mw([], lambda v: 0.5)
+
+    def test_evaluate_called_with_tuples(self):
+        seen = []
+
+        def evaluate(v):
+            seen.append(v)
+            return 0.5
+
+        search_v_mw([[0.3, 0.7]], evaluate)
+        assert seen == [(0.3, 0.7)]

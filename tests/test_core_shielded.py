@@ -1,0 +1,255 @@
+"""Tests for the shielded (enclave-partitioned) trainer — GradSec itself."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DynamicPolicy,
+    NoProtection,
+    ShieldedModel,
+    StaticPolicy,
+)
+from repro.nn import lenet5, mlp, one_hot
+from repro.tee import (
+    CostModel,
+    SecureMemoryExhausted,
+    SecureMemoryPool,
+    TrustedIOPath,
+)
+
+
+def tiny_batch(rng, n=6, classes=4):
+    x = rng.normal(size=(n, 6))
+    y = one_hot(rng.integers(0, classes, n), classes)
+    return x, y
+
+
+def make_shielded(policy=None, seed=0, **kwargs):
+    model = mlp(num_classes=4, input_shape=(6,), hidden=(8, 5), seed=seed)
+    return model, ShieldedModel(model, policy or NoProtection(3), batch_size=6, **kwargs)
+
+
+class TestEquivalence:
+    """Protected training must compute exactly what unprotected does."""
+
+    @pytest.mark.parametrize("protected", [(1,), (2,), (3,), (1, 3), (2, 3), (1, 2, 3)])
+    def test_trajectory_identical_to_unprotected(self, rng, protected):
+        x, y = tiny_batch(rng)
+        ref_model, ref = make_shielded(NoProtection(3), seed=1)
+        ref.begin_cycle()
+        ref_losses = [ref.train_step(x, y, lr=0.3) for _ in range(3)]
+        ref.end_cycle()
+
+        model, shielded = make_shielded(
+            StaticPolicy(3, protected, max_slices=None), seed=1
+        )
+        shielded.begin_cycle()
+        losses = [shielded.train_step(x, y, lr=0.3) for _ in range(3)]
+        shielded.end_cycle()
+
+        np.testing.assert_allclose(losses, ref_losses, rtol=1e-12)
+        for i in range(1, 4):
+            for key, value in ref_model.layer(i).get_weights().items():
+                np.testing.assert_allclose(
+                    model.layer(i).get_weights()[key], value, rtol=1e-12
+                )
+
+    def test_lenet_equivalence_with_nonconsecutive_protection(self, rng):
+        x = rng.normal(size=(4, 3, 32, 32))
+        y = one_hot(rng.integers(0, 5, 4), 5)
+        ref = lenet5(num_classes=5, seed=2, scale=0.5)
+        sm_ref = ShieldedModel(ref, NoProtection(5), batch_size=4)
+        sm_ref.begin_cycle()
+        loss_ref = sm_ref.train_step(x, y, lr=0.2)
+        sm_ref.end_cycle()
+
+        model = lenet5(num_classes=5, seed=2, scale=0.5)
+        sm = ShieldedModel(model, StaticPolicy(5, [2, 5]), batch_size=4)
+        sm.begin_cycle()
+        loss = sm.train_step(x, y, lr=0.2)
+        sm.end_cycle()
+        assert loss == pytest.approx(loss_ref, rel=1e-12)
+
+
+class TestConfidentiality:
+    def test_normal_world_weights_scrubbed_during_cycle(self, rng):
+        model, shielded = make_shielded(StaticPolicy(3, [2]))
+        original = model.layer(2).get_weights()["weight"].copy()
+        shielded.begin_cycle()
+        assert np.all(model.layer(2).params["weight"].data == 0)
+        shielded.end_cycle()
+        # Restored (and untrained, so identical).
+        np.testing.assert_array_equal(
+            model.layer(2).get_weights()["weight"], original
+        )
+
+    def test_end_cycle_without_restore_keeps_scrubbed(self):
+        model, shielded = make_shielded(StaticPolicy(3, [2]))
+        shielded.begin_cycle()
+        shielded.end_cycle(restore=False)
+        assert np.all(model.layer(2).params["weight"].data == 0)
+
+    def test_leakage_never_contains_protected_gradients(self, rng):
+        x, y = tiny_batch(rng)
+        _, shielded = make_shielded(StaticPolicy(3, [1, 3]))
+        shielded.begin_cycle()
+        shielded.train_step(x, y)
+        leak = shielded.end_cycle()
+        grads = leak.mean_gradients()
+        assert grads[0] is None
+        assert grads[2] is None
+        assert grads[1] is not None
+
+    def test_weight_diffs_hidden_for_protected(self, rng):
+        x, y = tiny_batch(rng)
+        _, shielded = make_shielded(StaticPolicy(3, [2]))
+        shielded.begin_cycle()
+        shielded.train_step(x, y, lr=0.5)
+        leak = shielded.end_cycle()
+        diffs = leak.weight_diff_gradients(lr=0.5)
+        assert diffs[1] is None
+        assert diffs[0] is not None
+
+    def test_smc_calls_happen_only_when_protected(self, rng):
+        x, y = tiny_batch(rng)
+        _, unprotected = make_shielded(NoProtection(3))
+        unprotected.begin_cycle()
+        unprotected.train_step(x, y)
+        unprotected.end_cycle()
+        assert unprotected.monitor.stats.calls == 0
+
+        _, shielded = make_shielded(StaticPolicy(3, [2]))
+        shielded.begin_cycle()
+        shielded.train_step(x, y)
+        shielded.end_cycle()
+        # protect + forward + backward + release
+        assert shielded.monitor.stats.calls == 4
+
+
+class TestMemoryAccounting:
+    def test_peak_memory_recorded(self, rng):
+        x, y = tiny_batch(rng)
+        _, shielded = make_shielded(StaticPolicy(3, [2]))
+        shielded.begin_cycle()
+        shielded.train_step(x, y)
+        leak = shielded.end_cycle()
+        assert leak.peak_tee_bytes > 0
+
+    def test_memory_released_after_cycle(self, rng):
+        _, shielded = make_shielded(StaticPolicy(3, [1, 2, 3], max_slices=None))
+        shielded.begin_cycle()
+        assert shielded.pool.used_bytes > 0
+        shielded.end_cycle()
+        assert shielded.pool.used_bytes == 0
+
+    def test_too_small_pool_raises(self):
+        with pytest.raises(SecureMemoryExhausted):
+            model, shielded = make_shielded(
+                StaticPolicy(3, [1]), pool=SecureMemoryPool(64)
+            )
+            shielded.begin_cycle()
+
+    def test_lenet_l2_l5_footprint_matches_cost_model(self, rng):
+        model = lenet5(num_classes=100, seed=0)
+        shielded = ShieldedModel(model, StaticPolicy(5, [2, 5]), batch_size=32)
+        shielded.begin_cycle()
+        expected = CostModel(batch_size=32).tee_memory_bytes(model, (2, 5))
+        assert shielded.pool.used_bytes == expected
+        shielded.end_cycle()
+
+
+class TestDynamicCycles:
+    def test_window_moves_across_cycles(self, rng):
+        x, y = tiny_batch(rng)
+        policy = DynamicPolicy(3, 1, [0.4, 0.3, 0.3], seed=5)
+        _, shielded = make_shielded(policy)
+        seen = set()
+        for cycle in range(12):
+            protected = shielded.begin_cycle()
+            seen.add(tuple(sorted(protected)))
+            shielded.train_step(x, y)
+            shielded.end_cycle()
+        assert len(seen) > 1  # the window actually moved
+
+    def test_cycle_override_synchronises(self):
+        policy = DynamicPolicy(3, 1, [0.4, 0.3, 0.3], seed=5)
+        _, shielded = make_shielded(policy)
+        expected = policy.layers_for_cycle(7)
+        assert shielded.begin_cycle(cycle=7) == expected
+        shielded.end_cycle()
+
+
+class TestProtocolErrors:
+    def test_double_begin_raises(self):
+        _, shielded = make_shielded()
+        shielded.begin_cycle()
+        with pytest.raises(RuntimeError, match="begin_cycle"):
+            shielded.begin_cycle()
+
+    def test_train_outside_cycle_raises(self, rng):
+        x, y = tiny_batch(rng)
+        _, shielded = make_shielded()
+        with pytest.raises(RuntimeError, match="outside"):
+            shielded.train_step(x, y)
+
+    def test_end_without_begin_raises(self):
+        _, shielded = make_shielded()
+        with pytest.raises(RuntimeError, match="without"):
+            shielded.end_cycle()
+
+    def test_policy_model_depth_mismatch(self):
+        model = mlp(num_classes=4, input_shape=(6,), hidden=(8,), seed=0)
+        with pytest.raises(ValueError, match="layers"):
+            ShieldedModel(model, NoProtection(5))
+
+    def test_sealed_weights_require_iopath(self):
+        _, shielded = make_shielded(StaticPolicy(3, [1]))
+        with pytest.raises(ValueError, match="iopath"):
+            shielded.begin_cycle(sealed_weights=b"blob")
+
+
+class TestExportUpdate:
+    def test_export_splits_plain_and_sealed(self, rng):
+        x, y = tiny_batch(rng)
+        model, shielded = make_shielded(StaticPolicy(3, [2]))
+        iopath = TrustedIOPath()
+        shielded.begin_cycle()
+        shielded.train_step(x, y, lr=0.3)
+        sealed, plain = shielded.export_update(iopath)
+        shielded.end_cycle(restore=False)
+        assert plain[1] == {}  # protected slot empty in the plain part
+        assert plain[0]  # unprotected layers present
+        unsealed = iopath.unseal_remote(sealed)
+        assert unsealed[1]  # protected layer's weights inside the sealed blob
+        assert unsealed[0] == {}
+
+    def test_sealed_update_reflects_training(self, rng):
+        x, y = tiny_batch(rng)
+        model, shielded = make_shielded(StaticPolicy(3, [2]), seed=4)
+        before = model.layer(2).get_weights()["weight"].copy()
+        iopath = TrustedIOPath()
+        shielded.begin_cycle()
+        shielded.train_step(x, y, lr=0.5)
+        sealed, _ = shielded.export_update(iopath)
+        shielded.end_cycle(restore=False)
+        after = iopath.unseal_remote(sealed)[1]["weight"]
+        assert not np.allclose(after, before)
+
+    def test_export_outside_cycle_raises(self):
+        _, shielded = make_shielded(StaticPolicy(3, [2]))
+        with pytest.raises(RuntimeError, match="outside"):
+            shielded.export_update(TrustedIOPath())
+
+
+class TestProvisioning:
+    def test_begin_cycle_with_sealed_weights(self, rng):
+        x, y = tiny_batch(rng)
+        model, shielded = make_shielded(StaticPolicy(3, [2]), seed=6)
+        iopath = TrustedIOPath()
+        fresh = np.full_like(model.layer(2).get_weights()["weight"], 0.123)
+        sealed = iopath.seal([{}, {"weight": fresh, "bias": np.zeros(5)}, {}])
+        shielded.begin_cycle(sealed_weights=sealed, iopath=iopath)
+        shielded.train_step(x, y, lr=0.0)  # lr=0: no weight change
+        out, _ = shielded.export_update(iopath)
+        shielded.end_cycle(restore=False)
+        np.testing.assert_allclose(iopath.unseal_remote(out)[1]["weight"], fresh)

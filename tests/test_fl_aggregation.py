@@ -1,0 +1,66 @@
+"""Tests for FedAvg and update merging."""
+
+import numpy as np
+import pytest
+
+from repro.fl import fedavg, merge_plain_and_sealed, weighted_average
+
+
+def make_weights(value, layers=2):
+    return [{"weight": np.full((2, 2), float(value))} for _ in range(layers)]
+
+
+class TestWeightedAverage:
+    def test_uniform_average(self):
+        out = fedavg([make_weights(1), make_weights(3)])
+        np.testing.assert_allclose(out[0]["weight"], 2.0)
+
+    def test_sample_weighted(self):
+        out = weighted_average([make_weights(0), make_weights(10)], [1, 3])
+        np.testing.assert_allclose(out[0]["weight"], 7.5)
+
+    def test_single_client_identity(self):
+        out = fedavg([make_weights(5)])
+        np.testing.assert_allclose(out[0]["weight"], 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fedavg([])
+
+    def test_misaligned_counts_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            weighted_average([make_weights(1)], [1, 2])
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            weighted_average([make_weights(1)], [0])
+
+    def test_layer_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="layer count"):
+            fedavg([make_weights(1, layers=2), make_weights(1, layers=3)])
+
+    def test_preserves_all_param_names(self):
+        a = [{"weight": np.ones((2,)), "bias": np.zeros(1)}]
+        b = [{"weight": np.zeros((2,)), "bias": np.ones(1)}]
+        out = fedavg([a, b])
+        assert set(out[0]) == {"weight", "bias"}
+        np.testing.assert_allclose(out[0]["bias"], 0.5)
+
+
+class TestMergePlainAndSealed:
+    def test_merge(self):
+        plain = [{"weight": np.ones(2)}, {}]
+        sealed = [{}, {"weight": np.zeros(2)}]
+        merged = merge_plain_and_sealed(plain, sealed)
+        np.testing.assert_array_equal(merged[0]["weight"], np.ones(2))
+        np.testing.assert_array_equal(merged[1]["weight"], np.zeros(2))
+
+    def test_overlap_rejected(self):
+        plain = [{"weight": np.ones(2)}]
+        sealed = [{"weight": np.zeros(2)}]
+        with pytest.raises(ValueError, match="both"):
+            merge_plain_and_sealed(plain, sealed)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            merge_plain_and_sealed([{}], [{}, {}])

@@ -1,0 +1,46 @@
+"""Tests for the differential-privacy baseline."""
+
+import numpy as np
+import pytest
+
+from repro.fl import GaussianMechanism, clip_by_norm
+
+
+class TestClipping:
+    def test_small_vector_unchanged(self):
+        v = np.array([0.3, 0.4])
+        np.testing.assert_array_equal(clip_by_norm(v, 1.0), v)
+
+    def test_large_vector_scaled_to_bound(self):
+        v = np.array([3.0, 4.0])
+        out = clip_by_norm(v, 1.0)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+        # Direction preserved.
+        np.testing.assert_allclose(out / np.linalg.norm(out), v / 5.0)
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            clip_by_norm(np.ones(2), 0.0)
+
+
+class TestGaussianMechanism:
+    def test_deterministic_per_step(self):
+        mech = GaussianMechanism(clip_norm=1.0, sigma=1.0, seed=4)
+        v = np.ones(8)
+        np.testing.assert_array_equal(mech.privatize(v, 3), mech.privatize(v, 3))
+
+    def test_different_steps_differ(self):
+        mech = GaussianMechanism(seed=4)
+        v = np.ones(8)
+        assert not np.array_equal(mech.privatize(v, 0), mech.privatize(v, 1))
+
+    def test_noise_scale_grows_with_sigma(self):
+        v = np.zeros(4000)
+        quiet = GaussianMechanism(sigma=0.1, seed=0).privatize(v)
+        loud = GaussianMechanism(sigma=10.0, seed=0).privatize(v)
+        assert loud.std() > 50 * quiet.std()
+
+    def test_output_clipped_before_noise(self):
+        mech = GaussianMechanism(clip_norm=1.0, sigma=0.0, seed=0)
+        out = mech.privatize(np.array([30.0, 40.0]))
+        assert np.linalg.norm(out) == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Tests for the FL training monitor."""
+
+import numpy as np
+import pytest
+
+from repro.fl import RoundRecord, TrainingMonitor
+from repro.nn import mlp, one_hot
+
+
+@pytest.fixture
+def monitor_and_model(rng):
+    x = rng.normal(size=(24, 6))
+    y = one_hot(rng.integers(0, 4, 24), 4)
+    model = mlp(num_classes=4, input_shape=(6,), hidden=(8,), seed=0)
+    return TrainingMonitor(x, y, patience=2), model
+
+
+class TestObserve:
+    def test_records_metrics(self, monitor_and_model):
+        monitor, model = monitor_and_model
+        record = monitor.observe(model, cycle=0, participants=3)
+        assert record.loss > 0
+        assert 0 <= record.accuracy <= 1
+        assert record.participants == 3
+        assert record.update_norm == 0.0  # first observation
+
+    def test_update_norm_tracks_weight_movement(self, monitor_and_model):
+        monitor, model = monitor_and_model
+        monitor.observe(model, 0, 1)
+        model.layer(1).params["weight"].data += 0.5
+        record = monitor.observe(model, 1, 1)
+        assert record.update_norm > 0
+
+    def test_no_movement_zero_norm(self, monitor_and_model):
+        monitor, model = monitor_and_model
+        monitor.observe(model, 0, 1)
+        record = monitor.observe(model, 1, 1)
+        assert record.update_norm == 0.0
+
+
+class TestConvergence:
+    def test_not_converged_before_patience(self, monitor_and_model):
+        monitor, model = monitor_and_model
+        monitor.observe(model, 0, 1)
+        assert not monitor.converged()
+
+    def test_converged_when_loss_plateaus(self, monitor_and_model):
+        monitor, model = monitor_and_model
+        for cycle in range(5):  # identical model: loss never improves
+            monitor.observe(model, cycle, 1)
+        assert monitor.converged()
+
+    def test_improvement_resets_convergence(self, monitor_and_model):
+        monitor, model = monitor_and_model
+        x, y = monitor.x_eval, monitor.y_eval
+        for cycle in range(4):
+            # Actually train: loss keeps improving, so no convergence.
+            _, grads = model.loss_and_gradients(x, y)
+            for layer, g in zip(model.layers, grads):
+                for key, grad_t in g.items():
+                    layer.params[key].data -= 0.5 * grad_t.data
+            monitor.observe(model, cycle, 1)
+        assert not monitor.converged()
+
+
+class TestReporting:
+    def test_best_metrics(self, monitor_and_model):
+        monitor, model = monitor_and_model
+        monitor.observe(model, 0, 1)
+        assert monitor.best_loss == monitor.records[0].loss
+        assert monitor.best_accuracy == monitor.records[0].accuracy
+
+    def test_best_requires_observations(self, monitor_and_model):
+        monitor, _ = monitor_and_model
+        with pytest.raises(ValueError):
+            monitor.best_loss
+
+    def test_summary_one_line_per_round(self, monitor_and_model):
+        monitor, model = monitor_and_model
+        for cycle in range(3):
+            monitor.observe(model, cycle, 1)
+        assert len(monitor.summary().splitlines()) == 4  # header + 3

@@ -1,0 +1,86 @@
+"""Tests for Byzantine-robust aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fl.robust import coordinate_median, krum, trimmed_mean
+
+settings.register_profile("ci", max_examples=20, deadline=None)
+settings.load_profile("ci")
+
+
+def honest_updates(n=5, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=d)
+    return [base + 0.05 * rng.normal(size=d) for _ in range(n)]
+
+
+class TestMedian:
+    def test_matches_numpy_median(self):
+        updates = honest_updates()
+        np.testing.assert_array_equal(
+            coordinate_median(updates), np.median(np.stack(updates), axis=0)
+        )
+
+    def test_resists_one_poisoned_update(self):
+        updates = honest_updates()
+        clean = coordinate_median(updates)
+        poisoned = updates + [np.full(8, 1e6)]
+        robust = coordinate_median(poisoned)
+        assert np.abs(robust - clean).max() < 0.5
+
+    def test_plain_mean_is_broken_by_the_same_attack(self):
+        updates = honest_updates()
+        poisoned = updates + [np.full(8, 1e6)]
+        mean = np.mean(np.stack(poisoned), axis=0)
+        assert np.abs(mean).max() > 1e4  # the contrast median avoids
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            coordinate_median([])
+
+
+class TestTrimmedMean:
+    def test_equals_mean_without_outliers_when_symmetric(self):
+        updates = [np.array([1.0]), np.array([2.0]), np.array([3.0]),
+                   np.array([4.0]), np.array([5.0])]
+        assert trimmed_mean(updates, trim=1)[0] == pytest.approx(3.0)
+
+    def test_drops_extremes(self):
+        updates = honest_updates()
+        poisoned = updates + [np.full(8, 1e6), np.full(8, -1e6)]
+        robust = trimmed_mean(poisoned, trim=1)
+        assert np.abs(robust - coordinate_median(updates)).max() < 0.5
+
+    def test_over_trimming_rejected(self):
+        with pytest.raises(ValueError, match="trim"):
+            trimmed_mean(honest_updates(n=4), trim=2)
+
+    def test_negative_trim_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(honest_updates(), trim=-1)
+
+
+class TestKrum:
+    def test_selects_an_actual_update(self):
+        updates = honest_updates()
+        out = krum(updates, num_byzantine=1)
+        assert any(np.array_equal(out, u) for u in updates)
+
+    def test_never_selects_the_outlier(self):
+        updates = honest_updates(n=6)
+        outlier = np.full(8, 100.0)
+        out = krum(updates + [outlier], num_byzantine=1)
+        assert not np.array_equal(out, outlier)
+
+    def test_minimum_population_enforced(self):
+        with pytest.raises(ValueError, match="f \\+ 3"):
+            krum(honest_updates(n=3), num_byzantine=1)
+
+    @given(st.integers(0, 50))
+    def test_krum_result_close_to_honest_centre(self, seed):
+        updates = honest_updates(n=6, seed=seed)
+        centre = np.mean(np.stack(updates), axis=0)
+        out = krum(updates + [np.full(8, 50.0)], num_byzantine=1)
+        assert np.linalg.norm(out - centre) < 1.0

@@ -1,0 +1,65 @@
+"""Tests for pairwise-masking secure aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fl import PairwiseMasker, aggregate_masked, mask_update
+
+settings.register_profile("ci", max_examples=20, deadline=None)
+settings.load_profile("ci")
+
+SECRET = b"group-secret"
+
+
+def make_maskers(ids):
+    return {i: PairwiseMasker(i, ids, SECRET) for i in ids}
+
+
+class TestPairwiseMasking:
+    def test_masks_cancel_in_aggregate(self):
+        ids = ["a", "b", "c"]
+        maskers = make_maskers(ids)
+        updates = {i: np.full(8, float(k)) for k, i in enumerate(ids)}
+        masked = [mask_update(updates[i], maskers[i]) for i in ids]
+        total = aggregate_masked(masked)
+        np.testing.assert_allclose(total, sum(updates.values()), atol=1e-9)
+
+    def test_individual_update_is_hidden(self):
+        ids = ["a", "b"]
+        maskers = make_maskers(ids)
+        update = np.zeros(16)
+        masked = mask_update(update, maskers["a"])
+        # The masked vector differs substantially from the plaintext.
+        assert np.linalg.norm(masked - update) > 1.0
+
+    def test_pair_masks_are_antisymmetric(self):
+        maskers = make_maskers(["a", "b"])
+        np.testing.assert_allclose(
+            maskers["a"].mask(8), -maskers["b"].mask(8), atol=1e-12
+        )
+
+    def test_client_must_be_among_peers(self):
+        with pytest.raises(ValueError, match="among peers"):
+            PairwiseMasker("zz", ["a", "b"], SECRET)
+
+    def test_different_secret_breaks_cancellation(self):
+        a = PairwiseMasker("a", ["a", "b"], b"secret-1")
+        b = PairwiseMasker("b", ["a", "b"], b"secret-2")
+        total = a.mask(8) + b.mask(8)
+        assert np.abs(total).max() > 1e-6
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_masked([])
+
+    @given(st.integers(2, 6), st.integers(0, 50))
+    def test_cancellation_property(self, n_clients, seed):
+        ids = [f"c{i}" for i in range(n_clients)]
+        maskers = make_maskers(ids)
+        rng = np.random.default_rng(seed)
+        updates = {i: rng.normal(size=12) for i in ids}
+        masked = [mask_update(updates[i], maskers[i]) for i in ids]
+        np.testing.assert_allclose(
+            aggregate_masked(masked), sum(updates.values()), atol=1e-8
+        )

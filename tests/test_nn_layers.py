@@ -1,0 +1,195 @@
+"""Tests for individual layers: shapes, params, cost-model metadata."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, SimpleRNN
+
+
+def build(layer, input_shape, seed=0):
+    layer.build(tuple(input_shape), np.random.default_rng(seed))
+    return layer
+
+
+class TestConv2D:
+    def test_output_shape_stride_pad(self):
+        layer = build(Conv2D(12, 5, stride=2, pad=2), (3, 32, 32))
+        assert layer.output_shape == (12, 16, 16)
+
+    def test_fused_pool_halves_spatial(self):
+        layer = build(Conv2D(8, 3, stride=1, pad=1, pool=2), (3, 8, 8))
+        assert layer.output_shape == (8, 4, 4)
+
+    def test_forward_shape(self):
+        layer = build(Conv2D(4, 3, pad=1, activation="relu"), (2, 6, 6))
+        out = layer(Tensor(np.zeros((5, 2, 6, 6))))
+        assert out.shape == (5, 4, 6, 6)
+
+    def test_weight_param_count_excludes_bias(self):
+        layer = build(Conv2D(12, 5), (3, 32, 32))
+        assert layer.weight_param_count == 12 * 3 * 25
+        assert layer.param_count == 12 * 3 * 25 + 12
+
+    def test_no_bias(self):
+        layer = build(Conv2D(4, 3, use_bias=False), (2, 6, 6))
+        assert "bias" not in layer.params
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError, match="activation"):
+            Conv2D(4, 3, activation="swish")
+
+    def test_bad_input_shape_raises(self):
+        with pytest.raises(ValueError, match="expects"):
+            build(Conv2D(4, 3), (6,))
+
+    def test_unbuilt_layer_raises_on_call(self):
+        with pytest.raises(RuntimeError, match="before build"):
+            Conv2D(4, 3)(Tensor(np.zeros((1, 2, 4, 4))))
+
+    def test_tee_memory_bytes_matches_formula(self):
+        layer = build(Conv2D(12, 5, stride=2, pad=2), (3, 32, 32))
+        batch = 32
+        expected = 4 * (
+            2 * layer.param_count + 3 * 32 * 32 * batch + 2 * 12 * 16 * 16 * batch
+        )
+        assert layer.tee_memory_bytes(batch) == expected
+
+    def test_flops_scale_with_output_area(self):
+        small = build(Conv2D(4, 3, pad=1), (2, 4, 4))
+        large = build(Conv2D(4, 3, pad=1), (2, 8, 8))
+        assert large.flops_per_sample() == 4 * small.flops_per_sample()
+
+
+class TestDense:
+    def test_auto_flatten_4d_input(self):
+        layer = build(Dense(10), (3, 4, 4))
+        out = layer(Tensor(np.zeros((2, 3, 4, 4))))
+        assert out.shape == (2, 10)
+
+    def test_input_shape_collapsed(self):
+        layer = build(Dense(7), (3, 4, 4))
+        assert layer.input_shape == (48,)
+        assert layer.output_shape == (7,)
+
+    def test_set_weights_shape_check(self):
+        layer = build(Dense(3), (5,))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            layer.set_weights({"weight": np.zeros((4, 5))})
+
+    def test_set_weights_unknown_param(self):
+        layer = build(Dense(3), (5,))
+        with pytest.raises(KeyError, match="no parameter"):
+            layer.set_weights({"gamma": np.zeros(3)})
+
+    def test_get_weights_is_copy(self):
+        layer = build(Dense(3), (5,))
+        w = layer.get_weights()
+        w["weight"][:] = 99.0
+        assert not np.any(layer.params["weight"].data == 99.0)
+
+    def test_parameters_stable_order(self):
+        layer = build(Dense(3), (5,))
+        names = sorted(layer.params)
+        assert [layer.params[n] for n in names] == layer.parameters()
+
+
+class TestMaxPoolAndFlatten:
+    def test_maxpool_shapes(self):
+        layer = build(MaxPool2D(2), (3, 8, 8))
+        assert layer.output_shape == (3, 4, 4)
+        assert layer.param_count == 0
+
+    def test_maxpool_indivisible_raises(self):
+        with pytest.raises(ValueError, match="divide"):
+            build(MaxPool2D(2), (3, 7, 8))
+
+    def test_flatten(self):
+        layer = build(Flatten(), (3, 4, 4))
+        assert layer.output_shape == (48,)
+        out = layer(Tensor(np.zeros((2, 3, 4, 4))))
+        assert out.shape == (2, 48)
+
+    def test_parameter_free_tee_memory(self):
+        layer = build(MaxPool2D(2), (3, 8, 8))
+        # Only activations, no weights.
+        assert layer.tee_memory_bytes(1) == 4 * (3 * 8 * 8 + 2 * 3 * 4 * 4)
+
+
+class TestSimpleRNN:
+    def test_shapes(self):
+        layer = build(SimpleRNN(6), (4, 3))
+        assert layer.output_shape == (6,)
+        out = layer(Tensor(np.zeros((2, 4, 3))))
+        assert out.shape == (2, 6)
+
+    def test_has_recurrent_weights(self):
+        layer = build(SimpleRNN(6), (4, 3))
+        assert set(layer.params) == {"weight", "recurrent", "bias"}
+
+    def test_gradients_flow_through_time(self):
+        from repro.autodiff import grad
+
+        layer = build(SimpleRNN(4), (3, 2))
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 2)), requires_grad=True)
+        out = (layer(x) ** 2).sum()
+        (gx,) = grad(out, [x])
+        # Every timestep contributes gradient.
+        assert np.abs(gx.data).sum() > 0
+        assert np.abs(gx.data[:, 0]).sum() > 0  # earliest step included
+
+    def test_rejects_bad_input_shape(self):
+        with pytest.raises(ValueError, match="expects"):
+            build(SimpleRNN(4), (3,))
+
+
+class TestDropout:
+    def test_identity_at_inference(self):
+        from repro.nn import Dropout
+        layer = build(Dropout(0.5), (6,))
+        layer.training = False
+        x = Tensor(np.ones((3, 6)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_training_zeroes_and_rescales(self):
+        from repro.nn import Dropout
+        layer = build(Dropout(0.5, seed=1), (1000,))
+        out = layer(Tensor(np.ones((1, 1000)))).data
+        zeros = (out == 0).mean()
+        assert 0.35 < zeros < 0.65
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)
+
+    def test_expected_value_preserved(self):
+        from repro.nn import Dropout
+        layer = build(Dropout(0.3, seed=2), (5000,))
+        out = layer(Tensor(np.ones((1, 5000)))).data
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_zero_rate_is_identity(self):
+        from repro.nn import Dropout
+        layer = build(Dropout(0.0), (4,))
+        x = Tensor(np.ones((2, 4)))
+        assert layer(x) is x
+
+    def test_invalid_rate_rejected(self):
+        from repro.nn import Dropout
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_gradient_flows_through_mask(self):
+        from repro.autodiff import grad
+        from repro.nn import Dropout
+        layer = build(Dropout(0.5, seed=3), (8,))
+        x = Tensor(np.ones((2, 8)), requires_grad=True)
+        out = layer(x)
+        (g,) = grad((out ** 2).sum(), [x])
+        # Gradient is zero exactly where the mask dropped the unit.
+        np.testing.assert_array_equal(g.data == 0, out.data == 0)
+
+    def test_deterministic_per_build_seed(self):
+        from repro.nn import Dropout
+        a = build(Dropout(0.5, seed=4), (16,))
+        b = build(Dropout(0.5, seed=4), (16,))
+        x = Tensor(np.ones((1, 16)))
+        np.testing.assert_array_equal(a(x).data, b(x).data)

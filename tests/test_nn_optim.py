@@ -1,0 +1,75 @@
+"""Tests for optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import SGD, Adam
+
+
+def quadratic_params():
+    return [Tensor(np.array([4.0]), requires_grad=True)]
+
+
+class TestSGD:
+    def test_plain_update_matches_formula(self):
+        p = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        SGD([p], lr=0.5).step([np.array([0.2, -0.4])])
+        np.testing.assert_allclose(p.data, [0.9, 2.2])
+
+    def test_accepts_tensor_gradients(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([p], lr=1.0).step([Tensor(np.array([0.5]))])
+        assert p.data[0] == pytest.approx(0.5)
+
+    def test_momentum_accumulates(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step([np.array([1.0])])   # v=1, p=-1
+        opt.step([np.array([1.0])])   # v=1.9, p=-2.9
+        assert p.data[0] == pytest.approx(-2.9)
+
+    def test_gradient_count_mismatch(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        with pytest.raises(ValueError, match="gradients"):
+            SGD([p], lr=0.1).step([np.zeros(1), np.zeros(1)])
+
+    def test_converges_on_quadratic(self):
+        (p,) = quadratic_params()
+        opt = SGD([p], lr=0.3)
+        for _ in range(50):
+            opt.step([2 * p.data])  # d/dp p^2
+        assert abs(p.data[0]) < 1e-4
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        Adam([p], lr=0.1).step([np.array([123.0])])
+        # Bias-corrected Adam's first step has magnitude ~= lr.
+        assert p.data[0] == pytest.approx(-0.1, rel=1e-4)
+
+    def test_converges_on_quadratic(self):
+        (p,) = quadratic_params()
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            opt.step([2 * p.data])
+        assert abs(p.data[0]) < 1e-2
+
+    def test_state_is_per_parameter(self):
+        a = Tensor(np.array([0.0]), requires_grad=True)
+        b = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([a, b], lr=0.1)
+        opt.step([np.array([1.0]), np.array([0.0])])
+        assert a.data[0] != 0.0
+        assert b.data[0] == 0.0
+
+    def test_deterministic(self):
+        results = []
+        for _ in range(2):
+            p = Tensor(np.array([1.0]), requires_grad=True)
+            opt = Adam([p], lr=0.05)
+            for _ in range(10):
+                opt.step([2 * p.data])
+            results.append(p.data[0])
+        assert results[0] == results[1]

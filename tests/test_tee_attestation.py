@@ -1,0 +1,69 @@
+"""Tests for remote attestation (measure / quote / verify)."""
+
+import pytest
+
+from repro.tee import (
+    AttestationDevice,
+    AttestationError,
+    AttestationVerifier,
+    TrustedApplication,
+)
+
+
+def setup_pair():
+    ta = TrustedApplication("gradsec")
+    device = AttestationDevice("device-1")
+    verifier = AttestationVerifier()
+    verifier.register_device("device-1", device.key)
+    verifier.allow_measurement(ta.measurement())
+    return ta, device, verifier
+
+
+class TestAttestation:
+    def test_happy_path(self):
+        ta, device, verifier = setup_pair()
+        nonce = verifier.challenge("device-1")
+        assert verifier.verify(device.quote(ta, nonce)) is True
+
+    def test_unknown_device_rejected(self):
+        ta, device, verifier = setup_pair()
+        rogue = AttestationDevice("device-2")
+        nonce = verifier.challenge("device-1")
+        quote = rogue.quote(ta, nonce)
+        with pytest.raises(AttestationError, match="unknown device"):
+            verifier.verify(quote)
+
+    def test_forged_signature_rejected(self):
+        ta, device, verifier = setup_pair()
+        imposter = AttestationDevice("device-1")  # different key, same id
+        nonce = verifier.challenge("device-1")
+        with pytest.raises(AttestationError, match="bad signature"):
+            verifier.verify(imposter.quote(ta, nonce))
+
+    def test_unapproved_measurement_rejected(self):
+        ta, device, verifier = setup_pair()
+        evil_ta = TrustedApplication("gradsec", version="evil")
+        nonce = verifier.challenge("device-1")
+        with pytest.raises(AttestationError, match="allow-list"):
+            verifier.verify(device.quote(evil_ta, nonce))
+
+    def test_replayed_quote_rejected(self):
+        ta, device, verifier = setup_pair()
+        nonce = verifier.challenge("device-1")
+        quote = device.quote(ta, nonce)
+        verifier.verify(quote)
+        with pytest.raises(AttestationError, match="nonce"):
+            verifier.verify(quote)  # nonce already consumed
+
+    def test_quote_for_wrong_nonce_rejected(self):
+        ta, device, verifier = setup_pair()
+        verifier.challenge("device-1")
+        stale = device.quote(ta, b"x" * 16)
+        with pytest.raises(AttestationError, match="nonce"):
+            verifier.verify(stale)
+
+    def test_quote_without_challenge_rejected(self):
+        ta, device, verifier = setup_pair()
+        quote = device.quote(ta, b"n" * 16)
+        with pytest.raises(AttestationError):
+            verifier.verify(quote)

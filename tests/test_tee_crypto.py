@@ -1,0 +1,91 @@
+"""Tests for the simulator's authenticated encryption and key derivation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tee import crypto
+from repro.tee.crypto import CryptoError, SealedBlob, decrypt, derive_key, encrypt, random_key
+
+settings.register_profile("ci", max_examples=30, deadline=None)
+settings.load_profile("ci")
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self):
+        key = random_key()
+        blob = encrypt(key, b"hello enclave")
+        assert decrypt(key, blob) == b"hello enclave"
+
+    def test_empty_plaintext(self):
+        key = random_key()
+        assert decrypt(key, encrypt(key, b"")) == b""
+
+    def test_wrong_key_fails(self):
+        blob = encrypt(random_key(), b"data")
+        with pytest.raises(CryptoError):
+            decrypt(random_key(), blob)
+
+    def test_ciphertext_tamper_detected(self):
+        key = random_key()
+        blob = encrypt(key, b"gradient bytes")
+        flipped = bytes([blob.ciphertext[0] ^ 1]) + blob.ciphertext[1:]
+        with pytest.raises(CryptoError, match="tag"):
+            decrypt(key, SealedBlob(blob.nonce, flipped, blob.tag))
+
+    def test_nonce_tamper_detected(self):
+        key = random_key()
+        blob = encrypt(key, b"x" * 64)
+        bad_nonce = bytes(16)
+        with pytest.raises(CryptoError):
+            decrypt(key, SealedBlob(bad_nonce, blob.ciphertext, blob.tag))
+
+    def test_fresh_nonce_per_encryption(self):
+        key = random_key()
+        a = encrypt(key, b"same")
+        b = encrypt(key, b"same")
+        assert a.nonce != b.nonce
+        assert a.ciphertext != b.ciphertext
+
+    def test_explicit_nonce_is_deterministic(self):
+        key = random_key()
+        nonce = bytes(range(16))
+        assert (
+            encrypt(key, b"abc", nonce).ciphertext
+            == encrypt(key, b"abc", nonce).ciphertext
+        )
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            encrypt(b"short", b"data")
+
+    def test_blob_serialisation_roundtrip(self):
+        key = random_key()
+        blob = encrypt(key, b"payload")
+        restored = SealedBlob.from_bytes(blob.to_bytes())
+        assert decrypt(key, restored) == b"payload"
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(CryptoError, match="short"):
+            SealedBlob.from_bytes(b"tiny")
+
+    @given(st.binary(max_size=512))
+    def test_roundtrip_property(self, payload):
+        key = derive_key(b"k" * 32, b"test")
+        assert decrypt(key, encrypt(key, payload)) == payload
+
+
+class TestKeyDerivation:
+    def test_deterministic(self):
+        parent = b"p" * 32
+        assert derive_key(parent, b"a") == derive_key(parent, b"a")
+
+    def test_context_separates(self):
+        parent = b"p" * 32
+        assert derive_key(parent, b"a") != derive_key(parent, b"b")
+
+    def test_multi_context_not_concat_ambiguous(self):
+        parent = b"p" * 32
+        assert derive_key(parent, b"ab", b"c") != derive_key(parent, b"a", b"bc")
+
+    def test_output_is_key_sized(self):
+        assert len(derive_key(b"p" * 32, b"x")) == crypto.KEY_BYTES

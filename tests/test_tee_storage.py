@@ -1,0 +1,145 @@
+"""Tests for OP-TEE-style secure storage (SSK -> TSK -> FEK hierarchy)."""
+
+import os
+
+import pytest
+
+from repro.tee import InMemoryBackend, IntegrityError, ReeFsBackend, SecureStorage
+
+
+class TestSecureStorage:
+    def setup_method(self):
+        self.storage = SecureStorage()
+        self.ta = "ta-uuid-1234"
+
+    def test_roundtrip(self):
+        self.storage.put(self.ta, "model", b"weights-blob")
+        assert self.storage.get(self.ta, "model") == b"weights-blob"
+
+    def test_missing_object_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no secure object"):
+            self.storage.get(self.ta, "nothing")
+
+    def test_overwrite_replaces(self):
+        self.storage.put(self.ta, "k", b"v1")
+        self.storage.put(self.ta, "k", b"v2")
+        assert self.storage.get(self.ta, "k") == b"v2"
+
+    def test_delete(self):
+        self.storage.put(self.ta, "k", b"v")
+        self.storage.delete(self.ta, "k")
+        with pytest.raises(KeyError):
+            self.storage.get(self.ta, "k")
+
+    def test_per_ta_isolation(self):
+        """A TA cannot read another TA's objects — TSK derives from UUID."""
+        self.storage.put("ta-A", "secret", b"A's data")
+        # Same object name under a different TA: absent.
+        with pytest.raises(KeyError):
+            self.storage.get("ta-B", "secret")
+
+    def test_tampered_blob_detected(self):
+        self.storage.put(self.ta, "k", b"sensitive")
+        key = SecureStorage._key(self.ta, "k")
+        blob = bytearray(self.storage.backend.get(key))
+        blob[-1] ^= 0xFF
+        self.storage.backend.put(key, bytes(blob))
+        with pytest.raises(IntegrityError, match="verification"):
+            self.storage.get(self.ta, "k")
+
+    def test_cross_device_blobs_unreadable(self):
+        """Blobs sealed under one device's SSK fail on another device."""
+        other = SecureStorage()
+        self.storage.put(self.ta, "k", b"data")
+        key = SecureStorage._key(self.ta, "k")
+        other.backend.put(key, self.storage.backend.get(key))
+        with pytest.raises(IntegrityError):
+            other.get(self.ta, "k")
+
+    def test_backend_sees_only_ciphertext(self):
+        self.storage.put(self.ta, "k", b"PLAINTEXT-MARKER")
+        raw = self.storage.backend.get(SecureStorage._key(self.ta, "k"))
+        assert b"PLAINTEXT-MARKER" not in raw
+
+    def test_objects_listing(self):
+        self.storage.put(self.ta, "a", b"1")
+        self.storage.put(self.ta, "b", b"2")
+        assert len(self.storage.objects()) == 2
+
+
+class TestReeFsBackend:
+    def test_roundtrip_via_files(self, tmp_path):
+        storage = SecureStorage(backend=ReeFsBackend(str(tmp_path)))
+        storage.put("ta", "weights", b"blob" * 100)
+        assert storage.get("ta", "weights") == b"blob" * 100
+        assert any(name.endswith(".sec") for name in os.listdir(tmp_path))
+
+    def test_atomic_replace_leaves_single_file(self, tmp_path):
+        backend = ReeFsBackend(str(tmp_path))
+        backend.put("k", b"v1")
+        backend.put("k", b"v2")
+        files = [n for n in os.listdir(tmp_path) if n.endswith(".sec")]
+        assert len(files) == 1
+        assert backend.get("k") == b"v2"
+
+    def test_delete_removes_file(self, tmp_path):
+        backend = ReeFsBackend(str(tmp_path))
+        backend.put("k", b"v")
+        backend.delete("k")
+        assert backend.get("k") is None
+
+    def test_keys_listing(self, tmp_path):
+        backend = ReeFsBackend(str(tmp_path))
+        backend.put("alpha", b"1")
+        backend.put("beta", b"2")
+        assert backend.keys() == ("alpha", "beta")
+
+    def test_path_traversal_neutralised(self, tmp_path):
+        backend = ReeFsBackend(str(tmp_path))
+        backend.put("../../evil", b"x")
+        # Everything stays inside the directory.
+        for name in os.listdir(tmp_path):
+            assert ".." not in name
+            assert "/" not in name
+
+
+class TestInMemoryBackend:
+    def test_missing_returns_none(self):
+        assert InMemoryBackend().get("k") is None
+
+    def test_delete_missing_is_noop(self):
+        InMemoryBackend().delete("nothing")
+
+
+class TestRollbackProtection:
+    """RPMB-style replay protection: stale-but-genuine blobs are rejected."""
+
+    def test_replayed_old_version_detected(self):
+        from repro.tee import RollbackError, SecureStorage
+
+        storage = SecureStorage()
+        storage.put("ta", "model", b"v1")
+        key = SecureStorage._key("ta", "model")
+        old_blob = storage.backend.get(key)
+        storage.put("ta", "model", b"v2")
+        # Attacker swaps the genuinely-sealed old blob back in.
+        storage.backend.put(key, old_blob)
+        with pytest.raises(RollbackError, match="replay"):
+            storage.get("ta", "model")
+
+    def test_current_version_reads_fine_after_many_writes(self):
+        from repro.tee import SecureStorage
+
+        storage = SecureStorage()
+        for i in range(5):
+            storage.put("ta", "k", f"v{i}".encode())
+        assert storage.get("ta", "k") == b"v4"
+
+    def test_counter_resets_after_delete(self):
+        from repro.tee import SecureStorage
+
+        storage = SecureStorage()
+        storage.put("ta", "k", b"a")
+        storage.delete("ta", "k")
+        storage.put("ta", "k", b"b")
+        assert storage.get("ta", "k") == b"b"

@@ -1,0 +1,46 @@
+"""Tests for world switching and the security exception hierarchy."""
+
+import pytest
+
+from repro.tee import (
+    SecureWorldViolation,
+    TEEError,
+    World,
+    current_world,
+    require_secure_world,
+    secure_world,
+)
+
+
+class TestWorlds:
+    def test_default_world_is_normal(self):
+        assert current_world() is World.NORMAL
+
+    def test_secure_world_context(self):
+        with secure_world():
+            assert current_world() is World.SECURE
+        assert current_world() is World.NORMAL
+
+    def test_nested_contexts_restore(self):
+        with secure_world():
+            with secure_world():
+                assert current_world() is World.SECURE
+            assert current_world() is World.SECURE
+        assert current_world() is World.NORMAL
+
+    def test_world_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with secure_world():
+                raise RuntimeError("boom")
+        assert current_world() is World.NORMAL
+
+    def test_require_secure_world_raises_in_normal(self):
+        with pytest.raises(SecureWorldViolation, match="only permitted"):
+            require_secure_world("test op")
+
+    def test_require_secure_world_passes_in_secure(self):
+        with secure_world():
+            require_secure_world("test op")  # should not raise
+
+    def test_exception_hierarchy(self):
+        assert issubclass(SecureWorldViolation, TEEError)
