@@ -1,0 +1,66 @@
+"""Microbenchmark: fused conv kernels and the parallel FL round executor.
+
+Writes step-time and round-time for the composed-vs-fused conv2d paths and
+the sequential-vs-parallel round executors into ``BENCH_kernels.json``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_perf_kernels.py [--quick]
+        [--workers N] [--out PATH]
+
+``--quick`` shrinks step counts/shard sizes for a smoke run (seconds, used
+by the ``perf``-marked test); the default configuration is the number that
+belongs in the repo's perf trajectory.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+# Pin BLAS threading before numpy loads: single-threaded GEMM keeps the
+# composed/fused comparison apples-to-apples and leaves cores to the round
+# executor's worker threads.
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+DEFAULT_OUT = _REPO_ROOT / "BENCH_kernels.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small smoke configuration"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="parallel executor width"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.perf import run_perf_suite
+
+    payload = run_perf_suite(
+        quick=args.quick, max_workers=args.workers, progress=print
+    )
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    conv = payload["conv_step"]
+    fl = payload["fl_round"]
+    print(
+        f"conv train-step: {conv['speedup']:.2f}x fused speedup | "
+        f"FL round: {fl['simulated_speedup']:.2f}x simulated, "
+        f"{fl['wall_speedup']:.2f}x wall | "
+        f"weights identical: {fl['aggregated_weights_identical']}"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,8 +6,10 @@ computation.
 """
 
 from . import functional, ops
+from .fused import conv2d_fused
 from .gradcheck import check_gradients, numerical_gradient
 from .tensor import Tensor, as_tensor, grad
+from .workspace import Workspace, get_workspace
 
 __all__ = [
     "Tensor",
@@ -17,4 +19,7 @@ __all__ = [
     "functional",
     "check_gradients",
     "numerical_gradient",
+    "conv2d_fused",
+    "Workspace",
+    "get_workspace",
 ]

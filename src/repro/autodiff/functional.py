@@ -12,12 +12,27 @@ from typing import Optional, Tuple
 import numpy as np
 
 from . import ops
+from .fused import conv2d_fused
 from .tensor import Tensor, as_tensor
 
 __all__ = [
-    "linear", "conv2d", "max_pool2d", "flatten",
-    "softmax", "log_softmax", "cross_entropy", "mse",
+    "linear", "conv2d", "conv2d_composed", "set_fused_conv", "max_pool2d",
+    "flatten", "softmax", "log_softmax", "cross_entropy", "mse",
 ]
+
+# Default conv implementation: the fused single-node kernel from
+# :mod:`repro.autodiff.fused`.  Flip off (via :func:`set_fused_conv`) to fall
+# back to the primitive composition — the two are bitwise identical; the
+# toggle exists for benchmarking and for bisecting kernel regressions.
+_USE_FUSED_CONV = True
+
+
+def set_fused_conv(enabled: bool) -> bool:
+    """Select the conv2d implementation; returns the previous setting."""
+    global _USE_FUSED_CONV
+    previous = _USE_FUSED_CONV
+    _USE_FUSED_CONV = bool(enabled)
+    return previous
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
@@ -44,12 +59,29 @@ def conv2d(
 ) -> Tensor:
     """2-D convolution (cross-correlation) in NCHW layout.
 
+    Dispatches to the fused single-node kernel by default (see
+    :func:`set_fused_conv`); the composed fallback below is bitwise
+    identical in both values and gradients.
+
     Parameters
     ----------
     x: shape ``(N, C, H, W)``.
     weight: shape ``(F, C, KH, KW)``.
     bias: shape ``(F,)`` or None.
     """
+    if _USE_FUSED_CONV:
+        return conv2d_fused(x, weight, bias, stride=stride, pad=pad)
+    return conv2d_composed(x, weight, bias, stride=stride, pad=pad)
+
+
+def conv2d_composed(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> Tensor:
+    """Reference conv2d built from five primitive ops (the pre-fusion path)."""
     x = as_tensor(x)
     weight = as_tensor(weight)
     n, c, h, w = x.shape

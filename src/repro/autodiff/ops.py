@@ -457,7 +457,14 @@ def col2im(cols, x_shape: tuple, kernel: Tuple[int, int], stride: int, pad: int)
 # ----------------------------------------------------------------------
 
 def maxpool2d(x, kernel: int = 2) -> Tensor:
-    """Max pool with square non-overlapping windows (stride == kernel)."""
+    """Max pool with square non-overlapping windows (stride == kernel).
+
+    The forward pass computes, once, the absolute ``(n, c, row, col)``
+    coordinates of every window's argmax; the whole backward chain
+    (scatter, and the gather its double backward needs) reuses those cached
+    coordinates as fancy indices instead of re-deriving the window
+    transpose on every application.
+    """
     x = as_tensor(x)
     n, c, h, w = x.shape
     if h % kernel or w % kernel:
@@ -471,39 +478,41 @@ def maxpool2d(x, kernel: int = 2) -> Tensor:
     idx = windows.argmax(axis=-1)
     out_data = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
 
+    # Absolute input coordinates of each window maximum (non-overlapping
+    # windows => the positions are unique, so plain assignment scatters).
+    rows = np.arange(oh).reshape(1, 1, oh, 1) * kernel + idx // kernel
+    cols = np.arange(ow).reshape(1, 1, 1, ow) * kernel + idx % kernel
+    argmax = (
+        np.arange(n).reshape(n, 1, 1, 1),
+        np.arange(c).reshape(1, c, 1, 1),
+        rows,
+        cols,
+    )
+
     def grad_fn(g):
-        return (_maxpool_scatter(g, idx, x.shape, kernel),)
+        return (_maxpool_scatter(g, argmax, x.shape),)
 
     return _make(out_data, (x,), grad_fn, "maxpool2d")
 
 
-def _maxpool_scatter(g: Tensor, idx: np.ndarray, x_shape: tuple, kernel: int) -> Tensor:
-    n, c, h, w = x_shape
-    oh, ow = h // kernel, w // kernel
+def _maxpool_scatter(g: Tensor, argmax: tuple, x_shape: tuple) -> Tensor:
+    """Place pooled gradients at the cached argmax coordinates."""
 
     def grad_fn(gg):
-        return (_maxpool_gather(gg, idx, kernel),)
+        return (_maxpool_gather(gg, argmax),)
 
-    windows = np.zeros((n, c, oh, ow, kernel * kernel), dtype=g.data.dtype)
-    np.put_along_axis(windows, idx[..., None], g.data[..., None], axis=-1)
-    data = (
-        windows.reshape(n, c, oh, ow, kernel, kernel)
-        .transpose(0, 1, 2, 4, 3, 5)
-        .reshape(n, c, h, w)
-    )
+    data = np.zeros(x_shape, dtype=g.data.dtype)
+    data[argmax] = g.data
     return _make(data, (g,), grad_fn, "maxpool_scatter")
 
 
-def _maxpool_gather(x: Tensor, idx: np.ndarray, kernel: int) -> Tensor:
-    n, c, h, w = x.shape
-    oh, ow = h // kernel, w // kernel
+def _maxpool_gather(x: Tensor, argmax: tuple) -> Tensor:
+    """Read the cached argmax coordinates back out (adjoint of scatter)."""
 
     def grad_fn(g):
-        return (_maxpool_scatter(g, idx, x.shape, kernel),)
+        return (_maxpool_scatter(g, argmax, x.shape),)
 
-    windows = x.data.reshape(n, c, oh, kernel, ow, kernel)
-    windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, kernel * kernel)
-    data = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
+    data = x.data[argmax]
     return _make(data, (x,), grad_fn, "maxpool_gather")
 
 

@@ -1,0 +1,238 @@
+"""Performance-runtime microbenchmarks (fused kernels, parallel rounds).
+
+This module is the measurement half of the fast-training-runtime work: it
+times (a) a conv-model training step under the composed vs the fused
+conv2d kernels, and (b) an 8-client FL round under the sequential vs the
+thread-parallel round executor.  ``benchmarks/bench_perf_kernels.py`` and
+``python -m repro perf`` are thin front-ends over :func:`run_perf_suite`;
+the JSON they write (``BENCH_kernels.json``) is the perf trajectory future
+changes regress against.
+
+Round time is reported two ways, both recorded in the JSON:
+
+* ``wall`` — wall-clock of the simulator process.  Thread parallelism only
+  shortens this when multiple cores are available (the GEMM-heavy fused
+  kernels release the GIL).
+* ``simulated`` — the device-latency view the paper's Table 6 uses: each
+  client accrues calibrated TrustZone device seconds, and a round takes the
+  sum of client times when devices train one-by-one versus the makespan of
+  scheduling them over ``max_workers`` concurrent devices.  This is the
+  deployment-faithful metric: real FL phones train concurrently.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..autodiff import functional as F, get_workspace
+from ..data.synthetic import synthetic_cifar
+from ..fl import (
+    FLClient,
+    FLServer,
+    ParallelRoundExecutor,
+    SequentialRoundExecutor,
+    TrainingPlan,
+)
+from ..nn import SGD, Sequential, lenet5, one_hot
+from ..tee.costmodel import CostModel
+
+__all__ = ["bench_conv_step", "bench_fl_round", "run_perf_suite"]
+
+
+def _flat_params(model: Sequential):
+    return [p for layer in model.layers for p in layer.parameters()]
+
+
+def _train_steps(model: Sequential, x, y, lr: float, steps: int) -> float:
+    """Time ``steps`` full train steps (forward, backward, SGD update)."""
+    optimizer = SGD(_flat_params(model), lr=lr)
+    start = time.perf_counter()
+    for _ in range(steps):
+        _, grads = model.loss_and_gradients(x, y)
+        flat = [
+            grads[li][key]
+            for li, layer in enumerate(model.layers)
+            for key in sorted(layer.params)
+        ]
+        optimizer.step(flat)
+    return time.perf_counter() - start
+
+
+def bench_conv_step(
+    steps: int = 12,
+    batch_size: int = 32,
+    num_classes: int = 10,
+    warmup: int = 2,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Per-step time of a LeNet-5 train step: composed vs fused conv2d."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch_size, 3, 32, 32))
+    y = one_hot(rng.integers(0, num_classes, size=batch_size), num_classes)
+    results: Dict[str, float] = {}
+    for label, fused in (("composed", False), ("fused", True)):
+        previous = F.set_fused_conv(fused)
+        try:
+            model = lenet5(num_classes=num_classes, seed=seed)
+            _train_steps(model, x, y, lr=0.05, steps=warmup)
+            elapsed = _train_steps(model, x, y, lr=0.05, steps=steps)
+        finally:
+            F.set_fused_conv(previous)
+        results[f"{label}_step_ms"] = elapsed / steps * 1e3
+    results["speedup"] = results["composed_step_ms"] / results["fused_step_ms"]
+    results["steps"] = steps
+    results["batch_size"] = batch_size
+    return results
+
+
+def _make_fl_setup(
+    num_clients: int,
+    samples_per_client: int,
+    plan: TrainingPlan,
+    seed: int = 0,
+) -> Tuple[FLServer, List[FLClient]]:
+    global_model = lenet5(num_classes=10, input_shape=(3, 16, 16), seed=seed)
+    server = FLServer(global_model, plan)
+    dataset = synthetic_cifar(
+        num_samples=num_clients * samples_per_client,
+        num_classes=10,
+        shape=(3, 16, 16),
+        seed=seed,
+    )
+    shards = dataset.shard(num_clients)
+    clients = []
+    for i, shard in enumerate(shards):
+        client = FLClient(
+            client_id=f"client-{i}",
+            dataset=shard,
+            model=global_model.clone(),
+            cost_model=CostModel(batch_size=plan.batch_size),
+            seed=100 + i,
+        )
+        server.register(client)
+        clients.append(client)
+    return server, clients
+
+
+def _makespan(durations: List[float], workers: int) -> float:
+    """Greedy longest-processing-time makespan over ``workers`` devices."""
+    if workers <= 1:
+        return sum(durations)
+    bins = [0.0] * workers
+    for d in sorted(durations, reverse=True):
+        bins[bins.index(min(bins))] += d
+    return max(bins)
+
+
+def _simulated_round_seconds(clients: List[FLClient]) -> List[float]:
+    return [c.shielded.simulated_cost.total_seconds for c in clients]
+
+
+def bench_fl_round(
+    num_clients: int = 8,
+    max_workers: int = 4,
+    rounds: int = 2,
+    samples_per_client: int = 32,
+    local_steps: int = 2,
+    batch_size: int = 16,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Wall and simulated round time: sequential vs parallel executor.
+
+    Both executors run numerically identical work (same seeds, same client
+    shards); the result records whether the aggregated global weights came
+    out bit-identical, which the determinism tests also assert.
+    """
+    plan = TrainingPlan(lr=0.05, batch_size=batch_size, local_steps=local_steps)
+    result: Dict[str, object] = {
+        "num_clients": num_clients,
+        "max_workers": max_workers,
+        "rounds": rounds,
+    }
+    finals = {}
+    for label, executor in (
+        ("sequential", SequentialRoundExecutor()),
+        ("parallel", ParallelRoundExecutor(max_workers=max_workers)),
+    ):
+        server, clients = _make_fl_setup(
+            num_clients, samples_per_client, plan, seed=seed
+        )
+        with executor:
+            server.run_cycle(clients, executor=executor)  # warmup (decode caches)
+            sim_before = _simulated_round_seconds(clients)
+            start = time.perf_counter()
+            for _ in range(rounds):
+                server.run_cycle(clients, executor=executor)
+            wall = (time.perf_counter() - start) / rounds
+        sim_after = _simulated_round_seconds(clients)
+        per_client = [
+            (after - before) / rounds for before, after in zip(sim_before, sim_after)
+        ]
+        workers = 1 if label == "sequential" else max_workers
+        result[f"{label}_wall_s"] = wall
+        result[f"{label}_simulated_s"] = _makespan(per_client, workers)
+        finals[label] = server.model.get_weights()
+    result["wall_speedup"] = (
+        result["sequential_wall_s"] / result["parallel_wall_s"]  # type: ignore[operator]
+    )
+    result["simulated_speedup"] = (
+        result["sequential_simulated_s"] / result["parallel_simulated_s"]  # type: ignore[operator]
+    )
+    identical = all(
+        set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+        for a, b in zip(finals["sequential"], finals["parallel"])
+    )
+    result["aggregated_weights_identical"] = bool(identical)
+    return result
+
+
+def run_perf_suite(
+    quick: bool = False,
+    max_workers: int = 4,
+    num_clients: int = 8,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run both microbenchmarks and return the BENCH_kernels payload."""
+    import os
+
+    say = progress or (lambda _msg: None)
+    workspace = get_workspace()
+    workspace.clear()
+    say("timing conv train-step (composed vs fused) ...")
+    conv = bench_conv_step(steps=4 if quick else 12)
+    say(
+        f"  composed {conv['composed_step_ms']:.1f} ms/step, "
+        f"fused {conv['fused_step_ms']:.1f} ms/step "
+        f"({conv['speedup']:.2f}x)"
+    )
+    say(f"timing {num_clients}-client FL round (sequential vs parallel) ...")
+    fl = bench_fl_round(
+        num_clients=num_clients,
+        max_workers=max_workers,
+        rounds=1 if quick else 2,
+        samples_per_client=16 if quick else 32,
+        local_steps=1 if quick else 2,
+    )
+    say(
+        f"  wall {fl['sequential_wall_s']:.2f}s -> {fl['parallel_wall_s']:.2f}s "
+        f"({fl['wall_speedup']:.2f}x), simulated device latency "
+        f"{fl['sequential_simulated_s']:.2f}s -> {fl['parallel_simulated_s']:.2f}s "
+        f"({fl['simulated_speedup']:.2f}x)"
+    )
+    return {
+        "schema": 1,
+        "quick": bool(quick),
+        "cpu_count": os.cpu_count(),
+        "conv_step": conv,
+        "fl_round": fl,
+        "workspace": workspace.stats(),
+        "notes": (
+            "wall_speedup measures simulator wall-clock (thread parallelism "
+            "needs >1 core to shorten it); simulated_speedup is the "
+            "deployment metric — concurrent TrustZone devices vs one-by-one "
+            "(Table 6 device-seconds, LPT makespan over max_workers)."
+        ),
+    }

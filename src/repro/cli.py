@@ -112,6 +112,21 @@ def _cmd_summary(args: argparse.Namespace) -> None:
     print("'--fast' runs every experiment at reduced budget.")
 
 
+def _cmd_perf(args: argparse.Namespace) -> None:
+    import json
+
+    from .bench.perf import run_perf_suite
+
+    payload = run_perf_suite(
+        quick=args.quick, max_workers=args.workers, progress=print
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+
 _COMMANDS = {
     "table5": (_cmd_table5, "DPIA AUC, static vs dynamic GradSec"),
     "table6": (_cmd_table6, "CPU time and TEE memory per configuration"),
@@ -126,6 +141,7 @@ def _cmd_list(args: argparse.Namespace) -> None:
     print("available experiments:")
     for name, (_, description) in _COMMANDS.items():
         print(f"  {name:<8} {description}")
+    print(f"  {'perf':<8} fused-kernel and parallel-round microbenchmarks")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--fast", action="store_true", help="reduced budget")
         sub.add_argument("--cycles", type=int, default=36, help="FL cycles (DPIA)")
         sub.add_argument("--batch-size", type=int, default=32, help="batch size")
+    perf = subparsers.add_parser(
+        "perf", help="fused-kernel and parallel-round microbenchmarks"
+    )
+    perf.add_argument("--quick", action="store_true", help="smoke configuration")
+    perf.add_argument("--workers", type=int, default=4, help="executor width")
+    perf.add_argument("--out", default=None, help="write BENCH_kernels JSON here")
     return parser
 
 
@@ -147,6 +169,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         _cmd_list(args)
+        return 0
+    if args.command == "perf":
+        _cmd_perf(args)
         return 0
     handler, _ = _COMMANDS[args.command]
     handler(args)

@@ -9,6 +9,7 @@ from .aggregation import fedavg, merge_plain_and_sealed, weighted_average
 from .client import FLClient
 from .compression import SparseUpdate, TopKCompressor
 from .dp import GaussianMechanism, clip_by_norm
+from .executor import ParallelRoundExecutor, RoundExecutor, SequentialRoundExecutor
 from .history import SnapshotHistory
 from .metrics import RoundRecord, TrainingMonitor
 from .plan import TrainingPlan
@@ -20,6 +21,7 @@ from .transport import Channel, ClientUpdate, ModelDownload
 
 __all__ = [
     "FLServer", "FLClient", "TrainingPlan",
+    "RoundExecutor", "SequentialRoundExecutor", "ParallelRoundExecutor",
     "fedavg", "weighted_average", "merge_plain_and_sealed",
     "SnapshotHistory", "TEESelector", "SelectionResult",
     "TrainingMonitor", "RoundRecord",

@@ -10,8 +10,9 @@ policy, and return the update (protected layers sealed again).
 
 from __future__ import annotations
 
+import hashlib
 import io
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -93,6 +94,7 @@ class FLClient:
         self.shielded = ShieldedModel(model, policy, cost_model=cost_model)
         self.iopath = TrustedIOPath()
         self._data_key = "training-data"
+        self._data_cache: Optional[Tuple[bytes, ArrayDataset]] = None
         self.storage.put(
             self.shielded.ta.uuid, self._data_key, _dataset_to_bytes(dataset)
         )
@@ -112,8 +114,21 @@ class FLClient:
 
     # -- training ---------------------------------------------------------
     def _load_data(self) -> ArrayDataset:
+        """Fetch the shard from secure storage, decoding at most once.
+
+        The sealed blob is still fetched and integrity-verified by
+        :class:`~repro.tee.storage.SecureStorage` every cycle (so tampering
+        and rollback are detected exactly as before), but the expensive
+        ``np.load`` deserialisation is cached keyed on the blob's SHA-256 —
+        any change to the stored bytes forces a re-decode.
+        """
         blob = self.storage.get(self.shielded.ta.uuid, self._data_key)
-        return _dataset_from_bytes(blob, name=f"{self.client_id}-shard")
+        digest = hashlib.sha256(blob).digest()
+        if self._data_cache is not None and self._data_cache[0] == digest:
+            return self._data_cache[1]
+        dataset = _dataset_from_bytes(blob, name=f"{self.client_id}-shard")
+        self._data_cache = (digest, dataset)
+        return dataset
 
     def run_cycle(self, download: ModelDownload, plan: TrainingPlan) -> ClientUpdate:
         """Execute one FL cycle and return the (partially sealed) update."""

@@ -18,6 +18,7 @@ from ..nn.model import Sequential, WeightsList
 from ..tee.attestation import AttestationVerifier
 from .aggregation import fedavg, merge_plain_and_sealed
 from .client import FLClient
+from .executor import RoundExecutor, SequentialRoundExecutor
 from .history import SnapshotHistory
 from .plan import TrainingPlan
 from .selection import SelectionResult, TEESelector
@@ -41,6 +42,11 @@ class FLServer:
     allow_legacy:
         Hybrid deployments admit non-TEE clients (future-work mode);
         protected layers are then only shielded on TEE-capable clients.
+    executor:
+        Round executor deciding how client training is dispatched
+        (default: the original sequential path).  Pass a
+        :class:`~repro.fl.executor.ParallelRoundExecutor` to fan clients
+        across a thread pool; aggregation results are identical either way.
     """
 
     def __init__(
@@ -49,10 +55,12 @@ class FLServer:
         plan: TrainingPlan,
         policy: Optional[ProtectionPolicy] = None,
         allow_legacy: bool = False,
+        executor: Optional[RoundExecutor] = None,
     ) -> None:
         self.model = model
         self.plan = plan
         self.policy = policy or NoProtection(model.num_layers)
+        self.executor = executor or SequentialRoundExecutor()
         self.verifier = AttestationVerifier()
         self.selector = TEESelector(self.verifier, allow_legacy=allow_legacy)
         self.history = SnapshotHistory()
@@ -100,22 +108,42 @@ class FLServer:
         unsealed = client.iopath.unseal_remote(update.sealed_weights)
         return merge_plain_and_sealed(update.plain_weights, unsealed)
 
-    def run_cycle(self, participants: Sequence[FLClient]) -> List[ClientUpdate]:
-        """One full cycle: distribute, train, collect, aggregate."""
+    def run_cycle(
+        self,
+        participants: Sequence[FLClient],
+        executor: Optional[RoundExecutor] = None,
+    ) -> List[ClientUpdate]:
+        """One full cycle: distribute, train, collect, aggregate.
+
+        Downloads are prepared on the coordinator thread before dispatch
+        (they only read the frozen global weights), client training runs
+        through the round executor, and updates are merged in participant
+        order — so sequential and parallel executors aggregate identical
+        global weights.
+        """
         if not participants:
             raise ValueError("no participants in this cycle")
+        executor = executor if executor is not None else self.executor
         if len(self.history) == 0:
             self.history.record(self.model.get_weights())
         protected = self.policy.layers_for_cycle(self.cycle)
+        downloads: List[ModelDownload] = []
+        for client in participants:
+            effective = protected if client.has_tee() else frozenset()
+            downloads.append(
+                self.channel.send_download(self._make_download(client, effective))
+            )
+
+        def train(pair) -> ClientUpdate:
+            client, download = pair
+            return client.run_cycle(download, self.plan)
+
+        collected = executor.map(train, list(zip(participants, downloads)))
         updates: List[ClientUpdate] = []
         merged: List[WeightsList] = []
         counts: List[int] = []
-        for client in participants:
-            effective = protected if client.has_tee() else frozenset()
-            download = self.channel.send_download(
-                self._make_download(client, effective)
-            )
-            update = self.channel.send_update(client.run_cycle(download, self.plan))
+        for client, update in zip(participants, collected):
+            update = self.channel.send_update(update)
             updates.append(update)
             merged.append(self._merge_update(client, update))
             counts.append(update.num_samples)

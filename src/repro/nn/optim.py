@@ -5,11 +5,16 @@
 the first leakage vector exploits.  ``Adam`` is provided for the attacks
 (DRIA can optimise with Adam or L-BFGS, per §3.2) and for faster example
 training.
+
+Both optimisers update parameters **in place** (``np.subtract(...,
+out=param.data)``) with state buffers (momentum velocity, Adam moments, a
+scratch array) preallocated once per parameter at construction, so the
+training hot path performs zero per-step allocations in the update rule.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -44,18 +49,25 @@ class SGD(Optimizer):
     def __init__(self, parameters: Sequence[Tensor], lr: float = 0.1, momentum: float = 0.0) -> None:
         super().__init__(parameters, lr)
         self.momentum = float(momentum)
-        self._velocity: Dict[int, np.ndarray] = {}
+        self._velocity: List[np.ndarray] = [
+            np.zeros_like(p.data) for p in self.parameters
+        ]
+        self._scratch: List[np.ndarray] = [
+            np.zeros_like(p.data) for p in self.parameters
+        ]
 
     def _apply(self, grads: List[np.ndarray]) -> None:
-        for i, (param, g) in enumerate(zip(self.parameters, grads)):
+        for param, g, v, scratch in zip(
+            self.parameters, grads, self._velocity, self._scratch
+        ):
             if self.momentum:
-                v = self._velocity.get(i)
-                v = self.momentum * v + g if v is not None else g.copy()
-                self._velocity[i] = v
+                v *= self.momentum
+                v += g
                 update = v
             else:
                 update = g
-            param.data = param.data - self.lr * update
+            np.multiply(update, self.lr, out=scratch)
+            np.subtract(param.data, scratch, out=param.data)
 
 
 class Adam(Optimizer):
@@ -71,19 +83,33 @@ class Adam(Optimizer):
     ) -> None:
         super().__init__(parameters, lr)
         self.beta1, self.beta2, self.eps = float(beta1), float(beta2), float(eps)
-        self._m: Dict[int, np.ndarray] = {}
-        self._v: Dict[int, np.ndarray] = {}
+        self._m: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._v: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._s1: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._s2: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
 
     def _apply(self, grads: List[np.ndarray]) -> None:
         self._t += 1
         b1, b2 = self.beta1, self.beta2
-        for i, (param, g) in enumerate(zip(self.parameters, grads)):
-            m = self._m.get(i, np.zeros_like(g))
-            v = self._v.get(i, np.zeros_like(g))
-            m = b1 * m + (1 - b1) * g
-            v = b2 * v + (1 - b2) * g * g
-            self._m[i], self._v[i] = m, v
-            m_hat = m / (1 - b1 ** self._t)
-            v_hat = v / (1 - b2 ** self._t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        bc1 = 1.0 - b1 ** self._t
+        bc2 = 1.0 - b2 ** self._t
+        for param, g, m, v, s1, s2 in zip(
+            self.parameters, grads, self._m, self._v, self._s1, self._s2
+        ):
+            # m <- b1*m + (1-b1)*g ; v <- b2*v + (1-b2)*g^2, all in place.
+            m *= b1
+            np.multiply(g, 1.0 - b1, out=s1)
+            m += s1
+            v *= b2
+            np.multiply(g, g, out=s1)
+            s1 *= 1.0 - b2
+            v += s1
+            # param -= lr * (m / bc1) / (sqrt(v / bc2) + eps)
+            np.divide(v, bc2, out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            np.divide(m, bc1, out=s1)
+            np.divide(s1, s2, out=s1)
+            s1 *= self.lr
+            np.subtract(param.data, s1, out=param.data)

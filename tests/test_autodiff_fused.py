@@ -1,0 +1,167 @@
+"""Fused conv2d kernel: bitwise parity with the composed path, gradients,
+double backward, and workspace-reuse behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, grad, ops
+from repro.autodiff import functional as F
+from repro.autodiff.fused import conv2d_fused
+from repro.autodiff.functional import conv2d_composed, set_fused_conv
+from repro.autodiff.workspace import Workspace, get_workspace
+
+# (batch, in_ch, height, width, filters, kernel, stride, pad, bias)
+SHAPES = [
+    (2, 3, 8, 8, 4, 3, 1, 0, True),
+    (1, 2, 9, 9, 3, 3, 2, 1, True),
+    (3, 4, 10, 10, 5, 5, 2, 2, False),
+    (2, 1, 7, 7, 2, 3, 3, 1, True),
+    (1, 3, 12, 12, 6, 5, 1, 2, False),
+    (4, 2, 6, 6, 3, 2, 2, 0, True),
+]
+
+
+def _random_case(case, seed):
+    n, c, h, w, f, k, stride, pad, with_bias = case
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(n, c, h, w)), requires_grad=True)
+    weight = Tensor(rng.normal(size=(f, c, k, k)) * 0.3, requires_grad=True)
+    bias = Tensor(rng.normal(size=(f,)), requires_grad=True) if with_bias else None
+    return x, weight, bias, stride, pad
+
+
+class TestBitwiseParity:
+    """Fused output and gradients equal the composed path bit for bit."""
+
+    @pytest.mark.parametrize("case", SHAPES)
+    def test_forward_bitwise(self, case):
+        x, w, b, stride, pad = _random_case(case, seed=7)
+        fused = conv2d_fused(x, w, b, stride=stride, pad=pad)
+        composed = conv2d_composed(x, w, b, stride=stride, pad=pad)
+        assert np.array_equal(fused.data, composed.data)
+
+    @pytest.mark.parametrize("case", SHAPES)
+    def test_backward_bitwise(self, case):
+        x, w, b, stride, pad = _random_case(case, seed=11)
+        rng = np.random.default_rng(13)
+
+        def run(op):
+            xs = Tensor(x.data.copy(), requires_grad=True)
+            ws = Tensor(w.data.copy(), requires_grad=True)
+            bs = Tensor(b.data.copy(), requires_grad=True) if b is not None else None
+            out = op(xs, ws, bs, stride=stride, pad=pad)
+            seed_grad = rng.normal(size=out.shape)
+            out.backward(Tensor(seed_grad))
+            grads = [xs.grad.data, ws.grad.data]
+            if bs is not None:
+                grads.append(bs.grad.data)
+            return grads
+
+        rng = np.random.default_rng(13)
+        fused_grads = run(conv2d_fused)
+        rng = np.random.default_rng(13)
+        composed_grads = run(conv2d_composed)
+        for got, want in zip(fused_grads, composed_grads):
+            assert np.array_equal(got, want)
+
+    def test_dispatch_toggle(self):
+        x, w, b, stride, pad = _random_case(SHAPES[1], seed=3)
+        previous = set_fused_conv(False)
+        try:
+            composed = F.conv2d(x, w, b, stride=stride, pad=pad)
+            set_fused_conv(True)
+            fused = F.conv2d(x, w, b, stride=stride, pad=pad)
+        finally:
+            set_fused_conv(previous)
+        assert np.array_equal(fused.data, composed.data)
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 3, 5, 5)))
+        w = Tensor(np.zeros((2, 4, 3, 3)))
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv2d_fused(x, w)
+
+
+class TestGradients:
+    def test_gradcheck_stride_pad(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)))
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.4)
+        b = Tensor(rng.normal(size=(3,)))
+
+        def fn(xs, ws, bs):
+            return ops.sum_(conv2d_fused(xs, ws, bs, stride=2, pad=1) ** 2)
+
+        check_gradients(fn, [x, w, b])
+
+    def test_double_backward_matches_composed(self):
+        rng = np.random.default_rng(5)
+        xd = rng.normal(size=(1, 2, 6, 6))
+        wd = rng.normal(size=(2, 2, 3, 3)) * 0.5
+
+        def grad_norm(op):
+            x = Tensor(xd.copy(), requires_grad=True)
+            w = Tensor(wd.copy(), requires_grad=True)
+            out = ops.sum_(op(x, w, None, stride=1, pad=1) ** 2)
+            (gx,) = grad(out, [x], create_graph=True)
+            gg = ops.sum_(gx ** 2)
+            return grad(gg, [w])[0].data
+
+        fused = grad_norm(conv2d_fused)
+        composed = grad_norm(conv2d_composed)
+        assert np.allclose(fused, composed, atol=1e-10)
+
+    def test_no_grad_input_skips_dx(self):
+        rng = np.random.default_rng(9)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)))  # requires_grad=False
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        out = conv2d_fused(x, w, stride=1, pad=1)
+        out.backward(Tensor(np.ones(out.shape)))
+        assert w.grad is not None
+        assert x.grad is None
+
+
+class TestWorkspace:
+    def test_checkout_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.checkout((4, 5))
+        ws.release(a)
+        b = ws.checkout((4, 5))
+        assert b is a
+        stats = ws.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_checkout_zero_fills(self):
+        ws = Workspace()
+        a = ws.checkout((3, 3))
+        a.fill(7.0)
+        ws.release(a)
+        b = ws.checkout((3, 3), zero=True)
+        assert np.array_equal(b, np.zeros((3, 3)))
+
+    def test_distinct_until_released(self):
+        ws = Workspace()
+        a = ws.checkout((2, 2))
+        b = ws.checkout((2, 2))
+        assert a is not b
+
+    def test_clear_drops_cache(self):
+        ws = Workspace()
+        ws.release(ws.checkout((8, 8)))
+        assert ws.cached_bytes > 0
+        ws.clear()
+        assert ws.cached_bytes == 0
+
+    def test_global_workspace_reused_by_training(self):
+        ws = get_workspace()
+        ws.clear()
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(2, 2, 8, 8)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        for _ in range(3):
+            out = conv2d_fused(x, w, stride=1, pad=1)
+            out.backward(Tensor(np.ones(out.shape)))
+            x.grad = None
+            w.grad = None
+        stats = ws.stats()
+        assert stats["hits"] > 0  # later iterations hit the free list

@@ -1,0 +1,47 @@
+"""Smoke test for the perf microbenchmark harness (marked ``perf``)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "bench_perf_kernels.py"
+
+
+@pytest.mark.perf
+def test_bench_perf_kernels_quick(tmp_path):
+    out = tmp_path / "BENCH_kernels.json"
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--quick", "--workers", "2", "--out", str(out)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    assert payload["quick"] is True
+    conv = payload["conv_step"]
+    assert conv["composed_step_ms"] > 0 and conv["fused_step_ms"] > 0
+    assert conv["speedup"] == pytest.approx(
+        conv["composed_step_ms"] / conv["fused_step_ms"]
+    )
+    fl = payload["fl_round"]
+    assert fl["num_clients"] == 8 and fl["max_workers"] == 2
+    assert fl["aggregated_weights_identical"] is True
+    assert fl["simulated_speedup"] > 1.0
+    assert payload["workspace"]["hits"] > 0
+
+
+@pytest.mark.perf
+def test_cli_perf_subcommand(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "perf.json"
+    assert main(["perf", "--quick", "--workers", "2", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    assert "conv_step" in payload and "fl_round" in payload
