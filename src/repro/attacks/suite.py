@@ -12,6 +12,7 @@ attack, using each attack's paper-calibrated success criterion:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -20,6 +21,7 @@ import numpy as np
 from ..core.policy import ProtectionPolicy
 from ..data.synthetic import synthetic_cifar
 from ..nn.zoo import lenet5
+from ..obs import get_clock, get_registry, get_tracer
 from .base import AttackResult
 from .dria import DataReconstructionAttack
 from .mia import MembershipInferenceAttack, train_target_model
@@ -92,6 +94,22 @@ class AttackSuite:
         self.seed = int(seed)
         self.fast = bool(fast)
 
+    @contextmanager
+    def _observed(self, attack: str, policy: ProtectionPolicy):
+        """Span + per-attack latency histogram around one attack run."""
+        registry = get_registry()
+        registry.counter("attacks.runs", "attack executions").inc(attack=attack)
+        started = get_clock().now()
+        try:
+            with get_tracer().span(
+                "attack.run", attack=attack, policy=policy.describe()
+            ):
+                yield
+        finally:
+            registry.histogram(
+                "attacks.seconds", "wall time per attack run"
+            ).observe(get_clock().now() - started, attack=attack)
+
     def audit(self, policy: ProtectionPolicy) -> SecurityReport:
         """Run DRIA and MIA against ``policy`` on reference workloads."""
         protected = tuple(sorted(policy.layers_for_cycle(0)))
@@ -102,16 +120,17 @@ class AttackSuite:
         dria_model = lenet5(num_classes=10, seed=self.seed + 1)
         data = synthetic_cifar(num_samples=2, num_classes=10, seed=self.seed)
         dria = DataReconstructionAttack(dria_model, iterations=iterations, seed=self.seed)
-        try:
-            dria_result = dria.run(
-                data.x[:1], data.one_hot_labels()[:1], protected=protected
-            )
-            dria_success = dria_result.score < self.dria_threshold
-        except ValueError:  # everything protected: no gradients to match
-            dria_result = AttackResult(
-                "DRIA", frozenset(protected), float("inf"), "ImageLoss"
-            )
-            dria_success = False
+        with self._observed("DRIA", policy):
+            try:
+                dria_result = dria.run(
+                    data.x[:1], data.one_hot_labels()[:1], protected=protected
+                )
+                dria_success = dria_result.score < self.dria_threshold
+            except ValueError:  # everything protected: no gradients to match
+                dria_result = AttackResult(
+                    "DRIA", frozenset(protected), float("inf"), "ImageLoss"
+                )
+                dria_success = False
         report.verdicts["DRIA"] = AttackVerdict(
             dria_result,
             dria_success,
@@ -134,7 +153,8 @@ class AttackSuite:
         mia = MembershipInferenceAttack(
             target, probes_per_class=40 if self.fast else 80, seed=self.seed
         )
-        mia_result = mia.run(members, nonmembers, protected=protected)
+        with self._observed("MIA", policy):
+            mia_result = mia.run(members, nonmembers, protected=protected)
         report.verdicts["MIA"] = AttackVerdict(
             mia_result,
             mia_result.score > 0.5 + self.mia_margin,
@@ -155,12 +175,13 @@ class AttackSuite:
 
         if policy.num_layers != 5:
             raise ValueError("the DPIA reference workload uses a 5-layer model")
-        row = dpia_experiment(
-            [(policy.describe(), policy)],
-            cycles=cycles,
-            fast=self.fast,
-            seed=self.seed,
-        )[0]
+        with self._observed("DPIA", policy):
+            row = dpia_experiment(
+                [(policy.describe(), policy)],
+                cycles=cycles,
+                fast=self.fast,
+                seed=self.seed,
+            )[0]
         result = AttackResult("DPIA", frozenset(row.protected), row.score, "AUC")
         return AttackVerdict(
             result,

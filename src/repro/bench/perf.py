@@ -37,6 +37,7 @@ from ..fl import (
     TrainingPlan,
 )
 from ..nn import SGD, Sequential, lenet5, one_hot
+from ..obs import get_registry
 from ..tee.costmodel import CostModel
 
 __all__ = ["bench_conv_step", "bench_fl_round", "run_perf_suite"]
@@ -201,6 +202,10 @@ def run_perf_suite(
     say = progress or (lambda _msg: None)
     workspace = get_workspace()
     workspace.clear()
+    # Fresh measurement window: the snapshot embedded below then describes
+    # exactly this suite's work (SMC counts, pool peaks, round latency).
+    registry = get_registry()
+    registry.reset()
     say("timing conv train-step (composed vs fused) ...")
     conv = bench_conv_step(steps=4 if quick else 12)
     say(
@@ -229,6 +234,7 @@ def run_perf_suite(
         "conv_step": conv,
         "fl_round": fl,
         "workspace": workspace.stats(),
+        "obs_metrics": registry.snapshot(),
         "notes": (
             "wall_speedup measures simulator wall-clock (thread parallelism "
             "needs >1 core to shorten it); simulated_speedup is the "

@@ -112,6 +112,71 @@ def _cmd_summary(args: argparse.Namespace) -> None:
     print("'--fast' runs every experiment at reduced budget.")
 
 
+def _cmd_trace(args: argparse.Namespace) -> None:
+    """Run a tiny FL round under a fake clock and emit its trace + metrics.
+
+    The whole round executes inside a fresh observability context with a
+    deterministic clock, so two invocations with the same arguments emit
+    byte-identical JSON — the trace is validated against the schema before
+    anything is written.
+    """
+    import json
+
+    from .core import StaticPolicy
+    from .data.synthetic import synthetic_cifar
+    from .fl import FLClient, FLServer, TrainingPlan
+    from .nn import lenet5 as make_lenet5
+    from .obs import FakeClock, fresh, validate_trace
+
+    protect = tuple(int(p) for p in args.protect.split(",") if p.strip())
+    shape = (3, 16, 16)
+
+    def policy():
+        return StaticPolicy(5, protect) if protect else None
+
+    with fresh(clock=FakeClock()) as ctx:
+        global_model = make_lenet5(num_classes=10, input_shape=shape, seed=0)
+        plan = TrainingPlan(lr=0.05, batch_size=4, local_steps=args.steps)
+        server = FLServer(global_model, plan, policy=policy())
+        dataset = synthetic_cifar(
+            num_samples=8 * args.clients, num_classes=10, shape=shape, seed=0
+        )
+        clients = [
+            FLClient(
+                f"client-{i}",
+                shard,
+                global_model.clone(),
+                policy=policy(),
+                seed=100 + i,
+            )
+            for i, shard in enumerate(dataset.shard(args.clients))
+        ]
+        for client in clients:
+            server.register(client)
+        server.run_cycle(clients)
+        trace = ctx.tracer.export()
+        metrics = ctx.registry.snapshot()
+    validate_trace(trace)
+    payload = {
+        "schema": 1,
+        "command": "trace",
+        "config": {
+            "clients": args.clients,
+            "steps": args.steps,
+            "protected_layers": list(protect),
+        },
+        "trace": trace,
+        "metrics": metrics,
+    }
+    text = json.dumps(payload, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+
 def _cmd_perf(args: argparse.Namespace) -> None:
     import json
 
@@ -142,6 +207,7 @@ def _cmd_list(args: argparse.Namespace) -> None:
     for name, (_, description) in _COMMANDS.items():
         print(f"  {name:<8} {description}")
     print(f"  {'perf':<8} fused-kernel and parallel-round microbenchmarks")
+    print(f"  {'trace':<8} deterministic FL-round trace + metrics as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,6 +228,17 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--quick", action="store_true", help="smoke configuration")
     perf.add_argument("--workers", type=int, default=4, help="executor width")
     perf.add_argument("--out", default=None, help="write BENCH_kernels JSON here")
+    trace = subparsers.add_parser(
+        "trace", help="deterministic FL-round trace + metrics as JSON"
+    )
+    trace.add_argument("--clients", type=int, default=2, help="FL participants")
+    trace.add_argument("--steps", type=int, default=1, help="local steps per client")
+    trace.add_argument(
+        "--protect",
+        default="2,3",
+        help="comma-separated protected layer indices ('' for none)",
+    )
+    trace.add_argument("--out", default=None, help="write the JSON here")
     return parser
 
 
@@ -172,6 +249,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "perf":
         _cmd_perf(args)
+        return 0
+    if args.command == "trace":
+        _cmd_trace(args)
         return 0
     handler, _ = _COMMANDS[args.command]
     handler(args)

@@ -21,8 +21,10 @@ from ..core.policy import NoProtection, ProtectionPolicy
 from ..core.shielded import ShieldedModel
 from ..data.datasets import ArrayDataset
 from ..nn.model import Sequential
+from ..obs import get_registry, get_tracer
 from ..tee.attestation import AttestationDevice, Quote
 from ..tee.costmodel import CostModel
+from ..tee.memory import SecureMemoryPool
 from ..tee.iopath import TrustedIOPath
 from ..tee.storage import SecureStorage
 from .plan import TrainingPlan
@@ -91,7 +93,14 @@ class FLClient:
             raise ValueError(
                 f"client {client_id} has no TEE but the policy protects layers"
             )
-        self.shielded = ShieldedModel(model, policy, cost_model=cost_model)
+        # A client-named pool makes per-device secure memory observable
+        # (metric series tee.pool.*{pool=<client_id>}).
+        self.shielded = ShieldedModel(
+            model,
+            policy,
+            pool=SecureMemoryPool(name=client_id),
+            cost_model=cost_model,
+        )
         self.iopath = TrustedIOPath()
         self._data_key = "training-data"
         self._data_cache: Optional[Tuple[bytes, ArrayDataset]] = None
@@ -132,29 +141,38 @@ class FLClient:
 
     def run_cycle(self, download: ModelDownload, plan: TrainingPlan) -> ClientUpdate:
         """Execute one FL cycle and return the (partially sealed) update."""
-        # Install the unprotected layers from the plain part.
-        for index, layer_weights in enumerate(download.plain_weights, start=1):
-            if layer_weights:
-                self.model.layer(index).set_weights(layer_weights)
+        with get_tracer().span(
+            "fl.client.train", client=self.client_id, cycle=download.cycle
+        ):
+            # Install the unprotected layers from the plain part.
+            for index, layer_weights in enumerate(download.plain_weights, start=1):
+                if layer_weights:
+                    self.model.layer(index).set_weights(layer_weights)
 
-        self.shielded.batch_size = plan.batch_size
-        protected = self.shielded.begin_cycle(
-            sealed_weights=download.sealed_weights,
-            iopath=self.iopath if download.sealed_weights is not None else None,
-            cycle=download.cycle,
-        )
-        dataset = self._load_data()
-        batches = dataset.batches(plan.batch_size, rng=self._rng, drop_last=False)
-        steps = 0
-        for batch in batches:
-            self.shielded.train_step(batch.x, batch.y, lr=plan.lr)
-            steps += 1
-            if steps >= plan.local_steps:
-                break
+            self.shielded.batch_size = plan.batch_size
+            protected = self.shielded.begin_cycle(
+                sealed_weights=download.sealed_weights,
+                iopath=self.iopath if download.sealed_weights is not None else None,
+                cycle=download.cycle,
+            )
+            dataset = self._load_data()
+            batches = dataset.batches(plan.batch_size, rng=self._rng, drop_last=False)
+            steps = 0
+            for batch in batches:
+                self.shielded.train_step(batch.x, batch.y, lr=plan.lr)
+                steps += 1
+                if steps >= plan.local_steps:
+                    break
 
-        sealed, plain = self.shielded.export_update(self.iopath)
-        leakage = self.shielded.end_cycle(restore=False)
+            with get_tracer().span(
+                "fl.client.upload", client=self.client_id, cycle=download.cycle
+            ):
+                sealed, plain = self.shielded.export_update(self.iopath)
+            leakage = self.shielded.end_cycle(restore=False)
         self.leakage_log.append(leakage)
+        get_registry().counter(
+            "fl.client.steps", "local SGD steps executed"
+        ).inc(steps, client=self.client_id)
         return ClientUpdate(
             client_id=self.client_id,
             cycle=download.cycle,

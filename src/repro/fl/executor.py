@@ -25,8 +25,11 @@ closures, enclave handles) are not picklable for a process pool.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..obs import get_clock, get_registry
 
 __all__ = ["RoundExecutor", "SequentialRoundExecutor", "ParallelRoundExecutor"]
 
@@ -37,9 +40,36 @@ R = TypeVar("R")
 class RoundExecutor:
     """Strategy interface: run one unit of client work per item."""
 
+    #: label under which this executor reports ``fl.executor.*`` metrics
+    kind = "base"
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, returning results in item order."""
         raise NotImplementedError
+
+    def _account(self, durations: List[float], wall: float, workers: int) -> None:
+        """Publish dispatch metrics: task count, pool width, utilization.
+
+        Utilization is the fraction of the pool's capacity (``wall x
+        workers``) spent inside tasks — 1.0 means no worker ever idled.
+        Under a fake clock ``wall`` can be ~0; utilization is skipped then.
+        """
+        registry = get_registry()
+        registry.counter(
+            "fl.executor.tasks", "client work items dispatched"
+        ).inc(len(durations), executor=self.kind)
+        registry.gauge("fl.executor.workers", "round executor pool width").set(
+            workers, executor=self.kind
+        )
+        task_seconds = registry.histogram(
+            "fl.executor.task_seconds", "per-task client training time"
+        )
+        for duration in durations:
+            task_seconds.observe(duration, executor=self.kind)
+        if wall > 0 and workers > 0:
+            registry.gauge(
+                "fl.executor.utilization", "busy fraction of the worker pool"
+            ).set(min(1.0, sum(durations) / (wall * workers)), executor=self.kind)
 
     def close(self) -> None:
         """Release any pooled resources (idempotent)."""
@@ -54,8 +84,19 @@ class RoundExecutor:
 class SequentialRoundExecutor(RoundExecutor):
     """Run clients one at a time in the calling thread (seed behaviour)."""
 
+    kind = "sequential"
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        return [fn(item) for item in items]
+        clock = get_clock()
+        started = clock.now()
+        results: List[R] = []
+        durations: List[float] = []
+        for item in items:
+            task_start = clock.now()
+            results.append(fn(item))
+            durations.append(clock.now() - task_start)
+        self._account(durations, clock.now() - started, workers=1)
+        return results
 
 
 class ParallelRoundExecutor(RoundExecutor):
@@ -68,6 +109,8 @@ class ParallelRoundExecutor(RoundExecutor):
         cores only helps when clients block (I/O, GIL-released kernels), so
         pick roughly the core count for compute-bound rounds.
     """
+
+    kind = "parallel"
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is None:
@@ -86,10 +129,26 @@ class ParallelRoundExecutor(RoundExecutor):
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         pool = self._ensure_pool()
+        clock = get_clock()
+        durations: List[float] = []
+        durations_lock = threading.Lock()
+
+        def timed(item: T) -> R:
+            task_start = clock.now()
+            try:
+                return fn(item)
+            finally:
+                elapsed = clock.now() - task_start
+                with durations_lock:
+                    durations.append(elapsed)
+
+        started = clock.now()
         # Submit everything, then gather in submission (= participant)
         # order: aggregation sees the same sequence as the sequential path.
-        futures = [pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+        futures = [pool.submit(timed, item) for item in items]
+        results = [future.result() for future in futures]
+        self._account(durations, clock.now() - started, self.max_workers)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core.policy import NoProtection, ProtectionPolicy
 from ..nn.model import Sequential, WeightsList
+from ..obs import get_clock, get_registry, get_tracer
 from ..tee.attestation import AttestationVerifier
 from .aggregation import fedavg, merge_plain_and_sealed
 from .client import FLClient
@@ -127,29 +128,45 @@ class FLServer:
         if len(self.history) == 0:
             self.history.record(self.model.get_weights())
         protected = self.policy.layers_for_cycle(self.cycle)
-        downloads: List[ModelDownload] = []
-        for client in participants:
-            effective = protected if client.has_tee() else frozenset()
-            downloads.append(
-                self.channel.send_download(self._make_download(client, effective))
-            )
+        registry = get_registry()
+        round_start = get_clock().now()
+        with get_tracer().span(
+            "fl.round",
+            cycle=self.cycle,
+            participants=len(participants),
+            protected=sorted(protected),
+        ):
+            downloads: List[ModelDownload] = []
+            with get_tracer().span("fl.distribute", cycle=self.cycle):
+                for client in participants:
+                    effective = protected if client.has_tee() else frozenset()
+                    downloads.append(
+                        self.channel.send_download(
+                            self._make_download(client, effective)
+                        )
+                    )
 
-        def train(pair) -> ClientUpdate:
-            client, download = pair
-            return client.run_cycle(download, self.plan)
+            def train(pair) -> ClientUpdate:
+                client, download = pair
+                return client.run_cycle(download, self.plan)
 
-        collected = executor.map(train, list(zip(participants, downloads)))
-        updates: List[ClientUpdate] = []
-        merged: List[WeightsList] = []
-        counts: List[int] = []
-        for client, update in zip(participants, collected):
-            update = self.channel.send_update(update)
-            updates.append(update)
-            merged.append(self._merge_update(client, update))
-            counts.append(update.num_samples)
-        new_global = fedavg(merged, counts)
-        self.model.set_weights(new_global)
+            collected = executor.map(train, list(zip(participants, downloads)))
+            updates: List[ClientUpdate] = []
+            merged: List[WeightsList] = []
+            counts: List[int] = []
+            with get_tracer().span("fl.aggregate", cycle=self.cycle):
+                for client, update in zip(participants, collected):
+                    update = self.channel.send_update(update)
+                    updates.append(update)
+                    merged.append(self._merge_update(client, update))
+                    counts.append(update.num_samples)
+                new_global = fedavg(merged, counts)
+                self.model.set_weights(new_global)
         self.history.record(new_global)
+        registry.counter("fl.rounds", "completed FL cycles").inc()
+        registry.histogram(
+            "fl.round.seconds", "coordinator wall time per FL cycle"
+        ).observe(get_clock().now() - round_start)
         self.cycle += 1
         return updates
 

@@ -1,0 +1,75 @@
+"""Injectable clocks for the observability layer.
+
+Every timestamp in :mod:`repro.obs` — span start/end, latency histogram
+samples — comes from a :class:`Clock` object rather than from ``time``
+directly.  Production code uses :class:`MonotonicClock` (a thin wrapper over
+``time.perf_counter``); tests install a :class:`FakeClock`, whose reads are
+fully deterministic, so invariant tests can assert *exact* timestamps and
+durations instead of sleeping and hoping.
+
+The deterministic-clock rule: any test that asserts on trace or latency
+output must run under a :class:`FakeClock` (see :func:`repro.obs.fresh`),
+never the wall clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Clock", "MonotonicClock", "FakeClock"]
+
+
+class Clock:
+    """Timestamp source; ``now()`` returns monotonically increasing seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Wall-time clock backed by ``time.perf_counter`` (the default)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """Deterministic clock for tests: every read advances time by ``tick``.
+
+    Auto-advancing on read guarantees that two successive reads are strictly
+    ordered, so span starts, span ends and histogram samples are all distinct
+    and reproducible — the trace of a deterministic program is bit-identical
+    across runs.  ``advance`` injects extra elapsed time explicitly.
+
+    Parameters
+    ----------
+    start:
+        Initial timestamp.
+    tick:
+        Amount added per ``now()`` call.  The default of 1.0 keeps every
+        timestamp and every duration an exactly-representable float, so
+        invariant tests can use ``==`` on latencies, not approximations.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        self._lock = threading.Lock()
+        self._now = float(start)
+        self.tick = float(tick)
+        self.reads = 0
+
+    def now(self) -> float:
+        with self._lock:
+            stamp = self._now
+            self._now += self.tick
+            self.reads += 1
+            return stamp
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without consuming a read."""
+        if seconds < 0:
+            raise ValueError("cannot advance a monotonic clock backwards")
+        with self._lock:
+            self._now += float(seconds)

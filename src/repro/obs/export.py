@@ -1,0 +1,153 @@
+"""Trace/metrics JSON schema and validation.
+
+The ``repro trace`` CLI and the test harness share one notion of a valid
+trace; :func:`validate_trace` enforces it without any third-party schema
+library (the container has none).  The schema, in prose:
+
+* top level: ``{"schema": 1, "dropped": int >= 0, "spans": [...]}``;
+* every span: ``span_id`` (int, unique, ascending in list order),
+  ``parent_id`` (int or null, must reference an exported span),
+  ``name`` (non-empty str), ``start``/``end`` (numbers, ``end >= start``),
+  ``thread`` (str), ``attributes`` (dict of str -> JSON scalar or flat
+  list of scalars);
+* nesting: a child's ``[start, end]`` interval lies inside its parent's,
+  and parent/child were recorded on the same thread (the tracer never
+  parents across threads).
+
+:func:`trace_errors` returns the list of problems; :func:`validate_trace`
+raises :class:`TraceValidationError` with all of them at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .tracing import TRACE_SCHEMA_VERSION
+
+__all__ = ["TraceValidationError", "trace_errors", "validate_trace"]
+
+_SCALARS = (str, int, float, bool)
+_SPAN_FIELDS = ("span_id", "parent_id", "name", "start", "end", "thread", "attributes")
+
+
+class TraceValidationError(ValueError):
+    """A trace payload violates the schema; ``.errors`` lists every problem."""
+
+    def __init__(self, errors: List[str]) -> None:
+        self.errors = list(errors)
+        preview = "; ".join(self.errors[:5])
+        more = f" (+{len(self.errors) - 5} more)" if len(self.errors) > 5 else ""
+        super().__init__(f"invalid trace: {preview}{more}")
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _attribute_ok(value) -> bool:
+    if value is None or isinstance(value, _SCALARS):
+        return True
+    if isinstance(value, list):
+        return all(item is None or isinstance(item, _SCALARS) for item in value)
+    return False
+
+
+def trace_errors(payload) -> List[str]:
+    """Every schema violation in ``payload`` (empty list == valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"trace payload must be a dict, got {type(payload).__name__}"]
+    if payload.get("schema") != TRACE_SCHEMA_VERSION:
+        errors.append(
+            f"schema must be {TRACE_SCHEMA_VERSION}, got {payload.get('schema')!r}"
+        )
+    dropped = payload.get("dropped")
+    if not isinstance(dropped, int) or isinstance(dropped, bool) or dropped < 0:
+        errors.append(f"dropped must be a non-negative int, got {dropped!r}")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        errors.append(f"spans must be a list, got {type(spans).__name__}")
+        return errors
+
+    by_id: Dict[int, dict] = {}
+    previous_id = 0
+    for position, span in enumerate(spans):
+        where = f"spans[{position}]"
+        if not isinstance(span, dict):
+            errors.append(f"{where} is not a dict")
+            continue
+        missing = [f for f in _SPAN_FIELDS if f not in span]
+        extra = [f for f in span if f not in _SPAN_FIELDS]
+        if missing:
+            errors.append(f"{where} missing fields {missing}")
+            continue
+        if extra:
+            errors.append(f"{where} has unknown fields {extra}")
+        span_id = span["span_id"]
+        if not isinstance(span_id, int) or isinstance(span_id, bool):
+            errors.append(f"{where} span_id must be an int")
+            continue
+        if span_id in by_id:
+            errors.append(f"{where} duplicate span_id {span_id}")
+        if span_id <= previous_id:
+            errors.append(f"{where} span_id {span_id} not ascending")
+        previous_id = max(previous_id, span_id)
+        by_id[span_id] = span
+        parent_id = span["parent_id"]
+        if parent_id is not None and (
+            not isinstance(parent_id, int) or isinstance(parent_id, bool)
+        ):
+            errors.append(f"{where} parent_id must be an int or null")
+        if not isinstance(span["name"], str) or not span["name"]:
+            errors.append(f"{where} name must be a non-empty string")
+        if not isinstance(span["thread"], str):
+            errors.append(f"{where} thread must be a string")
+        if not _is_number(span["start"]) or not _is_number(span["end"]):
+            errors.append(f"{where} start/end must be numbers")
+        elif span["end"] < span["start"]:
+            errors.append(
+                f"{where} end {span['end']} precedes start {span['start']}"
+            )
+        attributes = span["attributes"]
+        if not isinstance(attributes, dict):
+            errors.append(f"{where} attributes must be a dict")
+        else:
+            for key, value in attributes.items():
+                if not isinstance(key, str):
+                    errors.append(f"{where} attribute key {key!r} is not a string")
+                elif not _attribute_ok(value):
+                    errors.append(
+                        f"{where} attribute {key}={value!r} is not a JSON "
+                        "scalar or flat list"
+                    )
+
+    # Parent linkage + interval containment (only over structurally valid spans).
+    for span_id, span in by_id.items():
+        parent_id = span["parent_id"]
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            errors.append(f"span {span_id} references missing parent {parent_id}")
+            continue
+        if parent_id >= span_id:
+            errors.append(f"span {span_id} parent {parent_id} was created later")
+        if parent.get("thread") != span.get("thread"):
+            errors.append(
+                f"span {span_id} crosses threads to parent {parent_id}"
+            )
+        if _is_number(span["start"]) and _is_number(parent["start"]):
+            if span["start"] < parent["start"] or span["end"] > parent["end"]:
+                errors.append(
+                    f"span {span_id} interval [{span['start']}, {span['end']}] "
+                    f"escapes parent {parent_id} "
+                    f"[{parent['start']}, {parent['end']}]"
+                )
+    return errors
+
+
+def validate_trace(payload) -> None:
+    """Raise :class:`TraceValidationError` unless ``payload`` is schema-valid."""
+    errors = trace_errors(payload)
+    if errors:
+        raise TraceValidationError(errors)

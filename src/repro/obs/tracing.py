@@ -1,0 +1,188 @@
+"""Lightweight tracing spans with deterministic, injectable time.
+
+A :class:`Tracer` hands out context-managed :class:`Span` objects.  Spans
+nest per thread (a thread-local stack tracks the active span), so an SMC
+span opened inside a client-training span inside an FL-round span records
+the full causal chain — the trace of one round *is* the paper's Figure 2
+rendered as data.  Spans started on a worker thread with no active parent
+become roots; cross-thread parentage is deliberately not guessed.
+
+Span ids are assigned sequentially under a lock, so a sequential run
+produces a bit-identical trace under a :class:`~repro.obs.clock.FakeClock`.
+The finished-span buffer is capped (``max_spans``) so the process-wide
+default tracer cannot grow without bound over a long training run; the
+export records how many spans were dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from .clock import Clock, MonotonicClock
+
+__all__ = ["Span", "Tracer", "TRACE_SCHEMA_VERSION"]
+
+TRACE_SCHEMA_VERSION = 1
+
+_SCALARS = (str, int, float, bool)
+
+
+def _check_attribute(name: str, value):
+    """Attributes must be JSON scalars or flat lists of them."""
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        items = list(value)
+        if all(item is None or isinstance(item, _SCALARS) for item in items):
+            return items
+    raise TypeError(
+        f"span attribute {name}={value!r} is not a JSON scalar or flat list"
+    )
+
+
+class Span:
+    """One timed operation; closed spans are immutable records."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attributes", "thread")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        thread: str,
+        attributes: Dict[str, object],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.thread = thread
+        self.attributes = attributes
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise RuntimeError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def set_attribute(self, name: str, value) -> None:
+        self.attributes[name] = _check_attribute(name, value)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "thread": self.thread,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        state = "open" if self.end is None else f"{self.duration:.6f}s"
+        return f"Span(#{self.span_id} {self.name!r} {state})"
+
+
+class Tracer:
+    """Collects spans; thread-safe, clock-injectable.
+
+    Parameters
+    ----------
+    clock:
+        Timestamp source (default: wall ``MonotonicClock``).  Install a
+        :class:`~repro.obs.clock.FakeClock` for deterministic traces.
+    max_spans:
+        Cap on retained finished spans; excess spans still run (timing
+        side effects intact) but are dropped from the export, which
+        reports the drop count.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, max_spans: int = 50_000) -> None:
+        self.clock = clock or MonotonicClock()
+        self.max_spans = int(max_spans)
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._dropped = 0
+        self._next_id = 1
+        self._local = threading.local()
+
+    # -- span lifecycle ----------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Open a span for the duration of the ``with`` block."""
+        if not name:
+            raise ValueError("span name must be non-empty")
+        checked = {k: _check_attribute(k, v) for k, v in attributes.items()}
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            span_id,
+            parent,
+            name,
+            start=self.clock.now(),
+            thread=threading.current_thread().name,
+            attributes=checked,
+        )
+        stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.attributes["error"] = True
+            raise
+        finally:
+            stack.pop()
+            span.end = self.clock.now()
+            with self._lock:
+                if len(self._finished) < self.max_spans:
+                    self._finished.append(span)
+                else:
+                    self._dropped += 1
+
+    # -- inspection / export ----------------------------------------------
+    def finished_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def find(self, name: Optional[str] = None, **attributes) -> List[Span]:
+        """Finished spans matching a name and attribute equality filters."""
+        return [
+            span
+            for span in self.finished_spans()
+            if (name is None or span.name == name)
+            and all(span.attributes.get(k) == v for k, v in attributes.items())
+        ]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._dropped = 0
+            self._next_id = 1
+
+    def export(self) -> Dict[str, object]:
+        """JSON-ready trace: finished spans in span-id order."""
+        with self._lock:
+            spans = sorted(self._finished, key=lambda s: s.span_id)
+            return {
+                "schema": TRACE_SCHEMA_VERSION,
+                "dropped": self._dropped,
+                "spans": [span.to_dict() for span in spans],
+            }

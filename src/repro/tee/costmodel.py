@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from ..obs import get_registry
 from ..nn.model import Sequential
 from .profiles import RASPBERRY_PI_3B, DeviceProfile
 from .world import SecureMemoryExhausted
@@ -107,6 +108,10 @@ class CostModel:
         """Raise :class:`SecureMemoryExhausted` if the set exceeds the pool."""
         needed = self.tee_memory_bytes(model, protected)
         if needed > self.profile.secure_memory_bytes:
+            get_registry().counter(
+                "tee.costmodel.rejected_sets",
+                "protected sets refused for exceeding device secure memory",
+            ).inc(profile=self.profile.name)
             raise SecureMemoryExhausted(
                 f"protected set needs {needed} B but device "
                 f"{self.profile.name!r} has {self.profile.secure_memory_bytes} B"
@@ -133,7 +138,15 @@ class CostModel:
             for i in protected_set
         )
         memory = self.tee_memory_bytes(model, protected_set)
-        return CycleCost(user, kernel, alloc, memory)
+        cost = CycleCost(user, kernel, alloc, memory)
+        registry = get_registry()
+        registry.counter(
+            "tee.costmodel.evaluations", "analytical cycle-cost evaluations"
+        ).inc(profile=profile.name)
+        registry.histogram(
+            "tee.costmodel.cycle_seconds", "modelled per-cycle device time"
+        ).observe(cost.total_seconds, profile=profile.name)
+        return cost
 
     # ------------------------------------------------------------------
     def dynamic_cost(

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..obs import get_registry
 from .world import (
     SecureMemoryExhausted,
     SecureWorldViolation,
@@ -36,17 +37,38 @@ class SecureMemoryPool:
     ----------
     capacity_bytes:
         Total secure memory available to trusted applications.
+    name:
+        Label under which this pool reports ``tee.pool.*`` metrics
+        (occupancy, high-water mark, allocation/exhaustion counts).  FL
+        clients name their pool after the client id, so per-device secure
+        memory is observable; anonymous pools share the ``"default"``
+        series.
     """
 
-    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES) -> None:
+    def __init__(
+        self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES, name: str = "default"
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
         self.capacity_bytes = int(capacity_bytes)
+        self.name = str(name)
         self._allocations: Dict[int, int] = {}
         self._next_handle = 1
         self.used_bytes = 0
         self.peak_bytes = 0
         self.allocation_count = 0
+        get_registry().gauge(
+            "tee.pool.capacity_bytes", "secure memory pool capacity"
+        ).set(self.capacity_bytes, pool=self.name)
+
+    def _publish_occupancy(self) -> None:
+        registry = get_registry()
+        registry.gauge("tee.pool.used_bytes", "secure memory in use").set(
+            self.used_bytes, pool=self.name
+        )
+        registry.gauge(
+            "tee.pool.peak_bytes", "secure memory high-water mark"
+        ).set_max(self.peak_bytes, pool=self.name)
 
     @property
     def free_bytes(self) -> int:
@@ -65,6 +87,9 @@ class SecureMemoryPool:
         if num_bytes < 0:
             raise ValueError("allocation size must be non-negative")
         if num_bytes > self.free_bytes:
+            get_registry().counter(
+                "tee.pool.exhaustions", "allocations refused for lack of space"
+            ).inc(pool=self.name)
             raise SecureMemoryExhausted(
                 f"requested {num_bytes} B but only {self.free_bytes} B of "
                 f"{self.capacity_bytes} B secure memory is free"
@@ -75,6 +100,10 @@ class SecureMemoryPool:
         self.used_bytes += num_bytes
         self.peak_bytes = max(self.peak_bytes, self.used_bytes)
         self.allocation_count += 1
+        get_registry().counter(
+            "tee.pool.allocations", "successful secure memory allocations"
+        ).inc(pool=self.name)
+        self._publish_occupancy()
         return handle
 
     def release(self, handle: int) -> None:
@@ -83,6 +112,7 @@ class SecureMemoryPool:
         if size is None:
             raise KeyError(f"unknown or already-released allocation {handle}")
         self.used_bytes -= size
+        self._publish_occupancy()
 
     def reset_peak(self) -> None:
         """Start a fresh peak-watermark measurement (per FL cycle)."""

@@ -10,9 +10,11 @@ computation really crossed the boundary.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
+from ..obs import get_clock, get_registry, get_tracer
 from .trusted_app import TrustedApplication
 from .world import TEEError, secure_world
 
@@ -21,16 +23,34 @@ __all__ = ["SecureMonitor", "SMCStats", "Session"]
 
 @dataclass
 class SMCStats:
-    """Counters maintained by the monitor."""
+    """Counters maintained by the monitor.
+
+    All mutation is lock-guarded: under the parallel round executor many
+    client threads share one monitor, and ``calls += 1`` /
+    ``per_ta[name] += 1`` are read-modify-write races without it — the
+    invariant tests assert *exact* call counts, so lost increments are
+    test failures, not noise.
+    """
 
     calls: int = 0
     per_ta: Dict[str, int] = field(default_factory=dict)
     sessions_opened: int = 0
     sessions_closed: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, ta_name: str) -> None:
-        self.calls += 1
-        self.per_ta[ta_name] = self.per_ta.get(ta_name, 0) + 1
+        with self._lock:
+            self.calls += 1
+            self.per_ta[ta_name] = self.per_ta.get(ta_name, 0) + 1
+
+    def record_session(self, opened: bool) -> None:
+        with self._lock:
+            if opened:
+                self.sessions_opened += 1
+            else:
+                self.sessions_closed += 1
 
 
 @dataclass
@@ -55,6 +75,7 @@ class SecureMonitor:
         self._tas: Dict[str, TrustedApplication] = {}
         self._sessions: Dict[int, Session] = {}
         self._next_session = 1
+        self._session_lock = threading.Lock()
         self.stats = SMCStats()
 
     def install(self, ta: TrustedApplication) -> None:
@@ -79,20 +100,46 @@ class SecureMonitor:
             raise KeyError(f"no TA with uuid {uuid}") from None
 
     def smc(self, uuid: str, command: str, **params: Any) -> Any:
-        """World-switch into the secure world and invoke a TA command."""
+        """World-switch into the secure world and invoke a TA command.
+
+        Every call is observable: it increments ``tee.smc.calls`` (labelled
+        by TA and command), records per-TA latency in ``tee.smc.seconds``,
+        and opens a ``tee.smc`` span carrying the protected layer indices
+        when the command names them — which is how the leakage-invariant
+        tests prove protected computation actually crossed the boundary.
+        """
         ta = self.ta(uuid)
         self.stats.record(ta.name)
-        with secure_world():
-            return ta.invoke(command, **params)
+        registry = get_registry()
+        clock = get_clock()
+        registry.counter(
+            "tee.smc.calls", "world switches into the secure world"
+        ).inc(ta=ta.name, command=command)
+        attributes: Dict[str, Any] = {"ta": ta.name, "command": command}
+        if "indices" in params:
+            attributes["indices"] = [int(i) for i in params["indices"]]
+        started = clock.now()
+        try:
+            with get_tracer().span("tee.smc", **attributes):
+                with secure_world():
+                    return ta.invoke(command, **params)
+        finally:
+            registry.histogram(
+                "tee.smc.seconds", "secure-world residency per SMC"
+            ).observe(clock.now() - started, ta=ta.name)
 
     # -- GlobalPlatform-style sessions ------------------------------------
     def open_session(self, uuid: str) -> int:
         """Open a client session with a TA; returns the session id."""
         self.ta(uuid)  # validates the UUID
-        session = Session(self._next_session, uuid)
-        self._sessions[session.session_id] = session
-        self._next_session += 1
-        self.stats.sessions_opened += 1
+        with self._session_lock:
+            session = Session(self._next_session, uuid)
+            self._sessions[session.session_id] = session
+            self._next_session += 1
+        self.stats.record_session(opened=True)
+        get_registry().counter(
+            "tee.sessions", "GlobalPlatform session lifecycle events"
+        ).inc(event="opened")
         return session.session_id
 
     def invoke(self, session_id: int, command: str, **params: Any) -> Any:
@@ -109,7 +156,10 @@ class SecureMonitor:
         if session is None or not session.open:
             raise TEEError(f"session {session_id} is not open")
         session.open = False
-        self.stats.sessions_closed += 1
+        self.stats.record_session(opened=False)
+        get_registry().counter(
+            "tee.sessions", "GlobalPlatform session lifecycle events"
+        ).inc(event="closed")
 
     def session(self, session_id: int) -> Session:
         try:

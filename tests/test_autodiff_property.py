@@ -1,11 +1,17 @@
 """Property-based tests (hypothesis) for autodiff invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.autodiff import Tensor, grad
 from repro.autodiff import ops
+from repro.autodiff.fused import conv2d_fused
+from repro.autodiff.functional import conv2d_composed
+from repro.autodiff.workspace import Workspace, get_workspace
+
+pytestmark = pytest.mark.property
 
 settings.register_profile("ci", max_examples=25, deadline=None)
 settings.load_profile("ci")
@@ -102,3 +108,107 @@ def test_maxpool_output_bounded_by_input(x):
     out = ops.maxpool2d(Tensor(x4), 2).data
     assert out.max() <= x4.max() + 1e-12
     assert out.min() >= x4.min() - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Fused vs composed conv2d: the equivalence claimed in autodiff.fused,
+# checked over random shapes, strides and paddings rather than the
+# hand-picked list in test_autodiff_fused.py.
+# ----------------------------------------------------------------------
+
+@st.composite
+def conv_cases(draw):
+    """A random but always-valid conv2d problem (tensors + hyperparams)."""
+    n = draw(st.integers(1, 2))
+    c = draw(st.integers(1, 2))
+    f = draw(st.integers(1, 3))
+    kh = draw(st.integers(1, 3))
+    kw = draw(st.integers(1, 3))
+    stride = draw(st.integers(1, 3))
+    pad = draw(st.integers(0, 2))
+    h = kh + draw(st.integers(0, 3))
+    w = kw + draw(st.integers(0, 3))
+    with_bias = draw(st.booleans())
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, c, h, w))
+    weight = rng.normal(size=(f, c, kh, kw)) * 0.5
+    bias = rng.normal(size=(f,)) if with_bias else None
+    return x, weight, bias, stride, pad
+
+
+def _seed_grad(shape):
+    """Deterministic upstream gradient, a function of the output shape only."""
+    return np.random.default_rng(int(np.prod(shape))).normal(size=shape)
+
+
+def _run(op, case, backward=False):
+    x_data, w_data, b_data, stride, pad = case
+    x = Tensor(x_data.copy(), requires_grad=backward)
+    w = Tensor(w_data.copy(), requires_grad=backward)
+    b = Tensor(b_data.copy(), requires_grad=backward) if b_data is not None else None
+    out = op(x, w, b, stride=stride, pad=pad)
+    if not backward:
+        return out.data, ()
+    out.backward(Tensor(_seed_grad(out.shape)))
+    grads = [x.grad.data, w.grad.data]
+    if b is not None:
+        grads.append(b.grad.data)
+    return out.data, grads
+
+
+@given(conv_cases())
+def test_fused_forward_bitwise_equals_composed(case):
+    fused, _ = _run(conv2d_fused, case)
+    composed, _ = _run(conv2d_composed, case)
+    assert np.array_equal(fused, composed)
+
+
+@given(conv_cases())
+def test_fused_backward_bitwise_equals_composed(case):
+    fused_out, fused_grads = _run(conv2d_fused, case, backward=True)
+    composed_out, composed_grads = _run(conv2d_composed, case, backward=True)
+    assert np.array_equal(fused_out, composed_out)
+    assert len(fused_grads) == len(composed_grads)
+    for got, want in zip(fused_grads, composed_grads):
+        assert np.array_equal(got, want)
+
+
+@settings(max_examples=10, deadline=None)
+@given(conv_cases())
+def test_fused_double_backward_matches_composed(case):
+    x_data, w_data, _b, stride, pad = case
+
+    def grad_of_grad_norm(op):
+        x = Tensor(x_data.copy(), requires_grad=True)
+        w = Tensor(w_data.copy(), requires_grad=True)
+        out = ops.sum_(op(x, w, None, stride=stride, pad=pad) ** 2)
+        (gx,) = grad(out, [x], create_graph=True)
+        return grad(ops.sum_(gx**2), [w])[0].data
+
+    fused = grad_of_grad_norm(conv2d_fused)
+    composed = grad_of_grad_norm(conv2d_composed)
+    assert np.allclose(fused, composed, atol=1e-9)
+
+
+@given(conv_cases(), conv_cases())
+def test_workspace_reuse_across_mismatched_shapes(case_a, case_b):
+    """Interleaving differently-shaped convs never corrupts pooled scratch."""
+    ws = get_workspace()
+    ws.clear()
+    first, _ = _run(conv2d_fused, case_a, backward=True)
+    _run(conv2d_fused, case_b, backward=True)  # pollute the free lists
+    again, again_grads = _run(conv2d_fused, case_a, backward=True)
+    assert np.array_equal(first, again)
+    _, composed_grads = _run(conv2d_composed, case_a, backward=True)
+    for got, want in zip(again_grads, composed_grads):
+        assert np.array_equal(got, want)
+
+
+@given(st.integers(1, 6), st.integers(1, 6))
+def test_workspace_checkout_shapes_are_exact(rows, cols):
+    ws = Workspace()
+    buffer = ws.checkout((rows, cols))
+    assert buffer.shape == (rows, cols)
+    ws.release(buffer)
+    assert ws.checkout((rows, cols)) is buffer

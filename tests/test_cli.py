@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import validate_trace
 
 
 class TestParser:
@@ -58,3 +61,63 @@ class TestCommands:
     def test_summary(self, capsys):
         assert main(["summary"]) == 0
         assert "GradSec" in capsys.readouterr().out
+
+
+class TestTrace:
+    """``repro trace`` emits schema-valid, properly nested, ordered JSON."""
+
+    def run_trace(self, capsys, argv=("trace",)):
+        assert main(list(argv)) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_emits_schema_valid_json(self, capsys):
+        payload = self.run_trace(capsys)
+        assert payload["schema"] == 1
+        assert payload["command"] == "trace"
+        assert payload["config"]["clients"] == 2
+        validate_trace(payload["trace"])
+
+    def test_span_structure_covers_the_round(self, capsys):
+        payload = self.run_trace(capsys)
+        spans = payload["trace"]["spans"]
+        names = {span["name"] for span in spans}
+        assert {"fl.round", "fl.client.train", "tee.smc"} <= names
+        # Fake-clock timestamps: creation order is strictly increasing.
+        starts = [span["start"] for span in spans]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+        # Client training happens inside the round span.
+        (round_span,) = [s for s in spans if s["name"] == "fl.round"]
+        trains = [s for s in spans if s["name"] == "fl.client.train"]
+        assert len(trains) == payload["config"]["clients"]
+        for train in trains:
+            assert train["parent_id"] == round_span["span_id"]
+
+    def test_metrics_snapshot_included(self, capsys):
+        payload = self.run_trace(capsys)
+        counters = payload["metrics"]["counters"]
+        assert "tee.smc.calls" in counters
+        assert "fl.rounds" in counters
+        assert sum(counters["fl.client.steps"].values()) == (
+            payload["config"]["clients"] * payload["config"]["steps"]
+        )
+
+    def test_protect_option_changes_smc_attribution(self, capsys):
+        payload = self.run_trace(capsys, ("trace", "--protect", "2"))
+        assert payload["config"]["protected_layers"] == [2]
+        smc = [
+            s
+            for s in payload["trace"]["spans"]
+            if s["name"] == "tee.smc"
+            and s["attributes"].get("command") == "forward_run"
+        ]
+        assert smc
+        for span in smc:
+            assert span["attributes"]["indices"] == [2]
+
+    def test_out_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["trace", "--out", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        validate_trace(payload["trace"])

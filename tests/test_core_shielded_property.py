@@ -12,6 +12,8 @@ from hypothesis import given, settings, strategies as st
 from repro.core import NoProtection, ShieldedModel, StaticPolicy
 from repro.nn import mlp, one_hot
 
+pytestmark = pytest.mark.property
+
 settings.register_profile("shielded", max_examples=12, deadline=None)
 settings.load_profile("shielded")
 

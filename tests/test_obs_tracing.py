@@ -1,0 +1,188 @@
+"""Unit tests for the tracer, the fake clock, and trace-schema validation."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    FakeClock,
+    MonotonicClock,
+    TraceValidationError,
+    Tracer,
+    trace_errors,
+    validate_trace,
+)
+
+
+class TestFakeClock:
+    def test_reads_advance_deterministically(self):
+        clock = FakeClock(start=10.0, tick=0.5)
+        assert clock.now() == 10.0
+        assert clock.now() == 10.5
+        assert clock.reads == 2
+
+    def test_advance(self):
+        clock = FakeClock()
+        clock.advance(100.0)
+        assert clock.now() == pytest.approx(100.0)
+
+    def test_backwards_advance_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1)
+
+    def test_monotonic_clock_increases(self):
+        clock = MonotonicClock()
+        assert clock.now() <= clock.now()
+
+
+class TestTracer:
+    def test_span_records_times_from_clock(self):
+        tracer = Tracer(clock=FakeClock(tick=1.0))
+        with tracer.span("work") as span:
+            pass
+        assert span.start == 0.0
+        assert span.end == 1.0
+        assert span.duration == 1.0
+
+    def test_nesting_assigns_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == outer.span_id == b.parent_id
+
+    def test_exception_marks_error_and_closes(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished_spans()
+        assert span.attributes["error"] is True
+        assert span.end is not None
+        assert tracer.current_span() is None
+
+    def test_worker_thread_spans_are_roots(self):
+        tracer = Tracer(clock=FakeClock())
+        done = threading.Event()
+
+        def work():
+            with tracer.span("worker-side"):
+                pass
+            done.set()
+
+        with tracer.span("main-side"):
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert done.is_set()
+        (worker_span,) = tracer.find("worker-side")
+        assert worker_span.parent_id is None
+
+    def test_find_filters_by_attributes(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("smc", command="forward_run"):
+            pass
+        with tracer.span("smc", command="release"):
+            pass
+        assert len(tracer.find("smc")) == 2
+        assert len(tracer.find("smc", command="release")) == 1
+
+    def test_attribute_type_checked(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(TypeError, match="not a JSON scalar"):
+            with tracer.span("bad", blob={"nested": "dict"}):
+                pass
+
+    def test_max_spans_cap_counts_drops(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        exported = tracer.export()
+        assert len(exported["spans"]) == 2
+        assert exported["dropped"] == 3
+
+    def test_reset(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.finished_spans() == []
+        with tracer.span("t") as span:
+            pass
+        assert span.span_id == 1
+
+
+class TestExportAndValidation:
+    def make_valid(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("round", cycle=0):
+            with tracer.span("smc", command="forward_run", indices=[2, 3]):
+                pass
+        return tracer.export()
+
+    def test_valid_trace_passes(self):
+        payload = self.make_valid()
+        assert trace_errors(payload) == []
+        validate_trace(payload)  # must not raise
+
+    def test_export_is_json_serialisable(self):
+        import json
+
+        payload = self.make_valid()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_wrong_schema_version(self):
+        payload = self.make_valid()
+        payload["schema"] = 99
+        assert any("schema" in e for e in trace_errors(payload))
+
+    def test_missing_field_flagged(self):
+        payload = self.make_valid()
+        del payload["spans"][0]["thread"]
+        assert any("missing fields" in e for e in trace_errors(payload))
+
+    def test_end_before_start_flagged(self):
+        payload = self.make_valid()
+        payload["spans"][0]["end"] = payload["spans"][0]["start"] - 1
+        assert any("precedes start" in e for e in trace_errors(payload))
+
+    def test_dangling_parent_flagged(self):
+        payload = self.make_valid()
+        child = [s for s in payload["spans"] if s["parent_id"] is not None][0]
+        child["parent_id"] = 999
+        assert any("missing parent" in e for e in trace_errors(payload))
+
+    def test_child_escaping_parent_interval_flagged(self):
+        payload = self.make_valid()
+        child = [s for s in payload["spans"] if s["parent_id"] is not None][0]
+        child["end"] = 1e9
+        assert any("escapes parent" in e for e in trace_errors(payload))
+
+    def test_duplicate_ids_flagged(self):
+        payload = self.make_valid()
+        payload["spans"][1]["span_id"] = payload["spans"][0]["span_id"]
+        errors = trace_errors(payload)
+        assert any("duplicate" in e or "ascending" in e for e in errors)
+
+    def test_validate_raises_with_all_errors(self):
+        payload = self.make_valid()
+        payload["schema"] = 99
+        payload["dropped"] = -1
+        with pytest.raises(TraceValidationError) as excinfo:
+            validate_trace(payload)
+        assert len(excinfo.value.errors) >= 2
+
+    def test_non_dict_payload(self):
+        assert trace_errors([1, 2]) != []

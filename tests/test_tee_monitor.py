@@ -2,6 +2,9 @@
 
 import pytest
 
+from repro import obs
+from repro.fl import ParallelRoundExecutor
+from repro.obs import FakeClock
 from repro.tee import (
     SecureMonitor,
     SecureWorldViolation,
@@ -98,6 +101,40 @@ class TestSecureMonitor:
         with pytest.raises(RuntimeError):
             monitor.smc(ta.uuid, "explode")
         assert current_world() is World.NORMAL
+
+
+class TestConcurrentStats:
+    """Regression: ``SMCStats`` bookkeeping must be exact under contention.
+
+    ``per_ta`` used to be bumped with an unlocked read-modify-write; four
+    workers hammering one monitor through the parallel round executor could
+    lose increments.  With the stats lock in place the counts are exact.
+    """
+
+    def test_parallel_hammering_counts_exactly(self):
+        monitor = SecureMonitor()
+        ta = make_echo_ta()
+        monitor.install(ta)
+        calls_per_worker = 250
+        workers = 4
+
+        def hammer(worker_id):
+            for i in range(calls_per_worker):
+                assert monitor.smc(ta.uuid, "echo", value=(worker_id, i)) == (
+                    worker_id,
+                    i,
+                )
+            return worker_id
+
+        with obs.fresh(clock=FakeClock()) as ctx:
+            with ParallelRoundExecutor(max_workers=workers) as executor:
+                assert executor.map(hammer, range(workers)) == list(range(workers))
+            expected = workers * calls_per_worker
+            assert monitor.stats.calls == expected
+            assert monitor.stats.per_ta["echo"] == expected
+            # The metrics registry saw the same exact count.
+            counter = ctx.registry.counter("tee.smc.calls")
+            assert counter.value(ta="echo", command="echo") == expected
 
 
 class TestSessions:
