@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Simulator scaling sweep: fleet sizes from 10^2 to 10^4 clients.
+
+For each fleet size the sweep runs a faulty deployment (dropouts +
+stragglers) for a few rounds and records wall-clock time, events processed,
+virtual time covered, and the fault tallies.  Writes ``BENCH_sim.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim_scale.py
+    PYTHONPATH=src python benchmarks/bench_sim_scale.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import obs  # noqa: E402
+from repro.obs import VirtualClock  # noqa: E402
+from repro.sim import FLSimulator, FaultPlan, FaultRates, SimConfig  # noqa: E402
+
+
+def run_one(num_clients: int, rounds: int, seed: int) -> dict:
+    rates = FaultRates(dropout=0.2, straggler=0.1, corrupt=0.03, pool_exhaust=0.02)
+    # Cohort grows with the fleet (10% like cross-device FL deployments do)
+    # so the event count actually scales with the sweep.
+    cohort = max(32, num_clients // 10)
+    with obs.fresh(clock=VirtualClock()) as ctx:
+        simulator = FLSimulator(
+            SimConfig(num_clients=num_clients, rounds=rounds, seed=seed, cohort=cohort),
+            fault_plan=FaultPlan(rates, seed=seed),
+            clock=ctx.clock,
+        )
+        started = time.perf_counter()
+        report = simulator.run()
+        wall = time.perf_counter() - started
+    return {
+        "clients": num_clients,
+        "rounds": rounds,
+        "wall_seconds": wall,
+        "virtual_seconds": report["virtual_seconds"],
+        "events_processed": simulator.loop.processed,
+        "rounds_per_second": rounds / wall if wall > 0 else None,
+        "totals": report["totals"],
+        "weights_sha256": report["weights_sha256"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smoke configuration")
+    parser.add_argument("--rounds", type=int, default=5, help="rounds per size")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_sim.json")
+    args = parser.parse_args(argv)
+
+    sizes = [100, 1000] if args.quick else [100, 316, 1000, 3162, 10000]
+    rounds = 2 if args.quick else args.rounds
+
+    results = []
+    for size in sizes:
+        entry = run_one(size, rounds, args.seed)
+        results.append(entry)
+        print(
+            f"  {size:>6} clients  {entry['wall_seconds']:7.3f}s wall  "
+            f"{entry['events_processed']:>6} events  "
+            f"{entry['virtual_seconds']:8.1f}s virtual"
+        )
+
+    payload = {
+        "benchmark": "sim_scale",
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {"rounds": rounds, "seed": args.seed, "quick": args.quick},
+        "results": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -156,6 +156,12 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         server.run_cycle(clients)
         trace = ctx.tracer.export()
         metrics = ctx.registry.snapshot()
+        traffic = {
+            "downlink_bytes": server.channel.downlink_bytes,
+            "uplink_bytes": server.channel.uplink_bytes,
+            "downloads": server.channel.downloads,
+            "uploads": server.channel.uploads,
+        }
     validate_trace(trace)
     payload = {
         "schema": 1,
@@ -167,8 +173,75 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         },
         "trace": trace,
         "metrics": metrics,
+        "traffic": traffic,
     }
     text = json.dumps(payload, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    """Simulate a large FL fleet in virtual time and emit a JSON report.
+
+    Runs entirely under a fresh observability context with a virtual clock,
+    and every random draw is keyed on the seed — two invocations with the
+    same arguments produce byte-identical reports.  With ``--state-dir``
+    the per-round checkpoint lands in a REE-FS backed secure storage (with
+    a seed-derived storage key), so a killed run can be re-invoked and
+    resumes where it stopped.
+    """
+    import hashlib
+    import json
+
+    from .obs import VirtualClock, fresh
+    from .sim import FLSimulator, FaultPlan, FaultRates, SimConfig
+    from .tee.storage import ReeFsBackend, SecureStorage
+
+    config = SimConfig(
+        num_clients=args.clients,
+        rounds=args.rounds,
+        seed=args.seed,
+        cohort=args.cohort,
+        overprovision=args.overprovision,
+        quorum=args.quorum,
+        deadline_seconds=args.deadline,
+    )
+    rates = FaultRates(
+        dropout=args.dropout,
+        straggler=args.straggler,
+        corrupt=args.corrupt,
+        pool_exhaust=args.pool_exhaust,
+        attestation=args.attestation,
+    )
+    storage = None
+    if args.state_dir:
+        import os
+
+        # Deterministic SSK (resuming in a fresh process must unseal the
+        # checkpoint the killed run wrote) and persistent rollback counters
+        # (as RPMB persists across reboots on a real device).
+        ssk = hashlib.sha256(f"repro-sim-{args.seed}".encode()).digest()
+        storage = SecureStorage(
+            ReeFsBackend(args.state_dir),
+            ssk=ssk,
+            counters_path=os.path.join(args.state_dir, "counters.json"),
+        )
+
+    with fresh(clock=VirtualClock()) as ctx:
+        simulator = FLSimulator(
+            config,
+            fault_plan=FaultPlan(rates, seed=args.seed),
+            storage=storage,
+            clock=ctx.clock,
+        )
+        report = simulator.run()
+        report["metrics"] = ctx.registry.snapshot()
+    payload = {"schema": 1, "command": "simulate", **report}
+    text = json.dumps(payload, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
@@ -208,6 +281,7 @@ def _cmd_list(args: argparse.Namespace) -> None:
         print(f"  {name:<8} {description}")
     print(f"  {'perf':<8} fused-kernel and parallel-round microbenchmarks")
     print(f"  {'trace':<8} deterministic FL-round trace + metrics as JSON")
+    print(f"  {'simulate':<8} event-driven FL fleet simulation with fault injection")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -239,6 +313,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated protected layer indices ('' for none)",
     )
     trace.add_argument("--out", default=None, help="write the JSON here")
+    simulate = subparsers.add_parser(
+        "simulate", help="event-driven FL fleet simulation with fault injection"
+    )
+    simulate.add_argument("--clients", type=int, default=100, help="fleet size")
+    simulate.add_argument("--rounds", type=int, default=5, help="FL rounds")
+    simulate.add_argument("--seed", type=int, default=0, help="simulation seed")
+    simulate.add_argument(
+        "--cohort", type=int, default=None, help="updates aggregated per round"
+    )
+    simulate.add_argument(
+        "--overprovision", type=float, default=1.25, help="selection surplus factor"
+    )
+    simulate.add_argument(
+        "--quorum", type=float, default=0.5, help="min fraction of cohort to aggregate"
+    )
+    simulate.add_argument(
+        "--deadline", type=float, default=5.0, help="round deadline (virtual seconds)"
+    )
+    simulate.add_argument("--dropout", type=float, default=0.0, help="dropout rate")
+    simulate.add_argument(
+        "--straggler", type=float, default=0.0, help="straggler rate"
+    )
+    simulate.add_argument(
+        "--corrupt", type=float, default=0.0, help="payload-corruption rate"
+    )
+    simulate.add_argument(
+        "--pool-exhaust", type=float, default=0.0, help="secure-pool exhaustion rate"
+    )
+    simulate.add_argument(
+        "--attestation", type=float, default=0.0, help="attestation-failure rate"
+    )
+    simulate.add_argument(
+        "--state-dir",
+        default=None,
+        help="checkpoint directory (enables kill/resume across invocations)",
+    )
+    simulate.add_argument("--out", default=None, help="write the JSON report here")
     return parser
 
 
@@ -252,6 +363,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "trace":
         _cmd_trace(args)
+        return 0
+    if args.command == "simulate":
+        _cmd_simulate(args)
         return 0
     handler, _ = _COMMANDS[args.command]
     handler(args)

@@ -174,6 +174,12 @@ class DynamicPolicy(ProtectionPolicy):
     seed:
         Seed of the per-cycle position draw.  The draw is deterministic in
         ``(seed, cycle)`` so every participant can replay the schedule.
+    rng:
+        Alternative to ``seed``: derive the schedule seed from this
+        pre-seeded generator, so a deployment can thread one generator
+        through sampling, selection, and the moving window.  The schedule
+        stays a pure function of ``(derived seed, cycle)`` — participants
+        replay it without sharing generator state.
     """
 
     def __init__(
@@ -182,6 +188,7 @@ class DynamicPolicy(ProtectionPolicy):
         size_mw: int,
         v_mw: Sequence[float],
         seed: int = 0,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__(num_layers)
         if not 1 <= size_mw <= num_layers:
@@ -197,7 +204,7 @@ class DynamicPolicy(ProtectionPolicy):
         if (v < 0).any() or abs(v.sum() - 1.0) > 1e-9:
             raise PolicyError("V_MW entries must be non-negative and sum to 1")
         self.v_mw = v
-        self.seed = int(seed)
+        self.seed = int(rng.integers(2**63)) if rng is not None else int(seed)
 
     @property
     def windows(self) -> List[Tuple[int, ...]]:

@@ -13,6 +13,7 @@ from .executor import ParallelRoundExecutor, RoundExecutor, SequentialRoundExecu
 from .history import SnapshotHistory
 from .metrics import RoundRecord, TrainingMonitor
 from .plan import TrainingPlan
+from .resilience import RetryPolicy, collect_with_retries
 from .robust import coordinate_median, krum, trimmed_mean
 from .secure_agg import PairwiseMasker, aggregate_masked, mask_update
 from .selection import SelectionResult, TEESelector
@@ -22,6 +23,7 @@ from .transport import Channel, ClientUpdate, ModelDownload
 __all__ = [
     "FLServer", "FLClient", "TrainingPlan",
     "RoundExecutor", "SequentialRoundExecutor", "ParallelRoundExecutor",
+    "RetryPolicy", "collect_with_retries",
     "fedavg", "weighted_average", "merge_plain_and_sealed",
     "SnapshotHistory", "TEESelector", "SelectionResult",
     "TrainingMonitor", "RoundRecord",

@@ -69,7 +69,11 @@ class FLClient:
     cost_model:
         Optional device cost model for simulated-time accounting.
     seed:
-        Batch-sampling seed.
+        Batch-sampling seed (ignored when ``rng`` is given).
+    rng:
+        Pre-seeded generator to sample batches from — lets a harness thread
+        one generator through a whole deployment instead of per-client
+        seeds.
     """
 
     def __init__(
@@ -81,13 +85,14 @@ class FLClient:
         has_tee: bool = True,
         cost_model: Optional[CostModel] = None,
         seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.client_id = client_id
         self.model = model
         self.tee_capable = bool(has_tee)
         self.device = AttestationDevice(client_id)
         self.storage = SecureStorage()
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         policy = policy or NoProtection(model.num_layers)
         if policy.layers_for_cycle(0) and not self.tee_capable:
             raise ValueError(

@@ -27,7 +27,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..obs import get_clock, get_registry
 
@@ -46,6 +46,25 @@ class RoundExecutor:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, returning results in item order."""
         raise NotImplementedError
+
+    def map_settled(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> List[Tuple[Optional[R], Optional[Exception]]]:
+        """Like :meth:`map`, but failures settle instead of propagating.
+
+        Returns one ``(result, exception)`` pair per item, in item order —
+        exactly one side is non-None.  This is what resilient round logic
+        builds on: a single misbehaving client must not abort the round,
+        and the caller decides which exceptions merit a retry.
+        """
+
+        def settle(item: T) -> Tuple[Optional[R], Optional[Exception]]:
+            try:
+                return fn(item), None
+            except Exception as exc:  # noqa: BLE001 - settled deliberately
+                return None, exc
+
+        return self.map(settle, items)
 
     def _account(self, durations: List[float], wall: float, workers: int) -> None:
         """Publish dispatch metrics: task count, pool width, utilization.

@@ -31,11 +31,17 @@ class AttestableClient(Protocol):
 
 @dataclass
 class SelectionResult:
-    """Outcome of one selection round."""
+    """Outcome of one selection (or re-attestation) round.
+
+    ``rejected`` holds candidates that never got in; ``evicted`` holds
+    previously admitted clients whose TEE stopped attesting — a tampered
+    TA, rolled-back firmware — and who must be expelled mid-training.
+    """
 
     admitted: List[str] = field(default_factory=list)
     legacy: List[str] = field(default_factory=list)
     rejected: List[Tuple[str, str]] = field(default_factory=list)  # (id, reason)
+    evicted: List[Tuple[str, str]] = field(default_factory=list)  # (id, reason)
 
 
 class TEESelector:
@@ -71,6 +77,30 @@ class TEESelector:
                 self.verifier.verify(quote)
             except AttestationError as exc:
                 result.rejected.append((client.client_id, str(exc)))
+                continue
+            result.admitted.append(client.client_id)
+        return result
+
+    def reattest(self, clients: Sequence[AttestableClient]) -> SelectionResult:
+        """Re-challenge already-admitted clients before a round.
+
+        Selection-time attestation only proves the TA was genuine *then*; a
+        client compromised between rounds would otherwise keep training on.
+        TEE clients that fail the fresh challenge land in ``evicted``;
+        legacy (non-TEE) clients have nothing to quote and pass through
+        unchallenged, as at selection time.
+        """
+        result = SelectionResult()
+        for client in clients:
+            if not client.has_tee():
+                result.legacy.append(client.client_id)
+                continue
+            try:
+                nonce = self.verifier.challenge(client.client_id)
+                quote = client.attest(nonce)
+                self.verifier.verify(quote)
+            except AttestationError as exc:
+                result.evicted.append((client.client_id, str(exc)))
                 continue
             result.admitted.append(client.client_id)
         return result

@@ -22,6 +22,7 @@ from .client import FLClient
 from .executor import RoundExecutor, SequentialRoundExecutor
 from .history import SnapshotHistory
 from .plan import TrainingPlan
+from .resilience import RetryPolicy, collect_with_retries
 from .selection import SelectionResult, TEESelector
 from .transport import Channel, ClientUpdate, ModelDownload
 
@@ -48,6 +49,19 @@ class FLServer:
         (default: the original sequential path).  Pass a
         :class:`~repro.fl.executor.ParallelRoundExecutor` to fan clients
         across a thread pool; aggregation results are identical either way.
+    retry:
+        When given, client failures no longer abort the cycle: work is
+        retried per :class:`~repro.fl.resilience.RetryPolicy` and the round
+        aggregates whatever quorum delivered (below quorum the previous
+        global model is kept — a *degraded* round).  ``None`` preserves the
+        original fail-fast behaviour.
+    reattest:
+        Re-challenge each participant's TEE at the start of every cycle and
+        evict (not train) clients that stopped attesting.  On by default: a
+        client compromised after selection must not keep contributing.
+    seed:
+        Seed of the server's own generator (participant sampling).  All
+        server-side randomness flows from this one seeded generator.
     """
 
     def __init__(
@@ -57,6 +71,9 @@ class FLServer:
         policy: Optional[ProtectionPolicy] = None,
         allow_legacy: bool = False,
         executor: Optional[RoundExecutor] = None,
+        retry: Optional[RetryPolicy] = None,
+        reattest: bool = True,
+        seed: int = 7,
     ) -> None:
         self.model = model
         self.plan = plan
@@ -66,7 +83,10 @@ class FLServer:
         self.selector = TEESelector(self.verifier, allow_legacy=allow_legacy)
         self.history = SnapshotHistory()
         self.channel = Channel()
+        self.retry = retry
+        self.reattest = bool(reattest)
         self.cycle = 0
+        self._rng = np.random.default_rng(seed)
         self._registered: Dict[str, FLClient] = {}
 
     # -- enrolment --------------------------------------------------------
@@ -82,6 +102,39 @@ class FLServer:
             if client.client_id not in self._registered:
                 self.register(client)
         return self.selector.select(clients)
+
+    def _admit(self, participants: Sequence[FLClient]) -> List[FLClient]:
+        """Per-cycle re-attestation gate (when enabled).
+
+        Unknown clients are enrolled first (mirroring :meth:`select`, so ad
+        hoc deployments keep working); already-known clients are *not*
+        re-enrolled — a tampered TA presenting a new measurement must fail
+        verification, not get its measurement allow-listed.  Evicted
+        clients are counted into ``fl.selection.evicted`` and dropped from
+        the round.
+        """
+        if not self.reattest:
+            return list(participants)
+        for client in participants:
+            if client.client_id not in self._registered and client.has_tee():
+                self.register(client)
+        outcome = self.selector.reattest(participants)
+        if not outcome.evicted:
+            return list(participants)
+        registry = get_registry()
+        evicted_ids = set()
+        for client_id, reason in outcome.evicted:
+            evicted_ids.add(client_id)
+            registry.counter(
+                "fl.selection.evicted",
+                "admitted clients expelled at per-cycle re-attestation",
+            ).inc(client=client_id)
+        survivors = [c for c in participants if c.client_id not in evicted_ids]
+        if not survivors:
+            raise ValueError(
+                f"cycle {self.cycle}: every participant failed re-attestation"
+            )
+        return survivors
 
     # -- one FL cycle -------------------------------------------------------
     def _make_download(self, client: FLClient, protected: frozenset) -> ModelDownload:
@@ -125,6 +178,7 @@ class FLServer:
         if not participants:
             raise ValueError("no participants in this cycle")
         executor = executor if executor is not None else self.executor
+        participants = self._admit(participants)
         if len(self.history) == 0:
             self.history.record(self.model.get_weights())
         protected = self.policy.layers_for_cycle(self.cycle)
@@ -135,14 +189,15 @@ class FLServer:
             cycle=self.cycle,
             participants=len(participants),
             protected=sorted(protected),
-        ):
+        ) as round_span:
             downloads: List[ModelDownload] = []
             with get_tracer().span("fl.distribute", cycle=self.cycle):
                 for client in participants:
                     effective = protected if client.has_tee() else frozenset()
                     downloads.append(
                         self.channel.send_download(
-                            self._make_download(client, effective)
+                            self._make_download(client, effective),
+                            client_id=client.client_id,
                         )
                     )
 
@@ -150,18 +205,48 @@ class FLServer:
                 client, download = pair
                 return client.run_cycle(download, self.plan)
 
-            collected = executor.map(train, list(zip(participants, downloads)))
+            pairs = list(zip(participants, downloads))
+            if self.retry is None:
+                # Fail-fast path: any client exception aborts the cycle.
+                survivors = participants
+                collected = executor.map(train, pairs)
+            else:
+                delivered = collect_with_retries(
+                    executor,
+                    train,
+                    pairs,
+                    self.retry,
+                    label_for=lambda pair: pair[0].client_id,
+                )
+                survivors = [participants[i] for i, _ in delivered]
+                collected = [update for _, update in delivered]
+
             updates: List[ClientUpdate] = []
             merged: List[WeightsList] = []
             counts: List[int] = []
+            degraded = (
+                self.retry is not None
+                and len(collected) < self.retry.quorum_count(len(participants))
+            )
             with get_tracer().span("fl.aggregate", cycle=self.cycle):
-                for client, update in zip(participants, collected):
+                for client, update in zip(survivors, collected):
                     update = self.channel.send_update(update)
                     updates.append(update)
                     merged.append(self._merge_update(client, update))
                     counts.append(update.num_samples)
-                new_global = fedavg(merged, counts)
-                self.model.set_weights(new_global)
+                if degraded:
+                    # Below quorum: a biased average would hurt more than a
+                    # stale one, so the previous global model stands.
+                    new_global = self.model.get_weights()
+                    registry.counter(
+                        "fl.rounds.degraded",
+                        "cycles below quorum that kept the previous global model",
+                    ).inc()
+                else:
+                    new_global = fedavg(merged, counts)
+                    self.model.set_weights(new_global)
+            round_span.set_attribute("collected", len(updates))
+            round_span.set_attribute("degraded", degraded)
         self.history.record(new_global)
         registry.counter("fl.rounds", "completed FL cycles").inc()
         registry.histogram(
@@ -186,13 +271,15 @@ class FLServer:
         """Per-cycle client sampling (production FL trains on a subset).
 
         Draws ``ceil(fraction * len(pool))`` clients uniformly without
-        replacement; at least one client is always selected.
+        replacement; at least one client is always selected.  Without an
+        explicit ``rng`` the server's own seeded generator is used, so a
+        deployment's whole sampling schedule is a function of its seed.
         """
         if not pool:
             raise ValueError("client pool is empty")
         if not 0.0 < fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
-        rng = rng or np.random.default_rng(self.cycle)
+        rng = rng if rng is not None else self._rng
         count = max(1, math.ceil(fraction * len(pool)))
         indices = rng.choice(len(pool), size=count, replace=False)
         return [pool[i] for i in sorted(indices)]
@@ -207,6 +294,6 @@ class FLServer:
         """Run cycles, sampling a fresh participant subset each time."""
         if cycles <= 0:
             raise ValueError("cycles must be positive")
-        rng = rng or np.random.default_rng(7)
+        rng = rng if rng is not None else self._rng
         for _ in range(cycles):
             self.run_cycle(self.sample_participants(pool, fraction, rng))

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..nn.serialize import weights_to_bytes
+from ..obs import get_registry
 
 __all__ = ["ModelDownload", "ClientUpdate", "Channel"]
 
@@ -57,19 +58,36 @@ class ClientUpdate:
 
 @dataclass
 class Channel:
-    """In-memory link accumulating traffic statistics."""
+    """In-memory link accumulating traffic statistics.
+
+    Besides the local tallies, every send increments the process-wide
+    ``fl.bytes.down`` / ``fl.bytes.up`` counters, labelled per client when
+    the caller says who the message is for — so ``repro trace`` can break
+    fleet traffic down by participant.
+    """
 
     downlink_bytes: int = 0
     uplink_bytes: int = 0
     downloads: int = 0
     uploads: int = 0
 
-    def send_download(self, message: ModelDownload) -> ModelDownload:
-        self.downlink_bytes += message.wire_bytes()
+    def send_download(
+        self, message: ModelDownload, client_id: Optional[str] = None
+    ) -> ModelDownload:
+        size = message.wire_bytes()
+        self.downlink_bytes += size
         self.downloads += 1
+        labels = {"client": client_id} if client_id is not None else {}
+        get_registry().counter(
+            "fl.bytes.down", "bytes the server sent to clients"
+        ).inc(size, **labels)
         return message
 
     def send_update(self, message: ClientUpdate) -> ClientUpdate:
-        self.uplink_bytes += message.wire_bytes()
+        size = message.wire_bytes()
+        self.uplink_bytes += size
         self.uploads += 1
+        get_registry().counter(
+            "fl.bytes.up", "bytes clients sent to the server"
+        ).inc(size, client=message.client_id)
         return message

@@ -23,7 +23,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
 
-from .clock import Clock, FakeClock, MonotonicClock
+from .clock import Clock, FakeClock, MonotonicClock, VirtualClock
 from .export import TraceValidationError, trace_errors, validate_trace
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, label_key
 from .tracing import Span, TRACE_SCHEMA_VERSION, Tracer
@@ -32,6 +32,7 @@ __all__ = [
     "Clock",
     "MonotonicClock",
     "FakeClock",
+    "VirtualClock",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 import time
 
-__all__ = ["Clock", "MonotonicClock", "FakeClock"]
+__all__ = ["Clock", "MonotonicClock", "FakeClock", "VirtualClock"]
 
 
 class Clock:
@@ -73,3 +73,60 @@ class FakeClock(Clock):
             raise ValueError("cannot advance a monotonic clock backwards")
         with self._lock:
             self._now += float(seconds)
+
+
+class VirtualClock(Clock):
+    """Simulated time, driven externally by a discrete-event loop.
+
+    Unlike :class:`FakeClock`, reads do not advance time by default: the
+    event loop owns the timeline and moves it with :meth:`advance_to` as it
+    pops events off its priority queue, so a million simulated seconds cost
+    zero wall-clock.  Install the same instance as the obs clock and every
+    span/histogram records *simulated* timestamps — which is what makes
+    ``repro simulate`` reports byte-reproducible.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated timestamp.
+    read_tick:
+        Optional tiny increment per ``now()`` read (0 by default).  Set it
+        when strictly increasing read values are needed, FakeClock-style.
+    """
+
+    def __init__(self, start: float = 0.0, read_tick: float = 0.0) -> None:
+        if read_tick < 0:
+            raise ValueError("read_tick cannot be negative")
+        self._lock = threading.Lock()
+        self._now = float(start)
+        self.read_tick = float(read_tick)
+        self.reads = 0
+
+    @property
+    def time(self) -> float:
+        """Current simulated time (no read side effects)."""
+        with self._lock:
+            return self._now
+
+    def now(self) -> float:
+        with self._lock:
+            stamp = self._now
+            self._now += self.read_tick
+            self.reads += 1
+            return stamp
+
+    def advance(self, seconds: float) -> None:
+        """Move simulated time forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("cannot advance a monotonic clock backwards")
+        with self._lock:
+            self._now += float(seconds)
+
+    def advance_to(self, when: float) -> None:
+        """Jump simulated time to ``when`` (no-op if already there)."""
+        with self._lock:
+            if when < self._now:
+                raise ValueError(
+                    f"cannot rewind virtual time from {self._now} to {when}"
+                )
+            self._now = float(when)

@@ -1,0 +1,30 @@
+"""repro.sim — deterministic event-driven FL network simulator.
+
+Scales the GradSec federated loop to thousands of simulated clients in
+seconds of wall time: a priority-queue :class:`~repro.sim.events.EventLoop`
+over a :class:`~repro.obs.clock.VirtualClock`, a seeded per-client
+:class:`~repro.sim.network.NetworkModel` charging transfer time from real
+``wire_bytes()`` payloads, a :class:`~repro.sim.faults.FaultPlan` injecting
+dropouts/stragglers/corruption/pool-exhaustion/attestation failures, and a
+resilient round engine (:class:`~repro.sim.engine.FLSimulator`) with
+over-provisioned selection, deadlines, bounded retry, quorum degradation,
+and secure-storage checkpoint/resume.  Everything is a pure function of the
+seed: same seed, same report bytes.
+"""
+
+from .engine import FLSimulator, REPORT_SCHEMA_VERSION, SimConfig
+from .events import Event, EventLoop
+from .faults import FaultKind, FaultPlan, FaultRates
+from .network import NetworkModel
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "NetworkModel",
+    "FaultKind",
+    "FaultRates",
+    "FaultPlan",
+    "SimConfig",
+    "FLSimulator",
+    "REPORT_SCHEMA_VERSION",
+]

@@ -1,0 +1,623 @@
+"""Event-driven FL fleet simulator with a resilient round engine.
+
+:class:`FLSimulator` scales the FL loop to thousands of clients without
+wall-clock cost by replacing *execution* with *accounting* while keeping the
+server-side control loop real:
+
+* **time** comes from a :class:`~repro.obs.clock.VirtualClock` advanced by a
+  priority-queue :class:`~repro.sim.events.EventLoop`;
+* **transfer time** is charged from each message's actual
+  ``wire_bytes()`` (the same :class:`~repro.fl.transport.ModelDownload` /
+  :class:`~repro.fl.transport.ClientUpdate` types the live stack ships)
+  through a seeded per-client :class:`~repro.sim.network.NetworkModel`;
+* **compute time** comes from the TEE :class:`~repro.tee.costmodel.CostModel`
+  under the deployment's protection policy, scaled by a per-client device
+  speed factor;
+* **updates** are deterministic pseudo-training deltas derived from
+  ``(seed, round, client)``, aggregated with the real
+  :func:`~repro.fl.aggregation.fedavg`;
+* **faults** come from a :class:`~repro.sim.faults.FaultPlan`.
+
+The round engine mirrors what the production retrofit in
+:mod:`repro.fl.server` does, but event-driven: it over-provisions the cohort
+(asks ``ceil(k * overprovision)`` clients, aggregates the first ``k`` to
+report), enforces a per-round deadline, retries transient failures with
+exponential backoff (bounded), degrades gracefully below quorum (the
+previous global model is reused for that cycle), and checkpoints every round
+through :class:`~repro.tee.storage.SecureStorage` so a killed coordinator
+resumes mid-training and produces bitwise-identical final weights.
+
+Every random draw is keyed on ``(seed, stream, round[, client])`` — no
+evolving generator crosses a round boundary — which is what makes resume
+exact and two same-seed runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.policy import NoProtection, ProtectionPolicy
+from ..fl.aggregation import fedavg
+from ..fl.transport import ClientUpdate, ModelDownload
+from ..nn.model import Sequential, WeightsList
+from ..nn.serialize import flatten_weights, weights_from_bytes, weights_to_bytes
+from ..nn.zoo import mlp
+from ..obs import get_registry, get_tracer
+from ..obs.clock import VirtualClock
+from ..tee.costmodel import CostModel
+from ..tee.storage import SecureStorage
+from .events import EventLoop
+from .faults import FaultKind, FaultPlan
+from .network import NetworkModel
+
+__all__ = ["SimConfig", "FLSimulator", "REPORT_SCHEMA_VERSION"]
+
+REPORT_SCHEMA_VERSION = 1
+
+# Independent derivation streams off (seed, stream, ...); values are
+# arbitrary distinct constants.
+_STREAM_TRAITS = 11
+_STREAM_SELECT = 12
+_STREAM_UPDATE = 13
+
+_CHECKPOINT_OBJECT = "fl-round-checkpoint"
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of one simulated deployment.
+
+    Attributes
+    ----------
+    num_clients / rounds / seed:
+        Fleet size, training length, and the seed that fully determines the
+        run (fleet traits, cohort draws, faults, pseudo-updates).
+    cohort:
+        ``k`` — updates aggregated per round (defaults to ``min(32, fleet)``).
+    overprovision:
+        Selection asks ``ceil(k * overprovision)`` clients; the first ``k``
+        to report are aggregated (stragglers hide behind the surplus).
+    quorum:
+        Minimum fraction of ``k`` that must report by the deadline; below
+        it the round degrades (previous global model reused).
+    deadline_seconds:
+        Per-round collection deadline in simulated seconds.
+    max_retries / retry_backoff_seconds:
+        Bounded retry of transient client failures, exponential backoff.
+    straggler_factor:
+        Slow-down multiplier applied to a straggling client's round.
+    update_scale:
+        Std-dev of the pseudo-training delta each client applies.
+    batch_size / local_steps:
+        Fed into the TEE cost model's per-cycle compute time.
+    """
+
+    num_clients: int
+    rounds: int
+    seed: int = 0
+    cohort: Optional[int] = None
+    overprovision: float = 1.25
+    quorum: float = 0.5
+    deadline_seconds: float = 5.0
+    max_retries: int = 2
+    retry_backoff_seconds: float = 0.5
+    straggler_factor: float = 20.0
+    update_scale: float = 0.05
+    batch_size: int = 32
+    local_steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if self.cohort is None:
+            object.__setattr__(self, "cohort", min(32, self.num_clients))
+        if not 1 <= self.cohort <= self.num_clients:
+            raise ValueError(
+                f"cohort must be in 1..{self.num_clients}, got {self.cohort}"
+            )
+        if self.overprovision < 1.0:
+            raise ValueError("overprovision must be >= 1")
+        if not 0.0 < self.quorum <= 1.0:
+            raise ValueError("quorum must be in (0, 1]")
+        if self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.retry_backoff_seconds <= 0:
+            raise ValueError("retry_backoff_seconds must be positive")
+        if self.straggler_factor <= 1.0:
+            raise ValueError("straggler_factor must exceed 1")
+        if self.update_scale <= 0:
+            raise ValueError("update_scale must be positive")
+
+    @property
+    def asked(self) -> int:
+        """Clients contacted per round (over-provisioned cohort)."""
+        return min(self.num_clients, math.ceil(self.cohort * self.overprovision))
+
+    @property
+    def quorum_count(self) -> int:
+        """Minimum collected updates for a round to aggregate."""
+        return max(1, math.ceil(self.quorum * self.cohort))
+
+
+@dataclass
+class _RoundState:
+    """Mutable bookkeeping of one in-flight round."""
+
+    members: List[int]
+    deadline_at: float
+    collected: Dict[int, ClientUpdate] = field(default_factory=dict)
+    status: Dict[int, str] = field(default_factory=dict)
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {
+            "dropouts": 0,
+            "stragglers": 0,
+            "corrupted": 0,
+            "pool_exhausted": 0,
+            "evicted": 0,
+            "retries": 0,
+            "giveups": 0,
+        }
+    )
+    done: bool = False
+    aggregated_at: float = 0.0
+
+
+class FLSimulator:
+    """Deterministic event-driven simulation of a federated deployment.
+
+    Parameters
+    ----------
+    config:
+        The deployment knobs; ``config.seed`` fully determines the run.
+    model:
+        Global model whose weights are trained (default: a small MLP — the
+        simulator studies *fleet* behaviour, not learning curves; any
+        :class:`~repro.nn.model.Sequential` works and payload sizes follow).
+    policy:
+        Protection policy; decides the protected set the cost model charges.
+    fault_plan:
+        Fault schedule (default: a fault-free fleet).
+    network:
+        Per-client link table (default: sampled from the config seed).
+    storage:
+        When given, every round is checkpointed into this
+        :class:`~repro.tee.storage.SecureStorage`; a simulator constructed
+        over storage holding a checkpoint resumes from it.
+    cost_model:
+        TEE cost model for per-cycle compute time.
+    clock:
+        The virtual clock to drive (share it with ``obs.fresh`` to get
+        simulated-time spans).
+    """
+
+    TA_UUID = "gradsec-fl-coordinator"
+
+    def __init__(
+        self,
+        config: SimConfig,
+        model: Optional[Sequential] = None,
+        policy: Optional[ProtectionPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        network: Optional[NetworkModel] = None,
+        storage: Optional[SecureStorage] = None,
+        cost_model: Optional[CostModel] = None,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock or VirtualClock()
+        self.loop = EventLoop(self.clock)
+        self.model = model or mlp(
+            num_classes=4, input_shape=(6,), hidden=(8, 5), seed=config.seed
+        )
+        self.policy = policy or NoProtection(self.model.num_layers)
+        self.fault_plan = fault_plan or FaultPlan(seed=config.seed)
+        self.storage = storage
+        self.cost_model = cost_model or CostModel(
+            batch_size=config.batch_size, batches_per_cycle=config.local_steps
+        )
+        traits = np.random.default_rng((config.seed, _STREAM_TRAITS))
+        self.network = network or NetworkModel.sample(config.num_clients, traits)
+        # Device heterogeneity: per-client compute speed and shard size.
+        self.speed = traits.uniform(0.75, 2.5, config.num_clients)
+        self.num_samples = traits.integers(16, 129, config.num_clients)
+        self.round = 0
+        self.history: List[Dict[str, object]] = []
+        self.resumed_from: Optional[int] = None
+        if self.storage is not None:
+            self._load_checkpoint()
+
+    # -- deterministic derivations ----------------------------------------
+    def _select_cohort(self, round_index: int) -> List[int]:
+        rng = np.random.default_rng((self.config.seed, _STREAM_SELECT, round_index))
+        picked = rng.choice(
+            self.config.num_clients, size=self.config.asked, replace=False
+        )
+        return sorted(int(i) for i in picked)
+
+    def _make_update(
+        self, round_index: int, client_index: int, global_weights: WeightsList
+    ) -> ClientUpdate:
+        """The client's pseudo-trained update: global + seeded delta.
+
+        Keyed on ``(seed, round, client)`` only, so a retried attempt
+        re-sends the exact same payload and resume replays it bitwise.
+        """
+        rng = np.random.default_rng(
+            (self.config.seed, _STREAM_UPDATE, round_index, client_index)
+        )
+        trained: WeightsList = [
+            {
+                key: value + self.config.update_scale * rng.standard_normal(value.shape)
+                for key, value in layer.items()
+            }
+            for layer in global_weights
+        ]
+        return ClientUpdate(
+            client_id=f"sim-{client_index}",
+            cycle=round_index,
+            num_samples=int(self.num_samples[client_index]),
+            plain_weights=trained,
+        )
+
+    # -- one round ---------------------------------------------------------
+    def step_round(self) -> Dict[str, object]:
+        """Simulate one full round; returns its outcome record."""
+        cfg = self.config
+        rnd = self.round
+        registry = get_registry()
+        protected = self.policy.layers_for_cycle(rnd)
+        compute_base = self.cost_model.cycle_cost(self.model, protected).total_seconds
+        global_weights = self.model.get_weights()
+        download_bytes = ModelDownload(
+            cycle=rnd, plain_weights=global_weights
+        ).wire_bytes()
+
+        started_at = self.clock.time
+        with get_tracer().span("sim.round", cycle=rnd, asked=cfg.asked) as span:
+            members = self._select_cohort(rnd)
+            state = _RoundState(
+                members=members, deadline_at=started_at + cfg.deadline_seconds
+            )
+            # Deadline first: a completion landing exactly on the deadline
+            # is late, deterministically.
+            self.loop.schedule_at(
+                state.deadline_at, lambda: self._finish(state, registry)
+            )
+            for index in members:
+                fault = self.fault_plan.fault_for(rnd, index)
+                if fault is FaultKind.FAIL_ATTESTATION:
+                    state.status[index] = "evicted"
+                    state.counts["evicted"] += 1
+                    registry.counter(
+                        "sim.attestation_failures",
+                        "cohort members evicted for failing round attestation",
+                    ).inc()
+                    continue
+                if fault is FaultKind.DROP:
+                    state.status[index] = "dropped"
+                    state.counts["dropouts"] += 1
+                    registry.counter(
+                        "sim.dropouts", "cohort members that went silent mid-round"
+                    ).inc()
+                    continue
+                state.status[index] = "pending"
+                self._schedule_attempt(
+                    state,
+                    rnd,
+                    index,
+                    attempt=0,
+                    start_at=started_at,
+                    fault=fault,
+                    compute_base=compute_base,
+                    download_bytes=download_bytes,
+                    global_weights=global_weights,
+                    registry=registry,
+                )
+
+            while not state.done and self.loop.step():
+                pass
+            if not state.done:
+                # Everyone resolved (or nobody was schedulable) before the
+                # deadline event fired: settle the round at the deadline.
+                self.clock.advance_to(state.deadline_at)
+                self._finish(state, registry)
+            # Anything still queued is a straggler arriving after the round
+            # settled; classification below counts it, the event is moot.
+            self.loop.clear()
+
+            for index in members:
+                if state.status.get(index) == "pending":
+                    state.status[index] = "straggled"
+                    state.counts["stragglers"] += 1
+                    registry.counter(
+                        "sim.stragglers",
+                        "cohort members that missed the round deadline",
+                    ).inc()
+
+            degraded = len(state.collected) < cfg.quorum_count
+            if not degraded:
+                order = sorted(state.collected)
+                new_global = fedavg(
+                    [state.collected[i].plain_weights for i in order],
+                    [state.collected[i].num_samples for i in order],
+                )
+                self.model.set_weights(new_global)
+            else:
+                registry.counter(
+                    "sim.rounds.degraded",
+                    "rounds below quorum that reused the previous global model",
+                ).inc()
+            span.set_attribute("collected", len(state.collected))
+            span.set_attribute("degraded", degraded)
+
+        registry.counter("sim.rounds", "simulated FL rounds").inc()
+        registry.counter(
+            "sim.clients.selected", "cohort slots asked across all rounds"
+        ).inc(len(members))
+        registry.counter(
+            "sim.clients.collected", "client updates aggregated across all rounds"
+        ).inc(len(state.collected))
+        registry.histogram(
+            "sim.round.virtual_seconds", "simulated wall time per round"
+        ).observe(state.aggregated_at - started_at)
+
+        outcome: Dict[str, object] = {
+            "round": rnd,
+            "asked": len(members),
+            "cohort": members,
+            "collected": sorted(int(i) for i in state.collected),
+            "degraded": degraded,
+            "started_at": started_at,
+            "aggregated_at": state.aggregated_at,
+            "virtual_seconds": state.aggregated_at - started_at,
+            **state.counts,
+        }
+        self.history.append(outcome)
+        self.round += 1
+        self._save_checkpoint()
+        return outcome
+
+    def _schedule_attempt(
+        self,
+        state: _RoundState,
+        rnd: int,
+        index: int,
+        attempt: int,
+        start_at: float,
+        fault: Optional[FaultKind],
+        compute_base: float,
+        download_bytes: int,
+        global_weights: WeightsList,
+        registry,
+    ) -> None:
+        """Queue one download→train→upload attempt for a cohort member."""
+        cfg = self.config
+        download_t = self.network.transfer_seconds(index, download_bytes)
+        compute_t = compute_base * float(self.speed[index])
+
+        if fault is FaultKind.EXHAUST_POOL and attempt == 0:
+            # The enclave aborts partway through local training and the
+            # client reports the failure immediately.
+            fail_at = start_at + download_t + 0.5 * compute_t
+            self.loop.schedule_at(
+                fail_at,
+                lambda: self._on_failure(
+                    state,
+                    rnd,
+                    index,
+                    attempt,
+                    "pool_exhausted",
+                    compute_base,
+                    download_bytes,
+                    global_weights,
+                    registry,
+                ),
+            )
+            return
+
+        update = self._make_update(rnd, index, global_weights)
+        upload_t = self.network.transfer_seconds(index, update.wire_bytes())
+        duration = download_t + compute_t + upload_t
+        if fault is FaultKind.STRAGGLE:
+            duration *= cfg.straggler_factor
+        corrupted = fault is FaultKind.CORRUPT and attempt == 0
+        self.loop.schedule_at(
+            start_at + duration,
+            lambda: self._on_arrival(
+                state,
+                rnd,
+                index,
+                attempt,
+                update,
+                corrupted,
+                compute_base,
+                download_bytes,
+                global_weights,
+                registry,
+            ),
+        )
+
+    def _on_arrival(
+        self,
+        state: _RoundState,
+        rnd: int,
+        index: int,
+        attempt: int,
+        update: ClientUpdate,
+        corrupted: bool,
+        compute_base: float,
+        download_bytes: int,
+        global_weights: WeightsList,
+        registry,
+    ) -> None:
+        if state.done:
+            return
+        if corrupted:
+            state.counts["corrupted"] += 1
+            registry.counter(
+                "sim.corruptions", "updates rejected for failing integrity checks"
+            ).inc()
+            self._on_failure(
+                state,
+                rnd,
+                index,
+                attempt,
+                None,
+                compute_base,
+                download_bytes,
+                global_weights,
+                registry,
+            )
+            return
+        if index in state.collected:
+            return
+        state.collected[index] = update
+        state.status[index] = "collected"
+        if len(state.collected) >= self.config.cohort:
+            self._finish(state, registry)
+
+    def _on_failure(
+        self,
+        state: _RoundState,
+        rnd: int,
+        index: int,
+        attempt: int,
+        reason: Optional[str],
+        compute_base: float,
+        download_bytes: int,
+        global_weights: WeightsList,
+        registry,
+    ) -> None:
+        if state.done:
+            return
+        if reason == "pool_exhausted":
+            state.counts["pool_exhausted"] += 1
+            registry.counter(
+                "sim.pool_exhaustions",
+                "local training aborts from secure-pool exhaustion",
+            ).inc()
+        if attempt < self.config.max_retries:
+            state.counts["retries"] += 1
+            registry.counter(
+                "fl.retry.attempts", "client round attempts retried"
+            ).inc()
+            backoff = self.config.retry_backoff_seconds * (2**attempt)
+            self._schedule_attempt(
+                state,
+                rnd,
+                index,
+                attempt=attempt + 1,
+                start_at=self.clock.time + backoff,
+                fault=None,  # transient faults only hit the first attempt
+                compute_base=compute_base,
+                download_bytes=download_bytes,
+                global_weights=global_weights,
+                registry=registry,
+            )
+        else:
+            state.counts["giveups"] += 1
+            state.status[index] = "failed"
+            registry.counter(
+                "fl.retry.giveups", "clients abandoned after exhausting retries"
+            ).inc()
+
+    def _finish(self, state: _RoundState, registry) -> None:
+        if state.done:
+            return
+        state.done = True
+        state.aggregated_at = self.clock.time
+
+    # -- checkpoint / resume ----------------------------------------------
+    def _save_checkpoint(self) -> None:
+        """Persist round cursor + weights + history through secure storage.
+
+        A single ``put`` keeps the checkpoint atomic (meta and weights can
+        never disagree), and the storage layer's rollback counter means a
+        replayed older checkpoint is detected, not silently resumed.
+        """
+        if self.storage is None:
+            return
+        meta = {
+            "schema": REPORT_SCHEMA_VERSION,
+            "round": self.round,
+            "virtual_time": self.clock.time,
+            "history": self.history,
+        }
+        blob = (
+            json.dumps(meta, sort_keys=True).encode()
+            + b"\x00"
+            + weights_to_bytes(self.model.get_weights())
+        )
+        self.storage.put(self.TA_UUID, _CHECKPOINT_OBJECT, blob)
+        get_registry().counter(
+            "sim.checkpoints", "round checkpoints sealed into secure storage"
+        ).inc()
+
+    def _load_checkpoint(self) -> None:
+        try:
+            blob = self.storage.get(self.TA_UUID, _CHECKPOINT_OBJECT)
+        except KeyError:
+            return
+        meta_raw, _, weights_blob = blob.partition(b"\x00")
+        meta = json.loads(meta_raw)
+        self.model.set_weights(weights_from_bytes(weights_blob))
+        self.round = int(meta["round"])
+        self.history = list(meta["history"])
+        self.clock.advance_to(float(meta["virtual_time"]))
+        self.resumed_from = self.round
+        get_registry().counter(
+            "sim.resumes", "simulations resumed from a secure-storage checkpoint"
+        ).inc()
+
+    # -- whole runs --------------------------------------------------------
+    def run(self) -> Dict[str, object]:
+        """Run (or finish) all configured rounds and return the report."""
+        while self.round < self.config.rounds:
+            self.step_round()
+        return self.report()
+
+    def weights_digest(self) -> str:
+        """SHA-256 over the flattened global weights (order-stable)."""
+        return hashlib.sha256(
+            flatten_weights(self.model.get_weights()).tobytes()
+        ).hexdigest()
+
+    def report(self) -> Dict[str, object]:
+        """JSON-ready, byte-reproducible summary of the whole run."""
+        count_keys = (
+            "dropouts",
+            "stragglers",
+            "corrupted",
+            "pool_exhausted",
+            "evicted",
+            "retries",
+            "giveups",
+        )
+        totals: Dict[str, object] = {
+            key: sum(int(outcome[key]) for outcome in self.history)
+            for key in count_keys
+        }
+        totals["rounds"] = len(self.history)
+        totals["degraded"] = sum(1 for o in self.history if o["degraded"])
+        totals["collected"] = sum(len(o["collected"]) for o in self.history)
+        totals["asked"] = sum(int(o["asked"]) for o in self.history)
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "config": asdict(self.config),
+            "fault_plan": self.fault_plan.describe(),
+            "rounds": self.history,
+            "totals": totals,
+            "virtual_seconds": self.clock.time,
+            "weights_sha256": self.weights_digest(),
+            "resumed_from_round": self.resumed_from,
+        }

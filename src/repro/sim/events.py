@@ -1,0 +1,125 @@
+"""Deterministic discrete-event loop.
+
+A tiny priority-queue scheduler over a
+:class:`~repro.obs.clock.VirtualClock`: callbacks are ordered by their
+simulated fire time, ties broken by insertion order, and popping an event
+advances the clock to its timestamp before running it.  Because nothing here
+reads the wall clock or iterates an unordered container, a seeded simulation
+replays bit-for-bit — the property every ``repro simulate`` report and the
+checkpoint/resume tests lean on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..obs.clock import VirtualClock
+
+__all__ = ["Event", "EventLoop"]
+
+
+class Event:
+    """A scheduled callback; ``cancel()`` makes the pop a silent no-op."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback: Callable[[], None]) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """Priority-queue event loop over simulated time.
+
+    Parameters
+    ----------
+    clock:
+        The :class:`VirtualClock` to drive (a fresh one when omitted).
+        Sharing it with the obs context timestamps spans in simulated time.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock or VirtualClock()
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self.processed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
+
+    @property
+    def now(self) -> float:
+        return self.clock.time
+
+    # -- scheduling --------------------------------------------------------
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` when simulated time reaches ``when``."""
+        when = float(when)
+        if when < self.clock.time:
+            raise ValueError(
+                f"cannot schedule at {when}: simulated time is already "
+                f"{self.clock.time}"
+            )
+        event = Event(when, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.when, event.seq, event))
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        return self.schedule_at(self.clock.time + float(delay), callback)
+
+    # -- execution ---------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Fire time of the earliest pending event (None when idle)."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Pop the earliest event, advance the clock to it, run it.
+
+        Returns False when no runnable event remained.
+        """
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            self.processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Drain the queue (optionally bounded by time or event count).
+
+        Events scheduled strictly after ``until`` stay queued.  Returns the
+        number of events processed by this call.
+        """
+        ran = 0
+        while self._heap:
+            if max_events is not None and ran >= max_events:
+                break
+            upcoming = self.peek_time()
+            if upcoming is None or (until is not None and upcoming > until):
+                break
+            if self.step():
+                ran += 1
+        return ran
+
+    def clear(self) -> int:
+        """Discard every pending event; returns how many were dropped."""
+        dropped = len(self)
+        self._heap.clear()
+        return dropped

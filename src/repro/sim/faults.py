@@ -1,0 +1,140 @@
+"""Fault injection for simulated FL rounds.
+
+A :class:`FaultPlan` decides, per ``(round, client)``, whether that client
+misbehaves this round and how.  The taxonomy covers the failure modes a
+TEE-backed FL fleet actually exhibits:
+
+* ``drop`` — the client goes silent mid-round (crash, network partition);
+* ``straggle`` — the client finishes, but far too late for the deadline;
+* ``corrupt`` — the normal-world relay flips bits in the update payload
+  (detected server-side, retried — the sealed path makes this loud);
+* ``exhaust_pool`` — the enclave's secure memory pool runs out mid-cycle
+  (the paper's 3–5 MB budget, §3.3) and local training aborts;
+* ``fail_attestation`` — the device can no longer produce a valid quote
+  (tampered TA, rolled-back firmware) and must be evicted.
+
+Sampled faults are derived from ``(seed, round, client)`` alone — never from
+query order or an evolving generator — so any subset of clients can be
+interrogated in any order and two runs with the same seed realise the exact
+same fault set.  Transient faults (``corrupt``, ``exhaust_pool``) hit only a
+client's first attempt of the round, so bounded retry can win; ``drop`` and
+``straggle`` persist for the round.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultRates", "FaultPlan"]
+
+# Stream tag keeping fault draws independent of every other (seed, round)
+# derived stream in the simulator.
+_STREAM_FAULT = 0xFA017
+
+
+class FaultKind(enum.Enum):
+    """One way a simulated client can misbehave during a round."""
+
+    DROP = "drop"
+    STRAGGLE = "straggle"
+    CORRUPT = "corrupt"
+    EXHAUST_POOL = "exhaust_pool"
+    FAIL_ATTESTATION = "fail_attestation"
+
+    @property
+    def transient(self) -> bool:
+        """Whether a retry of the same round can succeed."""
+        return self in (FaultKind.CORRUPT, FaultKind.EXHAUST_POOL)
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-round, per-client probability of each fault kind."""
+
+    dropout: float = 0.0
+    straggler: float = 0.0
+    corrupt: float = 0.0
+    pool_exhaust: float = 0.0
+    attestation: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field.name} rate must be in [0, 1], got {value}")
+        if self.total() > 1.0 + 1e-12:
+            raise ValueError(f"fault rates sum to {self.total()} > 1")
+
+    def total(self) -> float:
+        return sum(getattr(self, field.name) for field in fields(self))
+
+    # Fixed realisation order: a single uniform draw is bucketed against
+    # these cumulative thresholds, so changing one rate never reshuffles
+    # which clients realise the *other* kinds.
+    def thresholds(self) -> Tuple[Tuple[float, FaultKind], ...]:
+        out = []
+        edge = 0.0
+        for rate, kind in (
+            (self.dropout, FaultKind.DROP),
+            (self.straggler, FaultKind.STRAGGLE),
+            (self.corrupt, FaultKind.CORRUPT),
+            (self.pool_exhaust, FaultKind.EXHAUST_POOL),
+            (self.attestation, FaultKind.FAIL_ATTESTATION),
+        ):
+            edge += rate
+            if rate > 0:
+                out.append((edge, kind))
+        return tuple(out)
+
+
+class FaultPlan:
+    """Deterministic fault schedule: sampled rates plus explicit injections.
+
+    Parameters
+    ----------
+    rates:
+        Background fault probabilities applied to every (round, client).
+    seed:
+        Seed for the sampled realisation; the fault of a given
+        ``(round, client)`` is a pure function of ``(seed, round, client)``.
+    """
+
+    def __init__(self, rates: Optional[FaultRates] = None, seed: int = 0) -> None:
+        self.rates = rates or FaultRates()
+        self.seed = int(seed)
+        self._explicit: Dict[Tuple[int, int], Optional[FaultKind]] = {}
+
+    def inject(self, round_index: int, client_index: int, kind) -> "FaultPlan":
+        """Pin a specific fault (or ``None`` to force health) for one cell."""
+        fault = FaultKind(kind) if kind is not None else None
+        self._explicit[(int(round_index), int(client_index))] = fault
+        return self
+
+    def fault_for(self, round_index: int, client_index: int) -> Optional[FaultKind]:
+        """The fault this client realises this round (None = healthy)."""
+        key = (int(round_index), int(client_index))
+        if key in self._explicit:
+            return self._explicit[key]
+        thresholds = self.rates.thresholds()
+        if not thresholds:
+            return None
+        draw = float(
+            np.random.default_rng((self.seed, _STREAM_FAULT, *key)).random()
+        )
+        for edge, kind in thresholds:
+            if draw < edge:
+                return kind
+        return None
+
+    def describe(self) -> str:
+        active = [
+            f"{field.name}={getattr(self.rates, field.name):g}"
+            for field in fields(self.rates)
+            if getattr(self.rates, field.name) > 0
+        ]
+        pinned = f", {len(self._explicit)} pinned" if self._explicit else ""
+        return f"FaultPlan(seed={self.seed}, {', '.join(active) or 'no faults'}{pinned})"

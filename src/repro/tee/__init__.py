@@ -13,6 +13,8 @@ from .memory import DEFAULT_CAPACITY_BYTES, SecureMemoryPool, ShieldedBuffer
 from .monitor import SecureMonitor, Session, SMCStats
 from .profiles import RASPBERRY_PI_3B, DeviceProfile
 from .storage import (
+    BackendCrash,
+    FaultInjectedBackend,
     InMemoryBackend,
     ReeFsBackend,
     RollbackError,
@@ -38,7 +40,8 @@ __all__ = [
     "IntegrityError", "AttestationError",
     "SecureMemoryPool", "ShieldedBuffer", "DEFAULT_CAPACITY_BYTES",
     "SecureMonitor", "SMCStats", "Session", "TrustedApplication",
-    "SecureStorage", "InMemoryBackend", "ReeFsBackend", "StorageBackend", "RollbackError",
+    "SecureStorage", "InMemoryBackend", "ReeFsBackend", "StorageBackend",
+    "FaultInjectedBackend", "RollbackError", "BackendCrash",
     "AttestationDevice", "AttestationVerifier", "Quote",
     "TrustedIOPath",
     "CostModel", "CycleCost", "DeviceProfile", "RASPBERRY_PI_3B",

@@ -34,12 +34,18 @@ __all__ = [
     "InMemoryBackend",
     "ReeFsBackend",
     "StorageBackend",
+    "FaultInjectedBackend",
     "RollbackError",
+    "BackendCrash",
 ]
 
 
 class RollbackError(TEEError):
     """A stale (replayed) version of a secure object was served."""
+
+
+class BackendCrash(TEEError):
+    """Injected storage-medium failure (power loss mid-write)."""
 
 
 class StorageBackend:
@@ -120,6 +126,63 @@ class ReeFsBackend(StorageBackend):
         return tuple(sorted(names))
 
 
+class FaultInjectedBackend(StorageBackend):
+    """Wraps a backend and crashes chosen ``put`` calls, for testing.
+
+    Models the two ways a physical write can die:
+
+    * ``mode="before"`` — power lost before anything hit the medium: the
+      previous blob (if any) is untouched;
+    * ``mode="torn"`` — the write was interrupted partway: a truncated
+      blob lands, which integrity verification must catch on read.
+
+    Either way :class:`BackendCrash` propagates to the caller, so
+    :meth:`SecureStorage.put` never reaches its counter-increment commit
+    point — exactly the crash-atomicity contract the tests pin down.
+
+    Parameters
+    ----------
+    inner:
+        The real backend to wrap (default: a fresh in-memory one).
+    fail_on_put:
+        Zero-based indices of ``put`` calls (counted across all keys) that
+        crash.
+    mode:
+        ``"before"`` or ``"torn"`` (see above).
+    """
+
+    def __init__(
+        self,
+        inner: Optional[StorageBackend] = None,
+        fail_on_put: Optional[set] = None,
+        mode: str = "before",
+    ) -> None:
+        if mode not in ("before", "torn"):
+            raise ValueError(f"unknown crash mode {mode!r}")
+        self.inner = inner or InMemoryBackend()
+        self.fail_on_put = set(fail_on_put or ())
+        self.mode = mode
+        self.puts = 0
+
+    def put(self, key: str, blob: bytes) -> None:
+        index = self.puts
+        self.puts += 1
+        if index in self.fail_on_put:
+            if self.mode == "torn":
+                self.inner.put(key, blob[: max(1, len(blob) // 2)])
+            raise BackendCrash(f"injected crash on put #{index} ({self.mode})")
+        self.inner.put(key, blob)
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self.inner.get(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def keys(self) -> tuple:
+        return self.inner.keys()
+
+
 class SecureStorage:
     """Per-device secure storage with the SSK → TSK → FEK hierarchy.
 
@@ -129,17 +192,50 @@ class SecureStorage:
         Where sealed blobs land (default: in-memory, RPMB-like).
     ssk:
         Per-device Secure Storage Key; random when omitted.
+    counters_path:
+        When given, the monotonic counters are mirrored to this file (in
+        trusted storage) and reloaded on construction — the persistence a
+        real device gets from RPMB across reboots.  Without it a fresh
+        instance trusts nothing written by a previous one.
     """
 
     _MAGIC = b"GSEC2"
     _VERSION_BYTES = 8
 
-    def __init__(self, backend: Optional[StorageBackend] = None, ssk: Optional[bytes] = None) -> None:
+    def __init__(
+        self,
+        backend: Optional[StorageBackend] = None,
+        ssk: Optional[bytes] = None,
+        counters_path: Optional[str] = None,
+    ) -> None:
         self.backend = backend or InMemoryBackend()
         self._ssk = ssk or crypto.random_key()
         # Monotonic write counters per object — held in trusted storage
         # (the role RPMB's replay-protected counters play on real devices).
         self._counters: Dict[str, int] = {}
+        self._counters_path = counters_path
+        if counters_path is not None and os.path.exists(counters_path):
+            import json
+
+            with open(counters_path) as handle:
+                self._counters = {k: int(v) for k, v in json.load(handle).items()}
+
+    def _persist_counters(self) -> None:
+        if self._counters_path is None:
+            return
+        import json
+
+        directory = os.path.dirname(self._counters_path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory)
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._counters, handle)
+            os.replace(tmp, self._counters_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
 
     def _tsk(self, ta_uuid: str) -> bytes:
         return crypto.derive_key(self._ssk, b"tsk", ta_uuid.encode())
@@ -160,6 +256,7 @@ class SecureStorage:
         )
         self.backend.put(key, blob)
         self._counters[key] = version
+        self._persist_counters()
 
     def get(self, ta_uuid: str, name: str) -> bytes:
         """Fetch and verify an object; raises on absence, tampering or replay."""
@@ -193,6 +290,7 @@ class SecureStorage:
     def delete(self, ta_uuid: str, name: str) -> None:
         self.backend.delete(self._key(ta_uuid, name))
         self._counters.pop(self._key(ta_uuid, name), None)
+        self._persist_counters()
 
     def objects(self) -> tuple:
         """All stored object keys (as visible to the untrusted backend)."""

@@ -1,0 +1,91 @@
+"""The ``repro simulate`` command and the trace traffic section."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def run_simulate(tmp_path, name, *extra):
+    out = tmp_path / name
+    argv = [
+        "simulate",
+        "--clients", "80",
+        "--rounds", "3",
+        "--seed", "7",
+        "--dropout", "0.2",
+        "--straggler", "0.1",
+        "--out", str(out),
+        *extra,
+    ]
+    assert main(argv) == 0
+    return out.read_bytes()
+
+
+class TestSimulateCommand:
+    def test_report_shape(self, tmp_path, capsys):
+        payload = json.loads(run_simulate(tmp_path, "report.json"))
+        assert payload["command"] == "simulate"
+        assert payload["config"]["num_clients"] == 80
+        assert len(payload["rounds"]) == 3
+        assert payload["totals"]["rounds"] == 3
+        assert payload["totals"]["dropouts"] > 0
+        assert len(payload["weights_sha256"]) == 64
+        assert "sim.rounds" in payload["metrics"]["counters"]
+
+    def test_same_seed_byte_identical(self, tmp_path):
+        first = run_simulate(tmp_path, "a.json")
+        second = run_simulate(tmp_path, "b.json")
+        assert first == second
+
+    def test_different_seed_differs(self, tmp_path):
+        first = run_simulate(tmp_path, "a.json")
+        out = tmp_path / "c.json"
+        assert main([
+            "simulate", "--clients", "80", "--rounds", "3", "--seed", "8",
+            "--dropout", "0.2", "--straggler", "0.1", "--out", str(out),
+        ]) == 0
+        assert first != out.read_bytes()
+
+    def test_prints_to_stdout_without_out(self, capsys):
+        assert main(["simulate", "--clients", "20", "--rounds", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "simulate"
+
+    def test_kill_and_resume_across_invocations(self, tmp_path):
+        """A killed server restarted over --state-dir finishes with weights
+        bitwise-identical to the uninterrupted run."""
+        state = tmp_path / "state"
+        uninterrupted = json.loads(run_simulate(tmp_path, "full.json"))
+        # "killed" run: only the first 2 of 3 rounds happen
+        partial = tmp_path / "partial.json"
+        assert main([
+            "simulate", "--clients", "80", "--rounds", "2", "--seed", "7",
+            "--dropout", "0.2", "--straggler", "0.1",
+            "--state-dir", str(state), "--out", str(partial),
+        ]) == 0
+        resumed_bytes = run_simulate(
+            tmp_path, "resumed.json", "--state-dir", str(state)
+        )
+        resumed = json.loads(resumed_bytes)
+        assert resumed["resumed_from_round"] == 2
+        assert resumed["weights_sha256"] == uninterrupted["weights_sha256"]
+        assert resumed["rounds"] == uninterrupted["rounds"]
+
+    def test_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "simulate" in capsys.readouterr().out
+
+
+class TestTraceTraffic:
+    def test_trace_reports_traffic_totals(self, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--clients", "2", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        traffic = payload["traffic"]
+        assert traffic["downloads"] == 2 and traffic["uploads"] == 2
+        assert traffic["downlink_bytes"] > 0 and traffic["uplink_bytes"] > 0
+        counters = payload["metrics"]["counters"]
+        assert "fl.bytes.down" in counters
+        assert "fl.bytes.up" in counters

@@ -1,0 +1,287 @@
+"""The event-driven FL simulator: determinism, resilience, checkpoint/resume."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import VirtualClock
+from repro.sim import FLSimulator, FaultPlan, FaultRates, SimConfig
+from repro.tee.storage import InMemoryBackend, SecureStorage
+
+SSK = b"\x07" * 32
+
+
+def make_sim(ctx, storage=None, rates=None, plan=None, **overrides):
+    defaults = dict(num_clients=120, rounds=4, seed=13, cohort=12)
+    defaults.update(overrides)
+    config = SimConfig(**defaults)
+    fault_plan = plan or FaultPlan(rates or FaultRates(), seed=config.seed)
+    return FLSimulator(
+        config, fault_plan=fault_plan, storage=storage, clock=ctx.clock
+    )
+
+
+def report_bytes(report):
+    return json.dumps(report, sort_keys=True).encode()
+
+
+class TestDeterminism:
+    def test_same_seed_same_report_bytes(self):
+        rates = FaultRates(
+            dropout=0.15, straggler=0.1, corrupt=0.05, pool_exhaust=0.03,
+            attestation=0.02,
+        )
+        reports = []
+        for _ in range(2):
+            with obs.fresh(clock=VirtualClock()) as ctx:
+                reports.append(make_sim(ctx, rates=rates).run())
+        assert report_bytes(reports[0]) == report_bytes(reports[1])
+
+    def test_different_seed_different_weights(self):
+        digests = []
+        for seed in (1, 2):
+            with obs.fresh(clock=VirtualClock()) as ctx:
+                digests.append(make_sim(ctx, seed=seed).run()["weights_sha256"])
+        assert digests[0] != digests[1]
+
+    def test_report_is_json_round_trippable(self):
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            report = make_sim(ctx, rates=FaultRates(dropout=0.2)).run()
+        assert json.loads(json.dumps(report)) == json.loads(
+            json.dumps(report)
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_clients=0, rounds=1)
+        with pytest.raises(ValueError):
+            SimConfig(num_clients=10, rounds=0)
+        with pytest.raises(ValueError):
+            SimConfig(num_clients=10, rounds=1, cohort=11)
+        with pytest.raises(ValueError):
+            SimConfig(num_clients=10, rounds=1, overprovision=0.5)
+        with pytest.raises(ValueError):
+            SimConfig(num_clients=10, rounds=1, quorum=0.0)
+
+
+class TestResilience:
+    def test_heavy_faults_still_aggregate_every_round(self):
+        """30% dropout + stragglers: over-provisioning absorbs the losses."""
+        rates = FaultRates(dropout=0.3, straggler=0.15)
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            sim = make_sim(
+                ctx, rates=rates, num_clients=300, rounds=5, cohort=20,
+                overprovision=1.6,
+            )
+            report = sim.run()
+            registry = ctx.registry
+        totals = report["totals"]
+        assert totals["degraded"] == 0
+        assert totals["dropouts"] > 0 and totals["stragglers"] > 0
+        # over-provisioning was actually exercised
+        assert totals["asked"] > 5 * 20
+        for outcome in report["rounds"]:
+            assert not outcome["degraded"]
+            assert len(outcome["collected"]) >= sim.config.quorum_count
+        # metrics record the exact deterministic fault counts
+        assert registry.counter("sim.dropouts").total() == totals["dropouts"]
+        assert registry.counter("sim.stragglers").total() == totals["stragglers"]
+        assert registry.counter("sim.rounds").total() == 5
+
+    def test_exact_fault_counts_with_pinned_plan(self):
+        """Explicit injections give exactly known metric totals."""
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            probe = make_sim(ctx)
+            cohort = probe._select_cohort(0)
+        plan = FaultPlan(seed=13)
+        plan.inject(0, cohort[0], "drop")
+        plan.inject(0, cohort[1], "drop")
+        plan.inject(0, cohort[2], "fail_attestation")
+        plan.inject(0, cohort[3], "corrupt")
+        plan.inject(0, cohort[4], "exhaust_pool")
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            sim = make_sim(ctx, plan=plan, rounds=1)
+            report = sim.run()
+            registry = ctx.registry
+        assert registry.counter("sim.dropouts").total() == 2
+        assert registry.counter("sim.attestation_failures").total() == 1
+        assert registry.counter("sim.corruptions").total() == 1
+        assert registry.counter("sim.pool_exhaustions").total() == 1
+        # both transient faults retried (and, with default budget, recovered)
+        assert registry.counter("fl.retry.attempts").total() == 2
+        assert registry.counter("fl.retry.giveups").total() == 0
+        totals = report["totals"]
+        assert totals["dropouts"] == 2 and totals["evicted"] == 1
+        assert totals["retries"] == 2 and totals["giveups"] == 0
+
+    def test_transient_faults_recover_via_retry(self):
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            probe = make_sim(ctx, overprovision=1.0)
+            cohort = probe._select_cohort(0)
+        plan = FaultPlan(seed=13)
+        for member in cohort[:3]:
+            plan.inject(0, member, "corrupt")
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            # overprovision=1.0: every cohort member is needed, so the
+            # corrupted ones *must* recover via retry for the round to fill.
+            report = make_sim(
+                ctx, plan=plan, rounds=1, overprovision=1.0
+            ).run()
+        outcome = report["rounds"][0]
+        assert outcome["corrupted"] == 3
+        assert outcome["retries"] == 3
+        # the retried members still delivered: the round filled its cohort
+        assert len(outcome["collected"]) == 12
+        assert not outcome["degraded"]
+
+    def test_total_blackout_degrades_gracefully(self):
+        """A round below quorum reuses the previous global model."""
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            sim = make_sim(ctx, rounds=2)
+            before = sim.run()  # baseline run, no faults
+        plan = FaultPlan(FaultRates(dropout=1.0), seed=13).inject(1, -1, None)
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            sim = make_sim(ctx, plan=plan, rounds=1)
+            healthy_digest_before = sim.weights_digest()
+            report = sim.run()
+            registry = ctx.registry
+            degraded_digest = sim.weights_digest()
+        outcome = report["rounds"][0]
+        assert outcome["degraded"]
+        assert outcome["collected"] == []
+        # weights unchanged by the degraded round
+        assert degraded_digest == healthy_digest_before
+        assert registry.counter("sim.rounds.degraded").total() == 1
+        assert before["weights_sha256"] != degraded_digest
+
+    def test_straggle_misses_deadline(self):
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            probe = make_sim(ctx)
+            cohort = probe._select_cohort(0)
+        # Straggle the whole cohort hard enough that nobody can make the
+        # deadline: the round must settle exactly at the deadline, degraded.
+        plan = FaultPlan(seed=13)
+        for member in cohort:
+            plan.inject(0, member, "straggle")
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            report = make_sim(
+                ctx, plan=plan, rounds=1, straggler_factor=1000.0
+            ).run()
+        outcome = report["rounds"][0]
+        assert outcome["stragglers"] == outcome["asked"]
+        assert outcome["degraded"]
+        assert outcome["virtual_seconds"] == pytest.approx(5.0)  # deadline
+
+    def test_virtual_time_advances_with_rounds(self):
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            report = make_sim(ctx).run()
+        assert report["virtual_seconds"] > 0
+        starts = [o["started_at"] for o in report["rounds"]]
+        assert starts == sorted(starts)
+        for outcome in report["rounds"]:
+            assert outcome["aggregated_at"] > outcome["started_at"]
+
+    def test_rounds_emit_spans(self):
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            make_sim(ctx, rounds=3).run()
+            spans = [
+                s
+                for s in ctx.tracer.export()["spans"]
+                if s["name"] == "sim.round"
+            ]
+        assert len(spans) == 3
+        assert [s["attributes"]["cycle"] for s in spans] == [0, 1, 2]
+
+
+class TestCheckpointResume:
+    def test_kill_after_round_2_resume_bitwise_identical(self):
+        """The acceptance-criterion scenario: uninterrupted vs killed+resumed."""
+        rates = FaultRates(dropout=0.2, straggler=0.1, corrupt=0.05)
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            uninterrupted = make_sim(ctx, rates=rates, rounds=6).run()
+
+        storage = SecureStorage(InMemoryBackend(), ssk=SSK)
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            killed = make_sim(ctx, rates=rates, rounds=6, storage=storage)
+            killed.step_round()
+            killed.step_round()
+            # the coordinator dies here; `killed` is abandoned
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            resumed_sim = make_sim(ctx, rates=rates, rounds=6, storage=storage)
+            assert resumed_sim.resumed_from == 2
+            resumed = resumed_sim.run()
+            assert ctx.registry.counter("sim.resumes").total() == 1
+
+        assert resumed["weights_sha256"] == uninterrupted["weights_sha256"]
+        assert resumed["rounds"] == uninterrupted["rounds"]
+        assert resumed["virtual_seconds"] == uninterrupted["virtual_seconds"]
+
+    def test_resume_at_every_cut_point(self):
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            reference = make_sim(ctx, rounds=4).run()
+        for cut in range(1, 4):
+            storage = SecureStorage(InMemoryBackend(), ssk=SSK)
+            with obs.fresh(clock=VirtualClock()) as ctx:
+                partial = make_sim(ctx, rounds=4, storage=storage)
+                for _ in range(cut):
+                    partial.step_round()
+            with obs.fresh(clock=VirtualClock()) as ctx:
+                resumed = make_sim(ctx, rounds=4, storage=storage).run()
+            assert resumed["weights_sha256"] == reference["weights_sha256"], cut
+            assert resumed["rounds"] == reference["rounds"], cut
+
+    def test_completed_run_resumes_as_noop(self):
+        storage = SecureStorage(InMemoryBackend(), ssk=SSK)
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            first = make_sim(ctx, rounds=3, storage=storage).run()
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            again_sim = make_sim(ctx, rounds=3, storage=storage)
+            assert again_sim.resumed_from == 3
+            again = again_sim.run()
+        assert again["weights_sha256"] == first["weights_sha256"]
+        assert again["rounds"] == first["rounds"]
+
+    def test_checkpoints_counted(self):
+        storage = SecureStorage(InMemoryBackend(), ssk=SSK)
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            make_sim(ctx, rounds=3, storage=storage).run()
+            assert ctx.registry.counter("sim.checkpoints").total() == 3
+
+
+class TestScale:
+    def test_thousand_clients_is_fast_and_exact(self):
+        reports = []
+        for _ in range(2):
+            with obs.fresh(clock=VirtualClock()) as ctx:
+                sim = FLSimulator(
+                    SimConfig(num_clients=1000, rounds=3, seed=7, cohort=50),
+                    fault_plan=FaultPlan(
+                        FaultRates(dropout=0.2, straggler=0.05), seed=7
+                    ),
+                    clock=ctx.clock,
+                )
+                reports.append(sim.run())
+        assert report_bytes(reports[0]) == report_bytes(reports[1])
+        assert reports[0]["totals"]["rounds"] == 3
+
+    def test_wire_bytes_drive_transfer_time(self):
+        """A bigger model makes simulated rounds take longer."""
+        from repro.nn.zoo import mlp
+
+        times = []
+        for hidden in ((4,), (64, 64)):
+            with obs.fresh(clock=VirtualClock()) as ctx:
+                model = mlp(
+                    num_classes=4, input_shape=(6,), hidden=hidden, seed=0
+                )
+                sim = FLSimulator(
+                    SimConfig(num_clients=40, rounds=2, seed=5, cohort=8),
+                    model=model,
+                    clock=ctx.clock,
+                )
+                times.append(sim.run()["virtual_seconds"])
+        assert times[1] > times[0]

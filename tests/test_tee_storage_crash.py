@@ -1,0 +1,180 @@
+"""Crash-atomicity of secure storage: a write that dies must not lose data.
+
+The commit point of :meth:`SecureStorage.put` is the backend write; the
+monotonic counter increments only afterwards.  These tests kill the backend
+mid-``put`` (fault-injected) and pin down the contract: the previous version
+stays readable, a torn blob is detected as tampering, and replaying a stale
+blob after the crash is still caught by the rollback counter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tee.storage import (
+    BackendCrash,
+    FaultInjectedBackend,
+    InMemoryBackend,
+    ReeFsBackend,
+    RollbackError,
+    SecureStorage,
+)
+from repro.tee.world import IntegrityError
+
+TA = "ta-crash-tests"
+SSK = b"\x42" * 32
+
+
+class TestCrashBeforeWrite:
+    def test_previous_version_survives(self):
+        backend = FaultInjectedBackend(fail_on_put={1}, mode="before")
+        storage = SecureStorage(backend, ssk=SSK)
+        storage.put(TA, "obj", b"version-1")
+        with pytest.raises(BackendCrash):
+            storage.put(TA, "obj", b"version-2")
+        assert storage.get(TA, "obj") == b"version-1"
+
+    def test_crash_on_first_write_leaves_nothing(self):
+        backend = FaultInjectedBackend(fail_on_put={0}, mode="before")
+        storage = SecureStorage(backend, ssk=SSK)
+        with pytest.raises(BackendCrash):
+            storage.put(TA, "obj", b"never-lands")
+        with pytest.raises(KeyError):
+            storage.get(TA, "obj")
+
+    def test_storage_usable_after_crash(self):
+        backend = FaultInjectedBackend(fail_on_put={1}, mode="before")
+        storage = SecureStorage(backend, ssk=SSK)
+        storage.put(TA, "obj", b"v1")
+        with pytest.raises(BackendCrash):
+            storage.put(TA, "obj", b"v2-dies")
+        storage.put(TA, "obj", b"v2-retry")
+        assert storage.get(TA, "obj") == b"v2-retry"
+
+
+class TestTornWrite:
+    def test_torn_blob_fails_integrity_not_rollback(self):
+        backend = FaultInjectedBackend(fail_on_put={1}, mode="torn")
+        storage = SecureStorage(backend, ssk=SSK)
+        storage.put(TA, "obj", b"version-1" * 50)
+        with pytest.raises(BackendCrash):
+            storage.put(TA, "obj", b"version-2" * 50)
+        # the half-written blob replaced v1 on the medium; the MAC check
+        # must reject it loudly rather than return garbage
+        with pytest.raises(IntegrityError):
+            storage.get(TA, "obj")
+
+    def test_recovery_after_torn_write(self):
+        backend = FaultInjectedBackend(fail_on_put={1}, mode="torn")
+        storage = SecureStorage(backend, ssk=SSK)
+        storage.put(TA, "obj", b"v1")
+        with pytest.raises(BackendCrash):
+            storage.put(TA, "obj", b"v2-dies")
+        storage.put(TA, "obj", b"v2-good")
+        assert storage.get(TA, "obj") == b"v2-good"
+
+
+class TestRollbackAfterCrash:
+    def test_replayed_stale_blob_rejected(self):
+        """A crash must not open a replay window: after recovery, serving
+        the old (genuinely sealed) blob still trips the counter."""
+        inner = InMemoryBackend()
+        backend = FaultInjectedBackend(inner, fail_on_put={1}, mode="before")
+        storage = SecureStorage(backend, ssk=SSK)
+        storage.put(TA, "obj", b"version-1")
+        key = SecureStorage._key(TA, "obj")
+        stale = inner.get(key)
+        with pytest.raises(BackendCrash):
+            storage.put(TA, "obj", b"version-2")
+        storage.put(TA, "obj", b"version-2")  # recovery write (counter -> 2)
+        # attacker swaps the current blob for the pre-crash one
+        inner.put(key, stale)
+        with pytest.raises(RollbackError):
+            storage.get(TA, "obj")
+
+    def test_counter_not_advanced_by_failed_put(self):
+        backend = FaultInjectedBackend(fail_on_put={1}, mode="before")
+        storage = SecureStorage(backend, ssk=SSK)
+        storage.put(TA, "obj", b"v1")
+        with pytest.raises(BackendCrash):
+            storage.put(TA, "obj", b"v2")
+        # v1 is still the trusted version — reads keep succeeding, which
+        # they could not if the counter had advanced past the stored blob
+        assert storage.get(TA, "obj") == b"v1"
+        assert storage.get(TA, "obj") == b"v1"
+
+
+class TestPersistentCounters:
+    def test_counters_survive_restart(self, tmp_path):
+        counters = str(tmp_path / "counters.json")
+        backend = ReeFsBackend(str(tmp_path / "blobs"))
+        first = SecureStorage(backend, ssk=SSK, counters_path=counters)
+        first.put(TA, "obj", b"v1")
+        first.put(TA, "obj", b"v2")
+        # a fresh instance (new process) trusts the persisted counter
+        second = SecureStorage(backend, ssk=SSK, counters_path=counters)
+        assert second.get(TA, "obj") == b"v2"
+
+    def test_replay_rejected_across_restart(self, tmp_path):
+        counters = str(tmp_path / "counters.json")
+        blob_dir = tmp_path / "blobs"
+        backend = ReeFsBackend(str(blob_dir))
+        first = SecureStorage(backend, ssk=SSK, counters_path=counters)
+        first.put(TA, "obj", b"v1")
+        key = SecureStorage._key(TA, "obj")
+        stale = backend.get(key)
+        first.put(TA, "obj", b"v2")
+        backend.put(key, stale)  # attacker rolls the file back
+        second = SecureStorage(backend, ssk=SSK, counters_path=counters)
+        with pytest.raises(RollbackError):
+            second.get(TA, "obj")
+
+    def test_without_counter_file_fresh_instance_trusts_nothing(self, tmp_path):
+        backend = ReeFsBackend(str(tmp_path / "blobs"))
+        first = SecureStorage(backend, ssk=SSK)
+        first.put(TA, "obj", b"v1")
+        second = SecureStorage(backend, ssk=SSK)
+        with pytest.raises(RollbackError):
+            second.get(TA, "obj")
+
+
+class TestFaultInjectedBackendPlumbing:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            FaultInjectedBackend(mode="sideways")
+
+    def test_delegates_when_healthy(self):
+        inner = InMemoryBackend()
+        backend = FaultInjectedBackend(inner)
+        backend.put("k", b"blob")
+        assert backend.get("k") == b"blob"
+        assert backend.keys() == ("k",)
+        backend.delete("k")
+        assert backend.get("k") is None
+        assert backend.puts == 1
+
+    def test_simulator_checkpoint_crash_leaves_resumable_state(self):
+        """End-to-end: the simulator's checkpoint write dies, the previous
+        checkpoint still resumes the run to the exact reference weights."""
+        from repro import obs
+        from repro.obs import VirtualClock
+        from repro.sim import FLSimulator, SimConfig
+
+        config = SimConfig(num_clients=40, rounds=3, seed=5, cohort=8)
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            reference = FLSimulator(config, clock=ctx.clock).run()
+
+        # checkpoint writes are puts #0,#1,#2; kill the one after round 2
+        backend = FaultInjectedBackend(fail_on_put={1}, mode="before")
+        storage = SecureStorage(backend, ssk=SSK)
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            sim = FLSimulator(config, storage=storage, clock=ctx.clock)
+            sim.step_round()
+            with pytest.raises(BackendCrash):
+                sim.step_round()  # round 1 trains fine, checkpoint dies
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            resumed = FLSimulator(config, storage=storage, clock=ctx.clock)
+            assert resumed.resumed_from == 1  # round 0's checkpoint survived
+            report = resumed.run()
+        assert report["weights_sha256"] == reference["weights_sha256"]
+        assert report["rounds"] == reference["rounds"]
