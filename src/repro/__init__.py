@@ -28,11 +28,12 @@ Quickstart::
     assert leak.mean_gradients()[1] is None   # L2's gradients never leaked
 """
 
-from . import attacks, autodiff, baselines, bench, core, data, fl, ml, nn, tee
+from . import api, attacks, autodiff, baselines, bench, core, data, fl, ml, nn, tee
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "attacks",
     "autodiff",
     "baselines",

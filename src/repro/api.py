@@ -1,0 +1,146 @@
+"""Stable, typed entry points for the GradSec reproduction.
+
+Everything a user script needs lives here, under names that do not move:
+
+* :func:`build_server` — an :class:`~repro.fl.server.FLServer` from a
+  :class:`~repro.fl.config.ServerConfig` (sensible defaults for the rest);
+* :func:`simulate` — one deterministic fleet simulation, returned as the
+  same JSON-safe report ``repro simulate`` writes;
+* :func:`run_experiment` — any of the paper's table/figure experiments by
+  name, returned as a JSON-safe payload;
+* the config types (:class:`ServerConfig`, :class:`RoundConfig`,
+  :class:`ShardingConfig`) that parameterise both.
+
+The deeper modules (``repro.fl``, ``repro.sim``, ``repro.core``, …) remain
+importable, but their internals may shift between releases; this facade is
+the supported surface.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from .fl.config import RoundConfig, ServerConfig, ShardingConfig
+from .fl.plan import TrainingPlan
+from .fl.server import FLServer
+
+__all__ = [
+    "build_server",
+    "simulate",
+    "run_experiment",
+    "ServerConfig",
+    "RoundConfig",
+    "ShardingConfig",
+]
+
+
+def build_server(
+    model=None,
+    plan: Optional[TrainingPlan] = None,
+    *,
+    policy=None,
+    executor=None,
+    config: Optional[ServerConfig] = None,
+) -> FLServer:
+    """Build an :class:`FLServer` from a typed config.
+
+    ``model`` defaults to the paper's LeNet-5 on a small input (seeded from
+    ``config.seed``, so two builds from the same config start from identical
+    weights); ``plan`` defaults to one local SGD step per cycle.  All
+    behavioural knobs — admission, retries, sampling seed, sharding — come
+    from ``config``.
+    """
+    from .nn import lenet5
+
+    cfg = config or ServerConfig()
+    if model is None:
+        model = lenet5(num_classes=10, input_shape=(3, 16, 16), seed=cfg.seed)
+    if plan is None:
+        plan = TrainingPlan(lr=0.05, batch_size=8, local_steps=1)
+    return FLServer(model, plan, policy=policy, executor=executor, config=cfg)
+
+
+def simulate(
+    *,
+    clients: int = 100,
+    rounds: int = 5,
+    seed: int = 0,
+    cohort: Optional[int] = None,
+    shards: int = 1,
+    overprovision: float = 1.25,
+    quorum: float = 0.5,
+    deadline: float = 5.0,
+    dropout: float = 0.0,
+    straggler: float = 0.0,
+    corrupt: float = 0.0,
+    pool_exhaust: float = 0.0,
+    attestation: float = 0.0,
+    shard_down: float = 0.0,
+    include_metrics: bool = False,
+) -> dict:
+    """Run one deterministic fleet simulation and return its report.
+
+    The report is the same JSON-safe dict ``python -m repro simulate``
+    emits: per-round outcomes, totals, ``weights_sha256``, and
+    ``aggregator_peak_bytes`` (which stays O(model size) however large
+    ``clients`` is, for any ``shards``).  Identical arguments produce an
+    identical report, byte for byte once serialised.
+    """
+    from .obs import VirtualClock, fresh
+    from .sim import FLSimulator, FaultPlan, FaultRates, SimConfig
+
+    config = SimConfig(
+        num_clients=clients,
+        rounds=rounds,
+        seed=seed,
+        cohort=cohort,
+        overprovision=overprovision,
+        quorum=quorum,
+        deadline_seconds=deadline,
+        shards=shards,
+    )
+    rates = FaultRates(
+        dropout=dropout,
+        straggler=straggler,
+        corrupt=corrupt,
+        pool_exhaust=pool_exhaust,
+        attestation=attestation,
+    )
+    with fresh(clock=VirtualClock()) as ctx:
+        simulator = FLSimulator(
+            config,
+            fault_plan=FaultPlan(rates, seed=seed, shard_down=shard_down),
+            clock=ctx.clock,
+        )
+        report = simulator.run()
+        if include_metrics:
+            report["metrics"] = ctx.registry.snapshot()
+    return report
+
+
+def run_experiment(
+    name: str,
+    *,
+    fast: bool = False,
+    rounds: int = 36,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> dict:
+    """Run one of the paper's experiments by CLI name, return its rows.
+
+    ``name`` is any of the experiment subcommands (``table5``, ``table6``,
+    ``fig5``, ``fig6``, ``fig8``, ``summary``).  The human-readable table is
+    printed as a side effect, exactly as the CLI does; the returned dict is
+    the JSON payload ``--out`` would have written.
+    """
+    from .cli import _COMMANDS
+
+    if name not in _COMMANDS:
+        known = ", ".join(sorted(_COMMANDS))
+        raise ValueError(f"unknown experiment {name!r}; expected one of: {known}")
+    handler, _ = _COMMANDS[name]
+    args = argparse.Namespace(
+        fast=fast, rounds=rounds, batch_size=batch_size, seed=seed, out=None
+    )
+    return handler(args)

@@ -5,14 +5,20 @@ Usage::
     python -m repro list                  # what can be regenerated
     python -m repro table6                # cost-model Table 6
     python -m repro fig5 --fast           # DRIA sweep, reduced budget
-    python -m repro table5 --cycles 24    # DPIA, custom cycle count
+    python -m repro table5 --rounds 24    # DPIA, custom round count
     python -m repro fig8                  # GradSec vs DarkneTZ
     python -m repro summary               # Table 1 headline
+    python -m repro simulate --clients 100000 --shards 64
+
+Every subcommand spells the shared knobs the same way: ``--seed``,
+``--clients``, ``--rounds``, ``--out``.  Older spellings (``--cycles``)
+still parse as hidden aliases of the canonical flag.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -31,13 +37,45 @@ from .tee import CostModel
 __all__ = ["main"]
 
 
-def _cmd_table6(args: argparse.Namespace) -> None:
+def _row_dicts(rows) -> List[dict]:
+    """ExperimentRow list -> JSON-safe row dicts (stable key order)."""
+    return [
+        {
+            "label": row.label,
+            "protected": list(row.protected),
+            "score": float(row.score),
+            "metric": row.metric,
+        }
+        for row in rows
+    ]
+
+
+def _write_payload(out: Optional[str], payload: dict) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {out}")
+
+
+def _cost_dict(cost) -> dict:
+    return {
+        "user_seconds": float(cost.user_seconds),
+        "kernel_seconds": float(cost.kernel_seconds),
+        "alloc_seconds": float(cost.alloc_seconds),
+        "total_seconds": float(cost.total_seconds),
+        "tee_memory_mib": float(cost.tee_memory_mib),
+    }
+
+
+def _cmd_table6(args: argparse.Namespace) -> Optional[dict]:
     model = lenet5()
     cost_model = CostModel(batch_size=args.batch_size)
     baseline = cost_model.cycle_cost(model)
     rows = [
         f"  {'baseline':<14} {baseline.user_seconds:5.3f}+{baseline.kernel_seconds:5.3f}+0.000s  0.000 MiB"
     ]
+    results = [{"label": "baseline", **_cost_dict(baseline)}]
     for config in sorted(TABLE6_STATIC):
         cost = cost_model.cycle_cost(model, config)
         rows.append(
@@ -45,33 +83,38 @@ def _cmd_table6(args: argparse.Namespace) -> None:
             f"{cost.kernel_seconds:5.3f}+{cost.alloc_seconds:5.3f}s  "
             f"{cost.tee_memory_mib:5.3f} MiB ({cost.overhead_percent(baseline):+.0f}%)"
         )
+        results.append({"label": layers_label(config), **_cost_dict(cost)})
     print_table(f"Table 6 (batch {args.batch_size})", rows)
+    return {"command": "table6", "batch_size": args.batch_size, "rows": results}
 
 
-def _cmd_fig5(args: argparse.Namespace) -> None:
+def _cmd_fig5(args: argparse.Namespace) -> Optional[dict]:
     protected_sets = [(), (1,), (2,), (1, 2), (5,)]
     rows = dria_experiment(
         protected_sets,
         iterations=30 if args.fast else 150,
         num_classes=10,
         model_scale=0.5 if args.fast else 1.0,
+        seed=args.seed,
     )
     print_table(
         "Figure 5 (a): DRIA ImageLoss (LeNet-5)",
         [f"  {layers_label(r.protected):<8} ImageLoss={r.score:7.3f}" for r in rows],
     )
+    return {"command": "fig5", "seed": args.seed, "rows": _row_dicts(rows)}
 
 
-def _cmd_fig6(args: argparse.Namespace) -> None:
+def _cmd_fig6(args: argparse.Namespace) -> Optional[dict]:
     protected_sets = [(), (5,), (4, 5), (2, 3, 4, 5), (1, 2, 3, 4, 5)]
-    rows = mia_experiment(protected_sets, fast=args.fast)
+    rows = mia_experiment(protected_sets, fast=args.fast, seed=args.seed)
     print_table(
         "Figure 6 (a): MIA AUC (LeNet-5)",
         [f"  {layers_label(r.protected):<16} AUC={r.score:.3f}" for r in rows],
     )
+    return {"command": "fig6", "seed": args.seed, "rows": _row_dicts(rows)}
 
 
-def _cmd_table5(args: argparse.Namespace) -> None:
+def _cmd_table5(args: argparse.Namespace) -> Optional[dict]:
     policies = [
         ("none", NoProtection(5)),
         ("L4", StaticPolicy(5, [4])),
@@ -81,15 +124,23 @@ def _cmd_table5(args: argparse.Namespace) -> None:
         ("MW=3", DynamicPolicy(5, 3, DPIA_BEST_V_MW[3], seed=3)),
         ("MW=4", DynamicPolicy(5, 4, DPIA_BEST_V_MW[4], seed=3)),
     ]
-    rows = dpia_experiment(policies, cycles=args.cycles, fast=args.fast)
+    rows = dpia_experiment(
+        policies, cycles=args.rounds, seed=args.seed, fast=args.fast
+    )
     paper = {**TABLE5_STATIC, **TABLE5_DYNAMIC}
     print_table(
         "Table 5: DPIA AUC",
         [format_comparison(r.label, r.score, paper.get(r.label), "AUC") for r in rows],
     )
+    return {
+        "command": "table5",
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "rows": _row_dicts(rows),
+    }
 
 
-def _cmd_fig8(args: argparse.Namespace) -> None:
+def _cmd_fig8(args: argparse.Namespace) -> Optional[dict]:
     model = lenet5()
     cost_model = CostModel(batch_size=32)
     gradsec = cost_model.cycle_cost(model, (2, 5))
@@ -104,24 +155,33 @@ def _cmd_fig8(args: argparse.Namespace) -> None:
             f"  DarkneTZ {{L2-L5}}      : {darknetz.total_seconds:6.3f}s  {darknetz.tee_memory_mib:5.3f} MiB",
         ],
     )
+    return {
+        "command": "fig8",
+        "rows": [
+            {"label": "gradsec_static", **_cost_dict(gradsec)},
+            {"label": "gradsec_dynamic_mw2", **_cost_dict(dynamic)},
+            {"label": "darknetz", **_cost_dict(darknetz)},
+        ],
+    }
 
 
-def _cmd_summary(args: argparse.Namespace) -> None:
-    _cmd_fig8(args)
+def _cmd_summary(args: argparse.Namespace) -> Optional[dict]:
+    payload = _cmd_fig8(args)
     print("\nAttack side (use 'fig5', 'fig6', 'table5' for details);")
     print("'--fast' runs every experiment at reduced budget.")
+    if payload is not None:
+        payload = {**payload, "command": "summary"}
+    return payload
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
-    """Run a tiny FL round under a fake clock and emit its trace + metrics.
+    """Run a tiny FL fleet under a fake clock and emit its trace + metrics.
 
-    The whole round executes inside a fresh observability context with a
+    The whole run executes inside a fresh observability context with a
     deterministic clock, so two invocations with the same arguments emit
     byte-identical JSON — the trace is validated against the schema before
     anything is written.
     """
-    import json
-
     from .core import StaticPolicy
     from .data.synthetic import synthetic_cifar
     from .fl import FLClient, FLServer, TrainingPlan
@@ -135,11 +195,14 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         return StaticPolicy(5, protect) if protect else None
 
     with fresh(clock=FakeClock()) as ctx:
-        global_model = make_lenet5(num_classes=10, input_shape=shape, seed=0)
+        global_model = make_lenet5(num_classes=10, input_shape=shape, seed=args.seed)
         plan = TrainingPlan(lr=0.05, batch_size=4, local_steps=args.steps)
         server = FLServer(global_model, plan, policy=policy())
         dataset = synthetic_cifar(
-            num_samples=8 * args.clients, num_classes=10, shape=shape, seed=0
+            num_samples=8 * args.clients,
+            num_classes=10,
+            shape=shape,
+            seed=args.seed,
         )
         clients = [
             FLClient(
@@ -147,13 +210,14 @@ def _cmd_trace(args: argparse.Namespace) -> None:
                 shard,
                 global_model.clone(),
                 policy=policy(),
-                seed=100 + i,
+                seed=args.seed + 100 + i,
             )
             for i, shard in enumerate(dataset.shard(args.clients))
         ]
         for client in clients:
             server.register(client)
-        server.run_cycle(clients)
+        for _ in range(args.rounds):
+            server.run_cycle(clients)
         trace = ctx.tracer.export()
         metrics = ctx.registry.snapshot()
         traffic = {
@@ -168,6 +232,8 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         "command": "trace",
         "config": {
             "clients": args.clients,
+            "rounds": args.rounds,
+            "seed": args.seed,
             "steps": args.steps,
             "protected_layers": list(protect),
         },
@@ -192,10 +258,12 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     same arguments produce byte-identical reports.  With ``--state-dir``
     the per-round checkpoint lands in a REE-FS backed secure storage (with
     a seed-derived storage key), so a killed run can be re-invoked and
-    resumes where it stopped.
+    resumes where it stopped.  With ``--shards N`` updates are folded
+    through a hierarchical aggregation tree of N shard aggregators whose
+    memory stays O(model size) regardless of fleet size; the global
+    weights are bitwise-identical to the flat path.
     """
     import hashlib
-    import json
 
     from .obs import VirtualClock, fresh
     from .sim import FLSimulator, FaultPlan, FaultRates, SimConfig
@@ -209,6 +277,7 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         overprovision=args.overprovision,
         quorum=args.quorum,
         deadline_seconds=args.deadline,
+        shards=args.shards,
     )
     rates = FaultRates(
         dropout=args.dropout,
@@ -234,7 +303,9 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     with fresh(clock=VirtualClock()) as ctx:
         simulator = FLSimulator(
             config,
-            fault_plan=FaultPlan(rates, seed=args.seed),
+            fault_plan=FaultPlan(
+                rates, seed=args.seed, shard_down=args.shard_down
+            ),
             storage=storage,
             clock=ctx.clock,
         )
@@ -251,12 +322,13 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
 
 
 def _cmd_perf(args: argparse.Namespace) -> None:
-    import json
-
     from .bench.perf import run_perf_suite
 
     payload = run_perf_suite(
-        quick=args.quick, max_workers=args.workers, progress=print
+        quick=args.quick,
+        max_workers=args.workers,
+        num_clients=args.clients,
+        progress=print,
     )
     if args.out:
         with open(args.out, "w") as handle:
@@ -284,6 +356,21 @@ def _cmd_list(args: argparse.Namespace) -> None:
     print(f"  {'simulate':<8} event-driven FL fleet simulation with fault injection")
 
 
+def _add_alias(sub: argparse.ArgumentParser, flag: str, dest: str, type=None) -> None:
+    """Register a deprecated spelling of a canonical flag.
+
+    Hidden from ``--help`` and contributing no default, so the canonical
+    flag's default always wins unless the alias is actually typed.
+    """
+    sub.add_argument(
+        flag,
+        dest=dest,
+        type=type,
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -294,18 +381,26 @@ def build_parser() -> argparse.ArgumentParser:
     for name, (_, description) in _COMMANDS.items():
         sub = subparsers.add_parser(name, help=description)
         sub.add_argument("--fast", action="store_true", help="reduced budget")
-        sub.add_argument("--cycles", type=int, default=36, help="FL cycles (DPIA)")
+        sub.add_argument("--rounds", type=int, default=36, help="FL rounds (DPIA)")
+        _add_alias(sub, "--cycles", dest="rounds", type=int)
         sub.add_argument("--batch-size", type=int, default=32, help="batch size")
+        sub.add_argument("--seed", type=int, default=0, help="experiment seed")
+        sub.add_argument("--out", default=None, help="write result rows as JSON here")
     perf = subparsers.add_parser(
         "perf", help="fused-kernel and parallel-round microbenchmarks"
     )
     perf.add_argument("--quick", action="store_true", help="smoke configuration")
     perf.add_argument("--workers", type=int, default=4, help="executor width")
+    perf.add_argument(
+        "--clients", type=int, default=8, help="FL participants in round benchmarks"
+    )
     perf.add_argument("--out", default=None, help="write BENCH_kernels JSON here")
     trace = subparsers.add_parser(
         "trace", help="deterministic FL-round trace + metrics as JSON"
     )
     trace.add_argument("--clients", type=int, default=2, help="FL participants")
+    trace.add_argument("--rounds", type=int, default=1, help="FL rounds to trace")
+    trace.add_argument("--seed", type=int, default=0, help="trace seed")
     trace.add_argument("--steps", type=int, default=1, help="local steps per client")
     trace.add_argument(
         "--protect",
@@ -331,6 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--deadline", type=float, default=5.0, help="round deadline (virtual seconds)"
     )
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard aggregators in the hierarchical reduce tree (1 = flat)",
+    )
     simulate.add_argument("--dropout", type=float, default=0.0, help="dropout rate")
     simulate.add_argument(
         "--straggler", type=float, default=0.0, help="straggler rate"
@@ -343,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--attestation", type=float, default=0.0, help="attestation-failure rate"
+    )
+    simulate.add_argument(
+        "--shard-down",
+        type=float,
+        default=0.0,
+        help="per-round probability a shard aggregator is dead",
     )
     simulate.add_argument(
         "--state-dir",
@@ -368,7 +475,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_simulate(args)
         return 0
     handler, _ = _COMMANDS[args.command]
-    handler(args)
+    payload = handler(args)
+    if payload is not None and args.out:
+        _write_payload(args.out, {"schema": 1, **payload})
     return 0
 
 

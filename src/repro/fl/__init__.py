@@ -5,9 +5,16 @@ attestation-gated client selection, the trusted-I/O-path weight transport,
 and server-side baselines (secure aggregation, differential privacy).
 """
 
-from .aggregation import fedavg, merge_plain_and_sealed, weighted_average
+from .aggregation import (
+    CompensatedAccumulator,
+    StreamingWeightedSum,
+    fedavg,
+    merge_plain_and_sealed,
+    weighted_average,
+)
 from .client import FLClient
-from .compression import SparseUpdate, TopKCompressor
+from .compression import SparseUpdate, TopKCompressor, weighted_sparse_mean
+from .config import RoundConfig, ServerConfig, ShardingConfig
 from .dp import GaussianMechanism, clip_by_norm
 from .executor import ParallelRoundExecutor, RoundExecutor, SequentialRoundExecutor
 from .history import SnapshotHistory
@@ -18,6 +25,13 @@ from .robust import coordinate_median, krum, trimmed_mean
 from .secure_agg import PairwiseMasker, aggregate_masked, mask_update
 from .selection import SelectionResult, TEESelector
 from .server import FLServer
+from .sharding import (
+    HierarchicalAggregator,
+    ShardAggregator,
+    ShardPartial,
+    plan_shards,
+    shard_of,
+)
 from .transport import Channel, ClientUpdate, ModelDownload
 
 __all__ = [
@@ -25,6 +39,10 @@ __all__ = [
     "RoundExecutor", "SequentialRoundExecutor", "ParallelRoundExecutor",
     "RetryPolicy", "collect_with_retries",
     "fedavg", "weighted_average", "merge_plain_and_sealed",
+    "CompensatedAccumulator", "StreamingWeightedSum",
+    "ServerConfig", "RoundConfig", "ShardingConfig",
+    "HierarchicalAggregator", "ShardAggregator", "ShardPartial",
+    "plan_shards", "shard_of", "weighted_sparse_mean",
     "SnapshotHistory", "TEESelector", "SelectionResult",
     "TrainingMonitor", "RoundRecord",
     "Channel", "ClientUpdate", "ModelDownload",

@@ -1,20 +1,257 @@
-"""Server-side aggregation (FedAvg and helpers)."""
+"""Server-side aggregation: FedAvg over an exact streaming reduce.
+
+Two reduction kernels live here:
+
+* :func:`weighted_average` — the legacy flat kernel: a left-to-right float
+  fold in client order, kept bit-for-bit compatible with the seed
+  implementation (regression-tested) but rewritten around preallocated
+  accumulators so it no longer rebuilds a generator per key per layer.
+* :class:`StreamingWeightedSum` / :func:`fedavg` — the canonical reduce.
+  Contributions ``count_i * w_i`` are folded one at a time into a
+  compensated accumulator (a Shewchuk-style expansion: a short list of
+  non-overlapping float64 arrays whose *exact* sum is the true sum — every
+  fold is an error-free transformation built from TwoSum).  Because the
+  accumulator represents the exact real-valued sum, the finalized result is
+  independent of fold order **and** of how clients are grouped into shards:
+  a hierarchical (sharded) reduce produces the same bits as the flat one.
+  Memory is O(model size) per accumulator — never O(clients × model size).
+
+:mod:`repro.fl.sharding` builds the hierarchical tree on top of
+:class:`StreamingWeightedSum`; the FL server and the fleet simulator both
+aggregate through :func:`fedavg`, so flat and sharded deployments are
+bitwise-interchangeable.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn.model import WeightsList
+from ..nn.serialize import flatten_weights, unflatten_weights
 
-__all__ = ["fedavg", "weighted_average", "merge_plain_and_sealed"]
+__all__ = [
+    "CompensatedAccumulator",
+    "StreamingWeightedSum",
+    "fedavg",
+    "weighted_average",
+    "merge_plain_and_sealed",
+]
+
+
+def _two_sum(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Branch-free elementwise TwoSum: ``a + b == s + err`` exactly."""
+    s = a + b
+    bb = s - a
+    err = (a - (s - bb)) + (b - bb)
+    return s, err
+
+
+class CompensatedAccumulator:
+    """Exact streaming sum of equally-sized float64 vectors.
+
+    The state is an *expansion*: a short list of component arrays whose
+    elementwise (real-number) sum equals the true sum of everything folded
+    so far.  Each :meth:`add` propagates the new addend through the
+    components with TwoSum — an error-free transformation — and appends the
+    final residual as a new component; components that become identically
+    zero are dropped, so the list stays short (one or two arrays for
+    same-magnitude data, bounded by the dynamic range of float64 in the
+    worst case) and memory stays O(size), independent of the number of
+    addends.
+
+    Because the represented value is exact, :meth:`value` — which distills
+    the expansion into non-overlapping form and returns the leading
+    component — does not depend on the order in which addends were folded
+    or on how a sum was split across accumulators and :meth:`merge`\\ d.
+    """
+
+    #: hard cap on live components — ~40 covers float64's full dynamic
+    #: range; exceeding it means pathological inputs (inf/nan), not growth.
+    MAX_COMPONENTS = 64
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size cannot be negative")
+        self.size = int(size)
+        self._components: List[np.ndarray] = []
+        self.folds = 0
+
+    # -- folding -----------------------------------------------------------
+    def add(self, values: np.ndarray) -> None:
+        """Fold one dense addend (exactly) into the running sum."""
+        x = np.asarray(values, dtype=np.float64)
+        if x.shape != (self.size,):
+            raise ValueError(f"addend must have shape ({self.size},)")
+        x = x.copy()
+        for i, component in enumerate(self._components):
+            self._components[i], x = _two_sum(component, x)
+        if np.any(x):
+            self._components.append(x)
+            if len(self._components) > self.MAX_COMPONENTS:
+                raise OverflowError("compensated expansion grew unboundedly")
+        self._prune()
+        self.folds += 1
+
+    def add_at(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Fold a sparse addend (zero off ``indices``) without densifying.
+
+        Adding an exact zero never changes an exact sum, so only the
+        touched coordinates need TwoSum propagation; the residual — if any
+        survives — is scattered into a fresh component.
+        """
+        indices = np.asarray(indices)
+        x = np.asarray(values, dtype=np.float64).copy()
+        if indices.shape != x.shape:
+            raise ValueError("indices and values must align")
+        if indices.size and int(indices.max()) >= self.size:
+            raise ValueError("index out of range")
+        for component in self._components:
+            s, x = _two_sum(component[indices], x)
+            component[indices] = s
+        if np.any(x):
+            residual = np.zeros(self.size)
+            residual[indices] = x
+            self._components.append(residual)
+        self._prune()
+        self.folds += 1
+
+    def merge(self, other: "CompensatedAccumulator") -> None:
+        """Fold another accumulator's exact value into this one (exactly)."""
+        if other.size != self.size:
+            raise ValueError("accumulator sizes must match")
+        for component in other._components:
+            self.add(component)
+            self.folds -= 1  # merged components are not client folds
+        self.folds += other.folds
+
+    def _prune(self) -> None:
+        self._components = [c for c in self._components if np.any(c)]
+
+    # -- reading out -------------------------------------------------------
+    def value(self) -> np.ndarray:
+        """The rounded exact sum (a pure function of the folded multiset)."""
+        components = [c.copy() for c in self._components]
+        if not components:
+            return np.zeros(self.size)
+        # Distill to non-overlapping form: sweep TwoSum from the smallest
+        # component upward until a fixed point; each sweep is exact, so the
+        # represented value never changes, and at the fixed point the
+        # leading component carries the rounded total.
+        for _ in range(len(components) + 2):
+            changed = False
+            for i in range(len(components) - 1, 0, -1):
+                s, err = _two_sum(components[i - 1], components[i])
+                if not (
+                    np.array_equal(s, components[i - 1])
+                    and np.array_equal(err, components[i])
+                ):
+                    changed = True
+                components[i - 1], components[i] = s, err
+            if not changed:
+                break
+        return components[0]
+
+    @property
+    def live_bytes(self) -> int:
+        """Resident bytes of the expansion (the memory-bound invariant)."""
+        return int(sum(c.nbytes for c in self._components))
+
+    @property
+    def num_components(self) -> int:
+        return len(self._components)
+
+    @property
+    def components(self) -> Tuple[np.ndarray, ...]:
+        """The current expansion (read-only view for wire snapshots)."""
+        return tuple(self._components)
+
+
+class StreamingWeightedSum:
+    """Bounded-memory FedAvg fold over a stream of client updates.
+
+    Folds ``count * weights`` contributions — dense :data:`WeightsList`
+    payloads or flat sparse updates — into one
+    :class:`CompensatedAccumulator` over the flattened parameter vector,
+    plus an exact integer sample-count total.  :meth:`finalize` divides
+    once and unflattens.  Two folds of the same multiset of updates agree
+    bitwise regardless of order or of intermediate :meth:`merge` structure,
+    which is the property the sharded hierarchical reduce rests on.
+    """
+
+    def __init__(self, template: WeightsList) -> None:
+        if not template:
+            raise ValueError("template must describe at least one layer")
+        self.template: WeightsList = [
+            {key: np.asarray(value) for key, value in layer.items()}
+            for layer in template
+        ]
+        self.size = int(flatten_weights(self.template).size)
+        self.accumulator = CompensatedAccumulator(self.size)
+        self.total_samples = 0
+
+    def fold(self, weights: WeightsList, num_samples: int) -> None:
+        """Fold one dense client update, then drop it."""
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if len(weights) != len(self.template):
+            raise ValueError("clients disagree on layer count")
+        flat = flatten_weights(weights)
+        if flat.size != self.size:
+            raise ValueError("clients disagree on parameter count")
+        self.accumulator.add(float(num_samples) * flat)
+        self.total_samples += int(num_samples)
+
+    def fold_sparse(self, sparse, num_samples: int) -> None:
+        """Fold one sparse flat update (``SparseUpdate`` duck type).
+
+        The update is interpreted as the client's flattened parameter
+        vector with zeros off its support — exactly what folding its
+        densified form would contribute, without materializing it.
+        """
+        if num_samples <= 0:
+            raise ValueError("num_samples must be positive")
+        if int(sparse.size) != self.size:
+            raise ValueError("sparse update size disagrees with template")
+        self.accumulator.add_at(
+            sparse.indices, float(num_samples) * np.asarray(sparse.values, float)
+        )
+        self.total_samples += int(num_samples)
+
+    def merge(self, other: "StreamingWeightedSum") -> None:
+        """Absorb another partial fold (a shard's contribution) exactly."""
+        if other.size != self.size:
+            raise ValueError("partial folds disagree on parameter count")
+        self.accumulator.merge(other.accumulator)
+        self.total_samples += other.total_samples
+
+    @property
+    def folds(self) -> int:
+        return self.accumulator.folds
+
+    @property
+    def live_bytes(self) -> int:
+        return self.accumulator.live_bytes
+
+    def finalize(self) -> WeightsList:
+        """The sample-weighted mean of everything folded so far."""
+        if self.total_samples <= 0:
+            raise ValueError("no client weights to aggregate")
+        mean = self.accumulator.value() / float(self.total_samples)
+        return unflatten_weights(mean, self.template)
 
 
 def weighted_average(
     weights_list: Sequence[WeightsList], sample_counts: Sequence[int]
 ) -> WeightsList:
-    """Sample-weighted average of per-layer weight dicts (FedAvg core)."""
+    """Legacy flat kernel: left-to-right fold in client order.
+
+    Kept bit-compatible with the original generator-per-key implementation
+    (the regression suite asserts it) but restructured around a single
+    preallocated accumulator per parameter, so each array is scaled and
+    added exactly once instead of re-walking a generator per key per layer.
+    """
     if not weights_list:
         raise ValueError("no client weights to aggregate")
     if len(weights_list) != len(sample_counts):
@@ -30,10 +267,14 @@ def weighted_average(
     for layer_index in range(n_layers):
         merged: Dict[str, np.ndarray] = {}
         for key in weights_list[0][layer_index]:
-            merged[key] = sum(
-                (count / total) * np.asarray(w[layer_index][key])
-                for w, count in zip(weights_list, sample_counts)
+            # ``0.0 +`` reproduces the seed implementation's ``sum(...)``
+            # starting from zero (it canonicalizes -0.0 contributions).
+            acc = 0.0 + (sample_counts[0] / total) * np.asarray(
+                weights_list[0][layer_index][key]
             )
+            for w, count in zip(weights_list[1:], sample_counts[1:]):
+                acc += (count / total) * np.asarray(w[layer_index][key])
+            merged[key] = acc
         out.append(merged)
     return out
 
@@ -41,9 +282,25 @@ def weighted_average(
 def fedavg(
     weights_list: Sequence[WeightsList], sample_counts: Sequence[int] | None = None
 ) -> WeightsList:
-    """FedAvg: uniform or sample-weighted average of client weights."""
+    """FedAvg through the canonical exact streaming reduce.
+
+    Uniform or sample-weighted mean of client weights, computed as the
+    rounding of the *exact* weighted sum — so the result is independent of
+    client order and identical to what any sharded hierarchical fold over
+    the same updates produces (see :mod:`repro.fl.sharding`).  Peak memory
+    is O(model size) regardless of cohort size.
+    """
     counts = sample_counts or [1] * len(weights_list)
-    return weighted_average(weights_list, counts)
+    if not weights_list:
+        raise ValueError("no client weights to aggregate")
+    if len(weights_list) != len(counts):
+        raise ValueError("weights and sample counts must align")
+    if any(c <= 0 for c in counts):
+        raise ValueError("total sample count must be positive")
+    fold = StreamingWeightedSum(weights_list[0])
+    for weights, count in zip(weights_list, counts):
+        fold.fold(weights, count)
+    return fold.finalize()
 
 
 def merge_plain_and_sealed(

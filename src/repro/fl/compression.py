@@ -9,11 +9,11 @@ the transport layer can ship.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SparseUpdate", "TopKCompressor"]
+__all__ = ["SparseUpdate", "TopKCompressor", "weighted_sparse_mean"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,13 @@ class SparseUpdate:
     def wire_bytes(self) -> int:
         """4-byte indices + 4-byte values (float32 on the wire)."""
         return int(self.indices.size * 8)
+
+    def add_scaled_into(self, out: np.ndarray, scale: float = 1.0) -> np.ndarray:
+        """Scatter ``scale * values`` into ``out`` without densifying."""
+        if out.shape != (self.size,):
+            raise ValueError(f"out must have shape ({self.size},)")
+        np.add.at(out, self.indices, scale * self.values)
+        return out
 
     @property
     def density(self) -> float:
@@ -93,3 +100,34 @@ class TopKCompressor:
             self._residuals.clear()
         else:
             self._residuals.pop(client_id, None)
+
+
+def weighted_sparse_mean(
+    updates: Sequence[SparseUpdate], sample_counts: Sequence[int]
+) -> np.ndarray:
+    """Streaming sample-weighted mean of sparse flat updates.
+
+    Folds each update's support into one exact compensated accumulator —
+    O(vector size) resident memory regardless of how many updates stream
+    through, and bitwise identical to densifying every update and running
+    :func:`~repro.fl.aggregation.fedavg` over the dense vectors (the
+    aggregation module's exactness guarantee: adding explicit zeros cannot
+    change an exact sum).
+    """
+    from .aggregation import CompensatedAccumulator
+
+    if not updates:
+        raise ValueError("no sparse updates to aggregate")
+    if len(updates) != len(sample_counts):
+        raise ValueError("updates and sample counts must align")
+    if any(count <= 0 for count in sample_counts):
+        raise ValueError("total sample count must be positive")
+    size = int(updates[0].size)
+    accumulator = CompensatedAccumulator(size)
+    total = 0
+    for update, count in zip(updates, sample_counts):
+        if int(update.size) != size:
+            raise ValueError("sparse updates disagree on vector size")
+        accumulator.add_at(update.indices, float(count) * update.values)
+        total += int(count)
+    return accumulator.value() / float(total)

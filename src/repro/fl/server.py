@@ -9,6 +9,7 @@ snapshot history every participant observes (DPIA's raw material).
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -17,16 +18,20 @@ from ..core.policy import NoProtection, ProtectionPolicy
 from ..nn.model import Sequential, WeightsList
 from ..obs import get_clock, get_registry, get_tracer
 from ..tee.attestation import AttestationVerifier
-from .aggregation import fedavg, merge_plain_and_sealed
+from .aggregation import merge_plain_and_sealed
 from .client import FLClient
+from .config import ServerConfig
 from .executor import RoundExecutor, SequentialRoundExecutor
 from .history import SnapshotHistory
 from .plan import TrainingPlan
 from .resilience import RetryPolicy, collect_with_retries
 from .selection import SelectionResult, TEESelector
+from .sharding import HierarchicalAggregator
 from .transport import Channel, ClientUpdate, ModelDownload
 
 __all__ = ["FLServer"]
+
+_UNSET = object()
 
 
 class FLServer:
@@ -41,27 +46,20 @@ class FLServer:
     policy:
         Protection policy the deployment mandates (server fixes the static
         set or the moving-window parameters, §7.2).
-    allow_legacy:
-        Hybrid deployments admit non-TEE clients (future-work mode);
-        protected layers are then only shielded on TEE-capable clients.
+    config:
+        A :class:`~repro.fl.config.ServerConfig` — the supported way to
+        set admission, resilience, sampling-seed, and sharding behaviour.
     executor:
         Round executor deciding how client training is dispatched
         (default: the original sequential path).  Pass a
         :class:`~repro.fl.executor.ParallelRoundExecutor` to fan clients
         across a thread pool; aggregation results are identical either way.
-    retry:
-        When given, client failures no longer abort the cycle: work is
-        retried per :class:`~repro.fl.resilience.RetryPolicy` and the round
-        aggregates whatever quorum delivered (below quorum the previous
-        global model is kept — a *degraded* round).  ``None`` preserves the
-        original fail-fast behaviour.
-    reattest:
-        Re-challenge each participant's TEE at the start of every cycle and
-        evict (not train) clients that stopped attesting.  On by default: a
-        client compromised after selection must not keep contributing.
-    seed:
-        Seed of the server's own generator (participant sampling).  All
-        server-side randomness flows from this one seeded generator.
+    allow_legacy / retry / reattest / seed:
+        Deprecated kwarg spellings of the corresponding
+        :class:`~repro.fl.config.ServerConfig` fields.  They still work —
+        mapped through :meth:`ServerConfig.from_legacy` — but emit a
+        :class:`DeprecationWarning`; pass ``config=`` instead.  Mixing the
+        legacy kwargs with ``config=`` is an error.
     """
 
     def __init__(
@@ -69,24 +67,53 @@ class FLServer:
         model: Sequential,
         plan: TrainingPlan,
         policy: Optional[ProtectionPolicy] = None,
-        allow_legacy: bool = False,
+        allow_legacy=_UNSET,
         executor: Optional[RoundExecutor] = None,
-        retry: Optional[RetryPolicy] = None,
-        reattest: bool = True,
-        seed: int = 7,
+        retry=_UNSET,
+        reattest=_UNSET,
+        seed=_UNSET,
+        *,
+        config: Optional[ServerConfig] = None,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("allow_legacy", allow_legacy),
+                ("retry", retry),
+                ("reattest", reattest),
+                ("seed", seed),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise ValueError(
+                    "pass either config= or the legacy kwargs "
+                    f"({', '.join(sorted(legacy))}), not both"
+                )
+            warnings.warn(
+                "FLServer legacy kwargs "
+                f"({', '.join(sorted(legacy))}) are deprecated; "
+                "pass config=ServerConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = ServerConfig.from_legacy(**legacy)
+        self.config = config or ServerConfig()
         self.model = model
         self.plan = plan
         self.policy = policy or NoProtection(model.num_layers)
         self.executor = executor or SequentialRoundExecutor()
         self.verifier = AttestationVerifier()
-        self.selector = TEESelector(self.verifier, allow_legacy=allow_legacy)
+        self.selector = TEESelector(
+            self.verifier, allow_legacy=self.config.allow_legacy
+        )
         self.history = SnapshotHistory()
         self.channel = Channel()
-        self.retry = retry
-        self.reattest = bool(reattest)
+        self.retry = self.config.round.retry
+        self.reattest = self.config.round.reattest
         self.cycle = 0
-        self._rng = np.random.default_rng(seed)
+        self._rng = np.random.default_rng(self.config.seed)
         self._registered: Dict[str, FLClient] = {}
 
     # -- enrolment --------------------------------------------------------
@@ -222,18 +249,36 @@ class FLServer:
                 collected = [update for _, update in delivered]
 
             updates: List[ClientUpdate] = []
-            merged: List[WeightsList] = []
-            counts: List[int] = []
             degraded = (
                 self.retry is not None
                 and len(collected) < self.retry.quorum_count(len(participants))
             )
-            with get_tracer().span("fl.aggregate", cycle=self.cycle):
-                for client, update in zip(survivors, collected):
+            with get_tracer().span(
+                "fl.aggregate",
+                cycle=self.cycle,
+                shards=self.config.sharding.num_shards,
+            ):
+                # Stream every delivered update straight into its shard's
+                # bounded accumulator — the merged payload is dropped as
+                # soon as it is folded, so aggregation holds O(model) state
+                # per shard, never O(clients x model).  The reduce is exact
+                # (see repro.fl.aggregation), so any shard count produces
+                # the same bits as the flat fold.
+                tree = HierarchicalAggregator(
+                    self.model.get_weights(), self.config.sharding
+                )
+                cohort_size = max(1, len(collected))
+                for position, (client, update) in enumerate(
+                    zip(survivors, collected)
+                ):
                     update = self.channel.send_update(update)
                     updates.append(update)
-                    merged.append(self._merge_update(client, update))
-                    counts.append(update.num_samples)
+                    if not degraded:
+                        tree.fold(
+                            tree.shard_for(position, cohort_size),
+                            self._merge_update(client, update),
+                            update.num_samples,
+                        )
                 if degraded:
                     # Below quorum: a biased average would hurt more than a
                     # stale one, so the previous global model stands.
@@ -243,7 +288,12 @@ class FLServer:
                         "cycles below quorum that kept the previous global model",
                     ).inc()
                 else:
-                    new_global = fedavg(merged, counts)
+                    if not self.config.sharding.flat:
+                        # Shard -> root hop is a real network message in a
+                        # hierarchical deployment; price it like any other.
+                        for partial in tree.partials():
+                            self.channel.send_partial(partial)
+                    new_global = tree.reduce()
                     self.model.set_weights(new_global)
             round_span.set_attribute("collected", len(updates))
             round_span.set_attribute("degraded", degraded)

@@ -1,0 +1,272 @@
+"""Hierarchical (sharded) aggregation with a bounded-memory streaming reduce.
+
+Topology: ``clients → shard aggregators → root``.  Each shard owns a
+:class:`~repro.fl.aggregation.StreamingWeightedSum` and folds incoming
+updates — dense :data:`WeightsList` payloads or sparse
+:class:`~repro.fl.compression.SparseUpdate` flats — into a running weighted
+accumulator the moment they arrive, so a shard holds O(model size) state no
+matter how many clients report to it.  When the round closes, shards reduce
+pairwise into the root (a balanced binary merge over
+:class:`ShardPartial` messages), and the root finalizes the FedAvg mean.
+
+Determinism argument: every fold and merge is an error-free transformation
+(TwoSum expansions, see :mod:`repro.fl.aggregation`), so the tree computes
+the *exact* weighted sum and then rounds once.  The result is therefore a
+pure function of the multiset of client updates — independent of arrival
+order, shard count, shard sizes, and merge shape — and bitwise identical
+to the flat :func:`~repro.fl.aggregation.fedavg` over the same updates.
+The hypothesis suite exercises exactly this claim.
+
+Observability: every fold counts into ``fl.shard.folds`` (labelled per
+shard), shard→root partials are sized into ``fl.shard.partial_bytes``, and
+— unless disabled via :class:`~repro.fl.config.ShardingConfig` — resident
+accumulator bytes are published as ``fl.shard.bytes.live`` / ``.peak``
+gauges.  The root reduce runs inside an ``fl.shard.reduce`` span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.model import WeightsList
+from ..nn.serialize import weights_to_bytes
+from ..obs import get_registry, get_tracer
+from .aggregation import StreamingWeightedSum
+from .config import ShardingConfig
+
+__all__ = [
+    "plan_shards",
+    "shard_of",
+    "ShardPartial",
+    "ShardAggregator",
+    "HierarchicalAggregator",
+]
+
+
+def plan_shards(num_items: int, num_shards: int) -> List[range]:
+    """Contiguous, balanced assignment of ``num_items`` onto shards.
+
+    Deterministic: the first ``num_items % num_shards`` shards get the
+    extra item.  Shards beyond the item count come back empty (a 3-client
+    cohort on a 64-shard tree is legal; empty shards contribute nothing).
+    """
+    if num_items < 0:
+        raise ValueError("num_items cannot be negative")
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    base, extra = divmod(num_items, num_shards)
+    ranges: List[range] = []
+    start = 0
+    for shard in range(num_shards):
+        length = base + (1 if shard < extra else 0)
+        ranges.append(range(start, start + length))
+        start += length
+    return ranges
+
+
+def shard_of(item_index: int, num_items: int, num_shards: int) -> int:
+    """The shard that :func:`plan_shards` assigns ``item_index`` to."""
+    if not 0 <= item_index < num_items:
+        raise ValueError("item_index out of range")
+    base, extra = divmod(num_items, num_shards)
+    boundary = extra * (base + 1)
+    if item_index < boundary:
+        return item_index // (base + 1)
+    return extra + (item_index - boundary) // base if base else extra
+
+
+@dataclass
+class ShardPartial:
+    """Shard → root message: one shard's partial fold.
+
+    Carries the expansion components (each O(model size)) and the shard's
+    exact sample-count total; :meth:`wire_bytes` prices the uplink the same
+    way the client transport does, so the simulator can charge shard→root
+    traffic through its :class:`~repro.sim.network.NetworkModel`.
+    """
+
+    shard_id: int
+    total_samples: int
+    folds: int
+    components: Tuple[np.ndarray, ...]
+
+    def wire_bytes(self) -> int:
+        if not self.components:
+            return 0
+        payload: WeightsList = [
+            {f"c{i}": component for i, component in enumerate(self.components)}
+        ]
+        return len(weights_to_bytes(payload))
+
+
+class ShardAggregator:
+    """One leaf of the aggregation tree: a streaming fold over its clients."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        template: WeightsList,
+        config: Optional[ShardingConfig] = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.config = config or ShardingConfig()
+        self.fold_state = StreamingWeightedSum(template)
+        self.peak_bytes = 0
+
+    # -- folding -----------------------------------------------------------
+    def fold(self, weights: WeightsList, num_samples: int) -> None:
+        """Fold one dense client update and release it."""
+        self.fold_state.fold(weights, num_samples)
+        self._account()
+
+    def fold_sparse(self, sparse, num_samples: int) -> None:
+        """Fold one sparse flat update without densifying it."""
+        self.fold_state.fold_sparse(sparse, num_samples)
+        self._account()
+
+    def _account(self) -> None:
+        registry = get_registry()
+        registry.counter(
+            "fl.shard.folds", "client updates folded by shard aggregators"
+        ).inc(shard=str(self.shard_id))
+        live = self.fold_state.live_bytes
+        self.peak_bytes = max(self.peak_bytes, live)
+        if self.config.track_memory:
+            registry.gauge(
+                "fl.shard.bytes.live", "resident accumulator bytes per shard"
+            ).set(live, shard=str(self.shard_id))
+            registry.gauge(
+                "fl.shard.bytes.peak", "peak accumulator bytes per shard"
+            ).set(self.peak_bytes, shard=str(self.shard_id))
+
+    # -- reporting up ------------------------------------------------------
+    @property
+    def folds(self) -> int:
+        return self.fold_state.folds
+
+    @property
+    def total_samples(self) -> int:
+        return self.fold_state.total_samples
+
+    @property
+    def live_bytes(self) -> int:
+        return self.fold_state.live_bytes
+
+    def partial(self) -> ShardPartial:
+        """Snapshot this shard's fold as a shard→root message."""
+        return ShardPartial(
+            shard_id=self.shard_id,
+            total_samples=self.fold_state.total_samples,
+            folds=self.fold_state.folds,
+            components=tuple(
+                c.copy() for c in self.fold_state.accumulator.components
+            ),
+        )
+
+
+class HierarchicalAggregator:
+    """The full tree: shard aggregators reducing pairwise into a root.
+
+    Parameters
+    ----------
+    template:
+        A :data:`WeightsList` describing the model's structure (the global
+        weights work; only shapes and key names are read).
+    config:
+        Tree topology; ``num_shards == 1`` is the flat special case.
+
+    Usage: route each update to its shard with :meth:`fold` /
+    :meth:`fold_sparse` (any assignment — the result cannot depend on it),
+    then :meth:`reduce` once to obtain the FedAvg mean.  ``peak_bytes``
+    afterwards reports the largest resident accumulator footprint any
+    single node (shard or root) reached — the bounded-memory invariant the
+    scale tests assert is independent of client count.
+    """
+
+    def __init__(
+        self, template: WeightsList, config: Optional[ShardingConfig] = None
+    ) -> None:
+        self.config = config or ShardingConfig()
+        self.template = template
+        self.shards: List[ShardAggregator] = [
+            ShardAggregator(i, template, self.config)
+            for i in range(self.config.num_shards)
+        ]
+        self.partial_bytes = 0
+        self.root_peak_bytes = 0
+
+    @property
+    def num_shards(self) -> int:
+        return self.config.num_shards
+
+    def shard_for(self, position: int, cohort_size: int) -> int:
+        """Contiguous balanced routing (see :func:`plan_shards`)."""
+        return shard_of(position, cohort_size, self.num_shards)
+
+    def fold(self, shard_id: int, weights: WeightsList, num_samples: int) -> None:
+        self.shards[shard_id].fold(weights, num_samples)
+
+    def fold_sparse(self, shard_id: int, sparse, num_samples: int) -> None:
+        self.shards[shard_id].fold_sparse(sparse, num_samples)
+
+    @property
+    def folds(self) -> int:
+        return sum(shard.folds for shard in self.shards)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(shard.total_samples for shard in self.shards)
+
+    @property
+    def peak_bytes(self) -> int:
+        """Largest resident footprint any single tree node reached."""
+        shard_peak = max((shard.peak_bytes for shard in self.shards), default=0)
+        return max(shard_peak, self.root_peak_bytes)
+
+    def partials(self) -> List[ShardPartial]:
+        """Shard→root messages for the non-empty shards, sized and counted."""
+        registry = get_registry()
+        out: List[ShardPartial] = []
+        for shard in self.shards:
+            if shard.folds == 0:
+                continue
+            partial = shard.partial()
+            size = partial.wire_bytes()
+            self.partial_bytes += size
+            registry.counter(
+                "fl.shard.partial_bytes", "bytes shards sent to the root"
+            ).inc(size, shard=str(shard.shard_id))
+            out.append(partial)
+        return out
+
+    def reduce(self) -> WeightsList:
+        """Pairwise-merge the shard folds into the root and finalize.
+
+        The merge tree is balanced (halving passes), but because every
+        merge is exact the shape is immaterial to the result — it only
+        bounds the root's transient memory at two partials' components.
+        """
+        if self.folds == 0:
+            raise ValueError("no client weights to aggregate")
+        with get_tracer().span(
+            "fl.shard.reduce", shards=self.num_shards, folds=self.folds
+        ) as span:
+            live = [
+                shard.fold_state for shard in self.shards if shard.folds > 0
+            ]
+            while len(live) > 1:
+                merged: List[StreamingWeightedSum] = []
+                for left, right in zip(live[::2], live[1::2]):
+                    left.merge(right)
+                    self.root_peak_bytes = max(
+                        self.root_peak_bytes, left.live_bytes
+                    )
+                    merged.append(left)
+                if len(live) % 2:
+                    merged.append(live[-1])
+                live = merged
+            span.set_attribute("total_samples", live[0].total_samples)
+            return live[0].finalize()

@@ -14,9 +14,13 @@ server-side control loop real:
   under the deployment's protection policy, scaled by a per-client device
   speed factor;
 * **updates** are deterministic pseudo-training deltas derived from
-  ``(seed, round, client)``, aggregated with the real
-  :func:`~repro.fl.aggregation.fedavg`;
-* **faults** come from a :class:`~repro.sim.faults.FaultPlan`.
+  ``(seed, round, client)``, streamed into the real
+  :class:`~repro.fl.sharding.HierarchicalAggregator` the moment they
+  arrive — the bounded-memory exact reduce the production server uses, so
+  a round never materializes O(clients × model) state and any shard count
+  yields the same bits as flat :func:`~repro.fl.aggregation.fedavg`;
+* **faults** come from a :class:`~repro.sim.faults.FaultPlan`, including
+  dead shard aggregators whose lost uploads feed the retry machinery.
 
 The round engine mirrors what the production retrofit in
 :mod:`repro.fl.server` does, but event-driven: it over-provisions the cohort
@@ -43,7 +47,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.policy import NoProtection, ProtectionPolicy
-from ..fl.aggregation import fedavg
+from ..fl.config import ShardingConfig
+from ..fl.sharding import HierarchicalAggregator, shard_of
 from ..fl.transport import ClientUpdate, ModelDownload
 from ..nn.model import Sequential, WeightsList
 from ..nn.serialize import flatten_weights, weights_from_bytes, weights_to_bytes
@@ -58,13 +63,14 @@ from .network import NetworkModel
 
 __all__ = ["SimConfig", "FLSimulator", "REPORT_SCHEMA_VERSION"]
 
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 
 # Independent derivation streams off (seed, stream, ...); values are
 # arbitrary distinct constants.
 _STREAM_TRAITS = 11
 _STREAM_SELECT = 12
 _STREAM_UPDATE = 13
+_STREAM_SHARD_TRAITS = 14
 
 _CHECKPOINT_OBJECT = "fl-round-checkpoint"
 
@@ -96,6 +102,12 @@ class SimConfig:
         Std-dev of the pseudo-training delta each client applies.
     batch_size / local_steps:
         Fed into the TEE cost model's per-cycle compute time.
+    shards:
+        Width of the hierarchical aggregation tree (clients → shard
+        aggregators → root).  ``1`` is the flat topology.  Any value
+        produces bitwise-identical final weights at the same seed — the
+        streaming reduce is exact — while peak aggregator memory stays
+        O(shards × model size), independent of the cohort and fleet size.
     """
 
     num_clients: int
@@ -111,6 +123,7 @@ class SimConfig:
     update_scale: float = 0.05
     batch_size: int = 32
     local_steps: int = 1
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -137,6 +150,8 @@ class SimConfig:
             raise ValueError("straggler_factor must exceed 1")
         if self.update_scale <= 0:
             raise ValueError("update_scale must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
 
     @property
     def asked(self) -> int:
@@ -151,11 +166,19 @@ class SimConfig:
 
 @dataclass
 class _RoundState:
-    """Mutable bookkeeping of one in-flight round."""
+    """Mutable bookkeeping of one in-flight round.
+
+    ``collected`` maps client index → sample count only: the update payload
+    itself is folded into the shard tree the moment it arrives and then
+    dropped, so a round never holds O(clients × model) weight state.
+    """
 
     members: List[int]
     deadline_at: float
-    collected: Dict[int, ClientUpdate] = field(default_factory=dict)
+    tree: Optional[HierarchicalAggregator] = None
+    positions: Dict[int, int] = field(default_factory=dict)
+    dead_shards: frozenset = frozenset()
+    collected: Dict[int, int] = field(default_factory=dict)
     status: Dict[int, str] = field(default_factory=dict)
     counts: Dict[str, int] = field(
         default_factory=lambda: {
@@ -166,6 +189,7 @@ class _RoundState:
             "evicted": 0,
             "retries": 0,
             "giveups": 0,
+            "shard_down": 0,
         }
     )
     done: bool = False
@@ -230,6 +254,21 @@ class FLSimulator:
         # Device heterogeneity: per-client compute speed and shard size.
         self.speed = traits.uniform(0.75, 2.5, config.num_clients)
         self.num_samples = traits.integers(16, 129, config.num_clients)
+        # Shard aggregators are edge nodes with their own (better) links;
+        # the shard→root hop is priced through this table.  Sampled from a
+        # dedicated stream so enabling sharding never perturbs the fleet.
+        self.shard_network = (
+            NetworkModel.sample(
+                config.shards,
+                np.random.default_rng((config.seed, _STREAM_SHARD_TRAITS)),
+                median_latency_seconds=0.02,
+                min_bandwidth=20e6,
+                max_bandwidth=100e6,
+            )
+            if config.shards > 1
+            else None
+        )
+        self.aggregator_peak_bytes = 0
         self.round = 0
         self.history: List[Dict[str, object]] = []
         self.resumed_from: Optional[int] = None
@@ -285,8 +324,24 @@ class FLSimulator:
         started_at = self.clock.time
         with get_tracer().span("sim.round", cycle=rnd, asked=cfg.asked) as span:
             members = self._select_cohort(rnd)
+            dead_shards = frozenset(
+                shard
+                for shard in range(cfg.shards)
+                if self.fault_plan.shard_fault_for(rnd, shard)
+            )
+            if dead_shards:
+                registry.counter(
+                    "sim.shard.down", "shard aggregators dead for a round"
+                ).inc(len(dead_shards))
             state = _RoundState(
-                members=members, deadline_at=started_at + cfg.deadline_seconds
+                members=members,
+                deadline_at=started_at + cfg.deadline_seconds,
+                tree=HierarchicalAggregator(
+                    global_weights,
+                    ShardingConfig(num_shards=cfg.shards, track_memory=False),
+                ),
+                positions={index: pos for pos, index in enumerate(members)},
+                dead_shards=dead_shards,
             )
             # Deadline first: a completion landing exactly on the deadline
             # is late, deterministically.
@@ -345,18 +400,38 @@ class FLSimulator:
                     ).inc()
 
             degraded = len(state.collected) < cfg.quorum_count
+            shard_bytes = 0
             if not degraded:
-                order = sorted(state.collected)
-                new_global = fedavg(
-                    [state.collected[i].plain_weights for i in order],
-                    [state.collected[i].num_samples for i in order],
-                )
+                if self.shard_network is not None:
+                    # The shard→root hop is a real transfer: price each
+                    # partial's wire bytes through the shard links and
+                    # settle the round when the slowest partial lands.
+                    root_at = state.aggregated_at
+                    for partial in state.tree.partials():
+                        size = partial.wire_bytes()
+                        shard_bytes += size
+                        registry.counter(
+                            "sim.shard.bytes", "bytes shards sent to the root"
+                        ).inc(size)
+                        root_at = max(
+                            root_at,
+                            state.aggregated_at
+                            + self.shard_network.transfer_seconds(
+                                partial.shard_id, size
+                            ),
+                        )
+                    state.aggregated_at = root_at
+                    self.clock.advance_to(root_at)
+                new_global = state.tree.reduce()
                 self.model.set_weights(new_global)
             else:
                 registry.counter(
                     "sim.rounds.degraded",
                     "rounds below quorum that reused the previous global model",
                 ).inc()
+            self.aggregator_peak_bytes = max(
+                self.aggregator_peak_bytes, state.tree.peak_bytes
+            )
             span.set_attribute("collected", len(state.collected))
             span.set_attribute("degraded", degraded)
 
@@ -380,6 +455,10 @@ class FLSimulator:
             "started_at": started_at,
             "aggregated_at": state.aggregated_at,
             "virtual_seconds": state.aggregated_at - started_at,
+            "shards": cfg.shards,
+            "dead_shards": sorted(state.dead_shards),
+            "shard_bytes": int(shard_bytes),
+            "aggregator_peak_bytes": int(state.tree.peak_bytes),
             **state.counts,
         }
         self.history.append(outcome)
@@ -481,7 +560,29 @@ class FLSimulator:
             return
         if index in state.collected:
             return
-        state.collected[index] = update
+        shard = self._route_shard(state, index, attempt)
+        if shard is None:
+            # The upload reached a dead shard aggregator and was lost; the
+            # client re-enters the ordinary retry machinery (retries are
+            # re-routed to a surviving shard, if any).
+            state.counts["shard_down"] += 1
+            registry.counter(
+                "sim.shard.losses", "uploads lost to dead shard aggregators"
+            ).inc()
+            self._on_failure(
+                state,
+                rnd,
+                index,
+                attempt,
+                None,
+                compute_base,
+                download_bytes,
+                global_weights,
+                registry,
+            )
+            return
+        state.tree.fold(shard, update.plain_weights, update.num_samples)
+        state.collected[index] = int(update.num_samples)
         state.status[index] = "collected"
         if len(state.collected) >= self.config.cohort:
             self._finish(state, registry)
@@ -530,6 +631,29 @@ class FLSimulator:
             registry.counter(
                 "fl.retry.giveups", "clients abandoned after exhausting retries"
             ).inc()
+
+    def _route_shard(
+        self, state: _RoundState, index: int, attempt: int
+    ) -> Optional[int]:
+        """The shard aggregator this upload lands on (None = lost).
+
+        First attempts go to the client's home shard (contiguous balanced
+        routing over the cohort).  If that shard is dead this round the
+        upload is lost; retries scan cyclically for the first surviving
+        shard.  Which shard folds an update cannot affect the aggregate —
+        the reduce is exact — so re-routing is free of aggregation skew.
+        """
+        cfg = self.config
+        home = shard_of(state.positions[index], len(state.members), cfg.shards)
+        if home not in state.dead_shards:
+            return home
+        if attempt == 0:
+            return None
+        for offset in range(1, cfg.shards):
+            candidate = (home + offset) % cfg.shards
+            if candidate not in state.dead_shards:
+                return candidate
+        return None
 
     def _finish(self, state: _RoundState, registry) -> None:
         if state.done:
@@ -602,6 +726,7 @@ class FLSimulator:
             "evicted",
             "retries",
             "giveups",
+            "shard_down",
         )
         totals: Dict[str, object] = {
             key: sum(int(outcome[key]) for outcome in self.history)
@@ -611,12 +736,18 @@ class FLSimulator:
         totals["degraded"] = sum(1 for o in self.history if o["degraded"])
         totals["collected"] = sum(len(o["collected"]) for o in self.history)
         totals["asked"] = sum(int(o["asked"]) for o in self.history)
+        totals["shard_bytes"] = sum(int(o["shard_bytes"]) for o in self.history)
         return {
             "schema": REPORT_SCHEMA_VERSION,
             "config": asdict(self.config),
             "fault_plan": self.fault_plan.describe(),
             "rounds": self.history,
             "totals": totals,
+            # Computed from the per-round records (not live state) so a
+            # resumed run reports the same bytes as an uninterrupted one.
+            "aggregator_peak_bytes": max(
+                (int(o["aggregator_peak_bytes"]) for o in self.history), default=0
+            ),
             "virtual_seconds": self.clock.time,
             "weights_sha256": self.weights_digest(),
             "resumed_from_round": self.resumed_from,

@@ -31,9 +31,10 @@ import numpy as np
 
 __all__ = ["FaultKind", "FaultRates", "FaultPlan"]
 
-# Stream tag keeping fault draws independent of every other (seed, round)
+# Stream tags keeping fault draws independent of every other (seed, round)
 # derived stream in the simulator.
 _STREAM_FAULT = 0xFA017
+_STREAM_SHARD_FAULT = 0xFA5D
 
 
 class FaultKind(enum.Enum):
@@ -101,12 +102,27 @@ class FaultPlan:
     seed:
         Seed for the sampled realisation; the fault of a given
         ``(round, client)`` is a pure function of ``(seed, round, client)``.
+    shard_down:
+        Per-round probability that a *shard aggregator* (a node of the
+        hierarchical aggregation tree, not a client) is dead for the whole
+        round.  An upload arriving at a dead shard is lost — which feeds
+        the client back into the ordinary retry/quorum machinery; retries
+        are re-routed to a surviving shard.
     """
 
-    def __init__(self, rates: Optional[FaultRates] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        rates: Optional[FaultRates] = None,
+        seed: int = 0,
+        shard_down: float = 0.0,
+    ) -> None:
+        if not 0.0 <= shard_down <= 1.0:
+            raise ValueError(f"shard_down rate must be in [0, 1], got {shard_down}")
         self.rates = rates or FaultRates()
         self.seed = int(seed)
+        self.shard_down = float(shard_down)
         self._explicit: Dict[Tuple[int, int], Optional[FaultKind]] = {}
+        self._explicit_shards: Dict[Tuple[int, int], bool] = {}
 
     def inject(self, round_index: int, client_index: int, kind) -> "FaultPlan":
         """Pin a specific fault (or ``None`` to force health) for one cell."""
@@ -130,11 +146,39 @@ class FaultPlan:
                 return kind
         return None
 
+    def inject_shard(
+        self, round_index: int, shard_index: int, down: bool = True
+    ) -> "FaultPlan":
+        """Pin a shard aggregator dead (or alive) for one round."""
+        key = (int(round_index), int(shard_index))
+        self._explicit_shards[key] = bool(down)
+        return self
+
+    def shard_fault_for(self, round_index: int, shard_index: int) -> bool:
+        """Whether this shard aggregator is dead this round.
+
+        Like client faults, a pure function of ``(seed, round, shard)`` —
+        drawn from its own stream, so enabling shard faults never
+        reshuffles which *clients* misbehave.
+        """
+        key = (int(round_index), int(shard_index))
+        if key in self._explicit_shards:
+            return self._explicit_shards[key]
+        if self.shard_down <= 0.0:
+            return False
+        draw = float(
+            np.random.default_rng((self.seed, _STREAM_SHARD_FAULT, *key)).random()
+        )
+        return draw < self.shard_down
+
     def describe(self) -> str:
         active = [
             f"{field.name}={getattr(self.rates, field.name):g}"
             for field in fields(self.rates)
             if getattr(self.rates, field.name) > 0
         ]
-        pinned = f", {len(self._explicit)} pinned" if self._explicit else ""
+        if self.shard_down > 0:
+            active.append(f"shard_down={self.shard_down:g}")
+        pinned_cells = len(self._explicit) + len(self._explicit_shards)
+        pinned = f", {pinned_cells} pinned" if pinned_cells else ""
         return f"FaultPlan(seed={self.seed}, {', '.join(active) or 'no faults'}{pinned})"

@@ -1,0 +1,106 @@
+"""Tests for the ``repro.api`` facade (and that the README quickstart runs)."""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api as api
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+class TestSurface:
+    def test_curated_all(self):
+        assert set(api.__all__) == {
+            "build_server",
+            "simulate",
+            "run_experiment",
+            "ServerConfig",
+            "RoundConfig",
+            "ShardingConfig",
+        }
+        for name in api.__all__:
+            assert hasattr(api, name)
+
+    def test_registered_on_package(self):
+        assert "api" in repro.__all__
+        assert repro.api is api
+
+
+class TestBuildServer:
+    def test_defaults_are_deterministic(self):
+        a = api.build_server(config=api.ServerConfig(seed=3))
+        b = api.build_server(config=api.ServerConfig(seed=3))
+        for wa, wb in zip(a.model.get_weights(), b.model.get_weights()):
+            for key in wa:
+                np.testing.assert_array_equal(wa[key], wb[key])
+
+    def test_config_threads_through(self):
+        server = api.build_server(
+            config=api.ServerConfig(
+                sharding=api.ShardingConfig(num_shards=8)
+            )
+        )
+        assert server.config.sharding.num_shards == 8
+
+    def test_no_deprecation_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.build_server()
+
+
+class TestSimulate:
+    def test_deterministic(self):
+        a = api.simulate(clients=40, rounds=2, seed=9, dropout=0.2)
+        b = api.simulate(clients=40, rounds=2, seed=9, dropout=0.2)
+        assert a == b
+
+    def test_sharded_matches_flat(self):
+        flat = api.simulate(clients=60, rounds=2, seed=4, dropout=0.1)
+        sharded = api.simulate(
+            clients=60, rounds=2, seed=4, dropout=0.1, shards=8
+        )
+        assert sharded["weights_sha256"] == flat["weights_sha256"]
+        assert sharded["totals"]["shard_bytes"] > 0
+        assert flat["totals"]["shard_bytes"] == 0
+
+    def test_metrics_opt_in(self):
+        without = api.simulate(clients=20, rounds=1, seed=1)
+        with_metrics = api.simulate(
+            clients=20, rounds=1, seed=1, include_metrics=True
+        )
+        assert "metrics" not in without
+        assert "fl.rounds" not in with_metrics["metrics"]["counters"]  # sim-level
+        assert "sim.rounds" in with_metrics["metrics"]["counters"]
+
+
+class TestRunExperiment:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            api.run_experiment("fig99")
+
+    def test_table6_payload(self, capsys):
+        payload = api.run_experiment("table6")
+        assert payload["command"] == "table6"
+        labels = [row["label"] for row in payload["rows"]]
+        assert labels[0] == "baseline"
+        assert all("tee_memory_mib" in row for row in payload["rows"])
+        assert "Table 6" in capsys.readouterr().out
+
+
+class TestReadmeQuickstart:
+    def quickstart_blocks(self):
+        text = README.read_text()
+        section = text.split("## Quickstart", 1)[1].split("\n## ", 1)[0]
+        return re.findall(r"```python\n(.*?)```", section, flags=re.DOTALL)
+
+    def test_quickstart_blocks_run_verbatim(self, capsys):
+        blocks = self.quickstart_blocks()
+        assert len(blocks) >= 2
+        for block in blocks:
+            exec(compile(block, str(README), "exec"), {})

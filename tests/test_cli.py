@@ -21,9 +21,35 @@ class TestParser:
         args = build_parser().parse_args(["fig5", "--fast"])
         assert args.fast is True
 
-    def test_cycles_option(self):
+    def test_rounds_option(self):
+        args = build_parser().parse_args(["table5", "--rounds", "12"])
+        assert args.rounds == 12
+
+    def test_cycles_is_hidden_alias_of_rounds(self):
         args = build_parser().parse_args(["table5", "--cycles", "12"])
-        assert args.cycles == 12
+        assert args.rounds == 12
+        # The alias never shadows the canonical default...
+        assert build_parser().parse_args(["table5"]).rounds == 36
+        # ...and stays out of --help.
+        table5 = build_parser()._subparsers._group_actions[0].choices["table5"]
+        assert "--cycles" not in table5.format_help()
+
+    def test_shared_flags_spelled_identically(self):
+        parser = build_parser()
+        subs = parser._subparsers._group_actions[0].choices
+        shared = {
+            # Each subcommand carries every shared flag that is meaningful
+            # for it, under the one canonical spelling.
+            "table5": ("--seed", "--rounds", "--out"),
+            "fig5": ("--seed", "--rounds", "--out"),
+            "perf": ("--clients", "--out"),
+            "trace": ("--clients", "--seed", "--rounds", "--out"),
+            "simulate": ("--clients", "--seed", "--rounds", "--out"),
+        }
+        for name, flags in shared.items():
+            help_text = subs[name].format_help()
+            for flag in flags:
+                assert flag in help_text, f"{name} missing {flag}"
 
 
 class TestCommands:

@@ -3,11 +3,32 @@
 import numpy as np
 import pytest
 
-from repro.fl import fedavg, merge_plain_and_sealed, weighted_average
+from repro.fl import (
+    CompensatedAccumulator,
+    StreamingWeightedSum,
+    fedavg,
+    merge_plain_and_sealed,
+    weighted_average,
+)
 
 
 def make_weights(value, layers=2):
     return [{"weight": np.full((2, 2), float(value))} for _ in range(layers)]
+
+
+def legacy_weighted_average(weights_list, sample_counts):
+    """The pre-PR4 implementation, verbatim: naive left-to-right fold."""
+    total = float(sum(sample_counts))
+    out = []
+    for layer_index in range(len(weights_list[0])):
+        merged = {}
+        for key in weights_list[0][layer_index]:
+            merged[key] = sum(
+                (count / total) * np.asarray(weights[layer_index][key])
+                for weights, count in zip(weights_list, sample_counts)
+            )
+        out.append(merged)
+    return out
 
 
 class TestWeightedAverage:
@@ -45,6 +66,87 @@ class TestWeightedAverage:
         out = fedavg([a, b])
         assert set(out[0]) == {"weight", "bias"}
         np.testing.assert_allclose(out[0]["bias"], 0.5)
+
+
+class TestWeightedAverageRegression:
+    """The preallocated hot loop is bitwise-identical to the old generator."""
+
+    def random_cohort(self, seed, num_clients=9, layers=3):
+        rng = np.random.default_rng(seed)
+        scales = 10.0 ** rng.integers(-6, 7, size=num_clients).astype(float)
+        weights_list = [
+            [
+                {
+                    "w": scales[i] * rng.normal(size=(4, 3)),
+                    "b": rng.normal(size=3),
+                }
+                for _ in range(layers)
+            ]
+            for i in range(num_clients)
+        ]
+        counts = [int(c) for c in rng.integers(1, 200, size=num_clients)]
+        return weights_list, counts
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_bitwise_equal_to_legacy_implementation(self, seed):
+        weights_list, counts = self.random_cohort(seed)
+        new = weighted_average(weights_list, counts)
+        old = legacy_weighted_average(weights_list, counts)
+        for left, right in zip(new, old):
+            for key in left:
+                np.testing.assert_array_equal(left[key], right[key])
+
+    def test_negative_zero_canonicalised_like_legacy(self):
+        # The old generator summed from int 0, so a single -0.0 contribution
+        # came out as +0.0; the preallocated loop must preserve that bit.
+        weights_list = [[{"w": np.array([-0.0, 1.0])}]]
+        new = weighted_average(weights_list, [3])
+        old = legacy_weighted_average(weights_list, [3])
+        assert np.signbit(new[0]["w"][0]) == np.signbit(old[0]["w"][0])
+
+
+class TestExactAccumulation:
+    def test_catastrophic_cancellation_is_exact(self):
+        acc = CompensatedAccumulator(1)
+        for value in (1e16, 1.0, -1e16, 1e-30, 2.0, -3.0):
+            acc.add(np.array([value]))
+        assert acc.value()[0] == 1e-30
+
+    def test_fold_order_cannot_change_the_sum(self):
+        rng = np.random.default_rng(11)
+        values = 10.0 ** rng.integers(-8, 9, size=64).astype(
+            float
+        ) * rng.normal(size=64)
+        forward = CompensatedAccumulator(1)
+        for v in values:
+            forward.add(np.array([v]))
+        backward = CompensatedAccumulator(1)
+        for v in values[::-1]:
+            backward.add(np.array([v]))
+        assert forward.value()[0] == backward.value()[0]
+
+    def test_streaming_sum_merge_matches_single_stream(self):
+        template = make_weights(0)
+        updates = [make_weights(i * 0.7 + 0.1) for i in range(8)]
+        counts = [1, 3, 2, 8, 1, 5, 2, 4]
+        single = StreamingWeightedSum(template)
+        for update, count in zip(updates, counts):
+            single.fold(update, count)
+        left = StreamingWeightedSum(template)
+        right = StreamingWeightedSum(template)
+        for i, (update, count) in enumerate(zip(updates, counts)):
+            (left if i % 2 else right).fold(update, count)
+        left.merge(right)
+        for a, b in zip(single.finalize(), left.finalize()):
+            for key in a:
+                np.testing.assert_array_equal(a[key], b[key])
+
+    def test_component_count_stays_bounded(self):
+        acc = CompensatedAccumulator(4)
+        rng = np.random.default_rng(3)
+        for _ in range(500):
+            acc.add(10.0 ** float(rng.integers(-10, 11)) * rng.normal(size=4))
+        assert acc.num_components <= 64
 
 
 class TestMergePlainAndSealed:

@@ -1,0 +1,111 @@
+"""Tests for the typed FLServer configuration and the legacy-kwarg shim."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    FLServer,
+    RetryPolicy,
+    RoundConfig,
+    ServerConfig,
+    ShardingConfig,
+    TrainingPlan,
+)
+from repro.nn import mlp
+
+
+def make_server(**kwargs):
+    model = mlp(num_classes=4, input_shape=(6,), hidden=(8, 5), seed=0)
+    return FLServer(model, TrainingPlan(lr=0.1, batch_size=4), **kwargs)
+
+
+class TestConfigTypes:
+    def test_defaults(self):
+        config = ServerConfig()
+        assert config.allow_legacy is False
+        assert config.seed == 7
+        assert config.round.retry is None
+        assert config.round.reattest is True
+        assert config.sharding.num_shards == 1
+        assert config.sharding.flat
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ServerConfig().seed = 1
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ShardingConfig().num_shards = 2
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RoundConfig().reattest = False
+
+    def test_sharding_validates(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardingConfig(num_shards=0)
+        assert ShardingConfig(num_shards=2).flat is False
+
+    def test_from_legacy_maps_every_kwarg(self):
+        retry = RetryPolicy(max_retries=2)
+        config = ServerConfig.from_legacy(
+            allow_legacy=True, retry=retry, reattest=False, seed=11
+        )
+        assert config.allow_legacy is True
+        assert config.seed == 11
+        assert config.round.retry is retry
+        assert config.round.reattest is False
+        assert config.sharding.flat  # legacy servers were always flat
+
+
+class TestLegacyShim:
+    def test_config_path_emits_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            make_server(config=ServerConfig(seed=3))
+
+    def test_legacy_kwargs_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            server = make_server(seed=3, reattest=False)
+        assert server.config.seed == 3
+        assert server.reattest is False
+
+    def test_positional_allow_legacy_still_works(self):
+        model = mlp(num_classes=4, input_shape=(6,), hidden=(8, 5), seed=0)
+        with pytest.warns(DeprecationWarning):
+            server = FLServer(
+                model, TrainingPlan(lr=0.1, batch_size=4), None, True
+            )
+        assert server.config.allow_legacy is True
+
+    def test_both_paths_build_identical_servers(self):
+        retry = RetryPolicy(max_retries=3)
+        with pytest.warns(DeprecationWarning):
+            legacy = make_server(
+                allow_legacy=True, retry=retry, reattest=False, seed=5
+            )
+        modern = make_server(
+            config=ServerConfig(
+                allow_legacy=True,
+                seed=5,
+                round=RoundConfig(retry=retry, reattest=False),
+            )
+        )
+        assert legacy.config == modern.config
+        assert legacy.retry is modern.retry
+        assert legacy.reattest == modern.reattest
+        assert legacy.selector.allow_legacy == modern.selector.allow_legacy
+        # Same seed => identical sampling schedule.
+        assert np.array_equal(
+            legacy._rng.integers(0, 1000, 8), modern._rng.integers(0, 1000, 8)
+        )
+
+    def test_mixing_config_and_legacy_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            make_server(seed=3, config=ServerConfig())
+
+    def test_server_config_drives_sharding(self):
+        server = make_server(
+            config=ServerConfig(sharding=ShardingConfig(num_shards=4))
+        )
+        assert server.config.sharding.num_shards == 4

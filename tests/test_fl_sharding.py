@@ -1,0 +1,204 @@
+"""Tests for hierarchical (sharded) aggregation with streaming reduce."""
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    HierarchicalAggregator,
+    ShardAggregator,
+    ShardingConfig,
+    TopKCompressor,
+    fedavg,
+    plan_shards,
+    shard_of,
+    weighted_sparse_mean,
+)
+from repro.obs import fresh
+
+
+def make_update(seed, layers=3, size=7):
+    rng = np.random.default_rng(seed)
+    return [
+        {"w": rng.normal(size=size), "b": rng.normal(size=2)}
+        for _ in range(layers)
+    ]
+
+
+def assert_weights_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.keys() == b.keys()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+
+class TestPlanShards:
+    def test_balanced_contiguous(self):
+        ranges = plan_shards(10, 3)
+        assert [list(r) for r in ranges] == [
+            [0, 1, 2, 3], [4, 5, 6], [7, 8, 9]
+        ]
+
+    def test_covers_every_item_exactly_once(self):
+        for items in (0, 1, 5, 17, 64):
+            for shards in (1, 2, 7, 64, 100):
+                ranges = plan_shards(items, shards)
+                assert len(ranges) == shards
+                flat = [i for r in ranges for i in r]
+                assert flat == list(range(items))
+
+    def test_more_shards_than_items_leaves_empties(self):
+        ranges = plan_shards(3, 8)
+        assert sum(len(r) > 0 for r in ranges) == 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            plan_shards(-1, 2)
+        with pytest.raises(ValueError):
+            plan_shards(4, 0)
+
+    def test_shard_of_matches_plan(self):
+        for items in (1, 5, 17, 64):
+            for shards in (1, 2, 7, 64):
+                ranges = plan_shards(items, shards)
+                for shard_id, members in enumerate(ranges):
+                    for item in members:
+                        assert shard_of(item, items, shards) == shard_id
+
+    def test_shard_of_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            shard_of(5, 5, 2)
+
+
+class TestHierarchicalReduce:
+    def test_single_shard_matches_fedavg(self):
+        updates = [make_update(i) for i in range(5)]
+        counts = [1, 3, 2, 8, 1]
+        tree = HierarchicalAggregator(updates[0])
+        for update, count in zip(updates, counts):
+            tree.fold(0, update, count)
+        assert_weights_equal(tree.reduce(), fedavg(updates, counts))
+
+    @pytest.mark.parametrize("num_shards", [2, 3, 7, 16])
+    def test_sharded_bitwise_identical_to_flat(self, num_shards):
+        updates = [make_update(i, size=11) for i in range(13)]
+        counts = [1 + (i * 7) % 5 for i in range(13)]
+        flat = fedavg(updates, counts)
+        tree = HierarchicalAggregator(
+            updates[0], ShardingConfig(num_shards=num_shards)
+        )
+        for position, (update, count) in enumerate(zip(updates, counts)):
+            tree.fold(tree.shard_for(position, 13), update, count)
+        assert_weights_equal(tree.reduce(), flat)
+
+    def test_result_independent_of_routing(self):
+        updates = [make_update(i) for i in range(9)]
+        counts = [2] * 9
+        reference = fedavg(updates, counts)
+        # Adversarial routing: everything on the last shard, then striped.
+        for router in (lambda p: 3, lambda p: p % 4):
+            tree = HierarchicalAggregator(
+                updates[0], ShardingConfig(num_shards=4)
+            )
+            for position, (update, count) in enumerate(zip(updates, counts)):
+                tree.fold(router(position), update, count)
+            assert_weights_equal(tree.reduce(), reference)
+
+    def test_empty_tree_rejected(self):
+        tree = HierarchicalAggregator(make_update(0), ShardingConfig(num_shards=4))
+        with pytest.raises(ValueError, match="no client weights"):
+            tree.reduce()
+
+    def test_sparse_folds_match_dense(self):
+        size = 40
+        compressor = TopKCompressor(ratio=0.25, error_feedback=False)
+        rng = np.random.default_rng(5)
+        flats = [rng.normal(size=size) for _ in range(6)]
+        sparse = [compressor.compress(f, f"c{i}") for i, f in enumerate(flats)]
+        counts = [3, 1, 4, 1, 5, 9]
+        template = [{"w": np.zeros(size)}]
+        tree = HierarchicalAggregator(template, ShardingConfig(num_shards=3))
+        for position, (update, count) in enumerate(zip(sparse, counts)):
+            tree.fold_sparse(tree.shard_for(position, 6), update, count)
+        expected = weighted_sparse_mean(sparse, counts)
+        np.testing.assert_array_equal(tree.reduce()[0]["w"], expected)
+
+
+class TestBoundedMemory:
+    def test_peak_bytes_independent_of_cohort_size(self):
+        template = make_update(0)
+        peaks = []
+        for cohort in (4, 32, 256):
+            tree = HierarchicalAggregator(template, ShardingConfig(num_shards=4))
+            for position in range(cohort):
+                tree.fold(
+                    tree.shard_for(position, cohort),
+                    make_update(position),
+                    1 + position % 3,
+                )
+            tree.reduce()
+            peaks.append(tree.peak_bytes)
+        # O(model size), not O(clients x model): folding 64x the clients
+        # must not grow the resident accumulator.
+        assert peaks[0] == peaks[1] == peaks[2]
+        assert peaks[0] > 0
+
+    def test_peak_accounts_for_root_merge(self):
+        template = make_update(0)
+        tree = HierarchicalAggregator(template, ShardingConfig(num_shards=8))
+        for position in range(16):
+            tree.fold(tree.shard_for(position, 16), make_update(position), 2)
+        tree.reduce()
+        assert tree.root_peak_bytes > 0
+        assert tree.peak_bytes >= tree.root_peak_bytes
+
+
+class TestObservability:
+    def test_fold_and_partial_metrics(self):
+        with fresh() as ctx:
+            tree = HierarchicalAggregator(
+                make_update(0), ShardingConfig(num_shards=2)
+            )
+            for position in range(4):
+                tree.fold(tree.shard_for(position, 4), make_update(position), 1)
+            partials = tree.partials()
+            tree.reduce()
+            snap = ctx.registry.snapshot()
+        assert sum(snap["counters"]["fl.shard.folds"].values()) == 4
+        assert sum(snap["counters"]["fl.shard.partial_bytes"].values()) == sum(
+            p.wire_bytes() for p in partials
+        )
+        assert "fl.shard.bytes.live" in snap["gauges"]
+        spans = {s["name"] for s in ctx.tracer.export()["spans"]}
+        assert "fl.shard.reduce" in spans
+
+    def test_track_memory_off_suppresses_gauges(self):
+        with fresh() as ctx:
+            tree = HierarchicalAggregator(
+                make_update(0), ShardingConfig(num_shards=2, track_memory=False)
+            )
+            tree.fold(0, make_update(1), 1)
+            snap = ctx.registry.snapshot()
+        assert "fl.shard.bytes.live" not in snap["gauges"]
+        # Folds are still counted -- only the per-fold gauges are elided.
+        assert sum(snap["counters"]["fl.shard.folds"].values()) == 1
+
+
+class TestShardPartial:
+    def test_wire_bytes_positive_and_component_scaling(self):
+        shard = ShardAggregator(0, make_update(0))
+        shard.fold(make_update(1), 2)
+        partial = shard.partial()
+        assert partial.shard_id == 0
+        assert partial.total_samples == 2
+        assert partial.folds == 1
+        assert partial.wire_bytes() > 0
+
+    def test_partial_is_a_snapshot(self):
+        shard = ShardAggregator(0, make_update(0))
+        shard.fold(make_update(1), 2)
+        partial = shard.partial()
+        before = [c.copy() for c in partial.components]
+        shard.fold(make_update(2), 1)
+        for original, snapshot in zip(before, partial.components):
+            np.testing.assert_array_equal(original, snapshot)

@@ -1,0 +1,135 @@
+"""Property-based tests: the sharded streaming reduce is exactly FedAvg.
+
+The claim under test is the strong one the sharding module documents:
+because every fold and merge is an error-free transformation, the final
+weights are a pure function of the multiset of client updates — bitwise
+independent of shard count, shard sizes (single-client shards included),
+routing, and merge shape.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fl import (
+    HierarchicalAggregator,
+    ShardingConfig,
+    TopKCompressor,
+    fedavg,
+    weighted_sparse_mean,
+)
+
+pytestmark = pytest.mark.property
+
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.load_profile("ci")
+
+
+def make_updates(seed, num_clients, size, magnitude):
+    rng = np.random.default_rng(seed)
+    scales = 10.0 ** rng.integers(-magnitude, magnitude + 1, size=num_clients)
+    updates = [
+        [{"w": scales[i] * rng.normal(size=size), "b": rng.normal(size=2)}]
+        for i in range(num_clients)
+    ]
+    counts = [int(c) for c in rng.integers(1, 50, size=num_clients)]
+    return updates, counts
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_clients=st.integers(1, 24),
+    num_shards=st.integers(1, 32),
+    size=st.integers(1, 17),
+    magnitude=st.integers(0, 6),
+)
+def test_sharded_reduce_is_bitwise_fedavg(
+    seed, num_clients, num_shards, size, magnitude
+):
+    updates, counts = make_updates(seed, num_clients, size, magnitude)
+    flat = fedavg(updates, counts)
+    tree = HierarchicalAggregator(
+        updates[0], ShardingConfig(num_shards=num_shards, track_memory=False)
+    )
+    for position, (update, count) in enumerate(zip(updates, counts)):
+        tree.fold(tree.shard_for(position, num_clients), update, count)
+    sharded = tree.reduce()
+    for left, right in zip(sharded, flat):
+        for key in left:
+            np.testing.assert_array_equal(left[key], right[key])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_clients=st.integers(2, 16),
+    size=st.integers(4, 40),
+)
+def test_single_client_shards_are_exact(seed, num_clients, size):
+    # Degenerate topology: as many shards as clients, one fold each.
+    updates, counts = make_updates(seed, num_clients, size, 3)
+    flat = fedavg(updates, counts)
+    tree = HierarchicalAggregator(
+        updates[0],
+        ShardingConfig(num_shards=num_clients, track_memory=False),
+    )
+    for position, (update, count) in enumerate(zip(updates, counts)):
+        tree.fold(position, update, count)
+    for left, right in zip(tree.reduce(), flat):
+        for key in left:
+            np.testing.assert_array_equal(left[key], right[key])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_clients=st.integers(1, 12),
+    num_shards=st.integers(1, 12),
+    size=st.integers(8, 64),
+    ratio=st.floats(0.05, 1.0),
+)
+def test_sparse_topk_folds_match_flat_sparse_mean(
+    seed, num_clients, num_shards, size, ratio
+):
+    rng = np.random.default_rng(seed)
+    compressor = TopKCompressor(ratio=ratio, error_feedback=False)
+    flats = [rng.normal(size=size) for _ in range(num_clients)]
+    sparse = [
+        compressor.compress(flat, f"client-{i}") for i, flat in enumerate(flats)
+    ]
+    counts = [int(c) for c in rng.integers(1, 20, size=num_clients)]
+    expected = weighted_sparse_mean(sparse, counts)
+    template = [{"w": np.zeros(size)}]
+    tree = HierarchicalAggregator(
+        template, ShardingConfig(num_shards=num_shards, track_memory=False)
+    )
+    for position, (update, count) in enumerate(zip(sparse, counts)):
+        tree.fold_sparse(
+            tree.shard_for(position, num_clients), update, count
+        )
+    np.testing.assert_array_equal(tree.reduce()[0]["w"], expected)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_clients=st.integers(2, 12),
+    size=st.integers(1, 16),
+)
+def test_routing_cannot_change_the_result(seed, num_clients, size):
+    updates, counts = make_updates(seed, num_clients, size, 4)
+    rng = np.random.default_rng(seed ^ 0xC0FFEE)
+    tree_a = HierarchicalAggregator(
+        updates[0], ShardingConfig(num_shards=4, track_memory=False)
+    )
+    tree_b = HierarchicalAggregator(
+        updates[0], ShardingConfig(num_shards=4, track_memory=False)
+    )
+    routes = rng.integers(0, 4, size=num_clients)
+    order = rng.permutation(num_clients)
+    for position in range(num_clients):
+        tree_a.fold(int(routes[position]), updates[position], counts[position])
+    for position in order:  # different routing AND different arrival order
+        tree_b.fold(
+            int(position) % 4, updates[position], counts[position]
+        )
+    for left, right in zip(tree_a.reduce(), tree_b.reduce()):
+        for key in left:
+            np.testing.assert_array_equal(left[key], right[key])
