@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Byzantine-robustness sweep: attacker fraction x aggregation rule.
+
+Three questions, answered with numbers:
+
+1. **Does plain FedAvg break?** — under a 30% sign-flip fleet the mean
+   is dragged off the honest descent direction, so its final accuracy
+   must fall measurably below the attack-free run.
+2. **Do the robust rules hold?** — ``median``, ``trimmed_mean`` and
+   ``krum`` must land within 2 accuracy points of the attack-free
+   baseline at every attacker fraction swept.
+3. **Does admission + reputation quarantine attackers?** — a norm-bounded
+   admission gate against a ``scale`` attacker must reject the inflated
+   updates and quarantine repeat offenders, with the counts in the
+   report.
+
+Every cell is a :func:`repro.api.simulate` call, so the sweep runs the
+same deterministic engine as ``repro simulate``; identical arguments
+reproduce identical cells byte for byte.  Writes ``BENCH_robust.json``.
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_robust.py
+    PYTHONPATH=src python benchmarks/bench_robust.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import RULES, simulate  # noqa: E402
+
+# Learning-signal shape: honest deltas are drift * (teacher - global)
+# plus a little noise, so honest runs converge to accuracy 1.0 within
+# the round budget while a 30% sign-flip fleet visibly stalls FedAvg
+# (its effective drift is (1 - 2*0.3) * drift).
+_SWEEP = dict(
+    clients=60,
+    rounds=20,
+    seed=0,
+    cohort=20,
+    drift=0.3,
+    update_scale=0.01,
+)
+
+
+def run_cell(rule: str, byzantine: float, attack: str = "sign_flip", **extra) -> dict:
+    started = time.perf_counter()
+    report = simulate(
+        rule=rule, byzantine=byzantine, attack=attack, **_SWEEP, **extra
+    )
+    wall = time.perf_counter() - started
+    return {
+        "rule": rule,
+        "byzantine": byzantine,
+        "attack": attack,
+        "final_accuracy": report["final_accuracy"],
+        "attacked": report["totals"]["attacked"],
+        "admission_rejected": report["totals"]["admission_rejected"],
+        "quarantined": report["totals"]["quarantined"],
+        "weights_sha256": report["weights_sha256"],
+        "wall_seconds": wall,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smoke configuration")
+    parser.add_argument("--out", default="BENCH_robust.json")
+    args = parser.parse_args(argv)
+
+    fractions = [0.0, 0.3] if args.quick else [0.0, 0.1, 0.2, 0.3]
+    rules = ["fedavg", "median", "krum"] if args.quick else list(RULES)
+
+    results = []
+    baseline = {}
+    for rule in rules:
+        for fraction in fractions:
+            cell = run_cell(rule, fraction)
+            results.append(cell)
+            if fraction == 0.0:
+                baseline[rule] = cell["final_accuracy"]
+            print(
+                f"  {rule:>14}  byzantine={fraction:.1f}  "
+                f"accuracy {cell['final_accuracy']:.4f}  "
+                f"({cell['attacked']} attacked updates)"
+            )
+
+    by_cell = {(r["rule"], r["byzantine"]): r["final_accuracy"] for r in results}
+    fedavg_drop = baseline["fedavg"] - by_cell[("fedavg", 0.3)]
+    if fedavg_drop < 0.05:
+        raise AssertionError(
+            f"fedavg should degrade under 30% sign-flip; only lost {fedavg_drop:.4f}"
+        )
+    for rule in ("median", "krum"):
+        for fraction in fractions:
+            gap = baseline[rule] - by_cell[(rule, fraction)]
+            if gap > 0.02:
+                raise AssertionError(
+                    f"{rule} at byzantine={fraction} fell {gap:.4f} below "
+                    "its attack-free accuracy (tolerance 0.02)"
+                )
+
+    # Admission + reputation against a norm-inflating attacker: the L2
+    # ceiling (above honest delta norms, ~3.5 at round 0) rejects every
+    # scaled update and quarantines the senders after repeated strikes.
+    guard = run_cell(
+        "trimmed_mean", 0.3, attack="scale", max_norm=6.0
+    )
+    results.append(guard)
+    print(
+        f"  admission guard: {guard['admission_rejected']} rejected, "
+        f"{guard['quarantined']} quarantine events, "
+        f"accuracy {guard['final_accuracy']:.4f}"
+    )
+    if guard["admission_rejected"] == 0 or guard["quarantined"] == 0:
+        raise AssertionError(
+            "admission gate saw a scale attacker but rejected/quarantined nothing"
+        )
+
+    payload = {
+        "benchmark": "robust",
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": dict(_SWEEP, quick=args.quick, fractions=fractions, rules=rules),
+        "results": results,
+        "checks": {
+            "fedavg_drop_at_30pct_sign_flip": fedavg_drop,
+            "robust_rule_tolerance": 0.02,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

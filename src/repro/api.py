@@ -21,8 +21,15 @@ from __future__ import annotations
 import argparse
 from typing import Optional
 
+from .fl.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    ReputationConfig,
+    ReputationTracker,
+)
 from .fl.config import RoundConfig, ServerConfig, ShardingConfig
 from .fl.plan import TrainingPlan
+from .fl.robust import RULES
 from .fl.server import FLServer
 
 __all__ = [
@@ -32,6 +39,11 @@ __all__ = [
     "ServerConfig",
     "RoundConfig",
     "ShardingConfig",
+    "AdmissionConfig",
+    "AdmissionController",
+    "ReputationConfig",
+    "ReputationTracker",
+    "RULES",
 ]
 
 
@@ -77,15 +89,31 @@ def simulate(
     pool_exhaust: float = 0.0,
     attestation: float = 0.0,
     shard_down: float = 0.0,
+    byzantine: float = 0.0,
+    attack: str = "sign_flip",
+    attack_strength: float = 10.0,
+    rule: str = "fedavg",
+    trim: Optional[int] = None,
+    num_byzantine: Optional[int] = None,
+    max_norm: Optional[float] = None,
+    clip: bool = False,
+    drift: float = 0.2,
+    update_scale: float = 0.05,
     include_metrics: bool = False,
 ) -> dict:
     """Run one deterministic fleet simulation and return its report.
 
     The report is the same JSON-safe dict ``python -m repro simulate``
-    emits: per-round outcomes, totals, ``weights_sha256``, and
+    emits: per-round outcomes (including ``accuracy`` on the
+    teacher-labelled eval set), totals, ``weights_sha256``, and
     ``aggregator_peak_bytes`` (which stays O(model size) however large
-    ``clients`` is, for any ``shards``).  Identical arguments produce an
-    identical report, byte for byte once serialised.
+    ``clients`` is, for any ``shards``).  ``byzantine`` marks a persistent
+    fraction of the fleet hostile (``attack`` picks the
+    :class:`~repro.sim.AttackKind`), ``rule`` selects the aggregation rule
+    (:data:`RULES`), and ``max_norm`` puts admission control and the
+    reputation/quarantine ledger in the loop.  Identical arguments produce
+    an identical report, byte for byte once serialised — quarantine events
+    included.
     """
     from .obs import VirtualClock, fresh
     from .sim import FLSimulator, FaultPlan, FaultRates, SimConfig
@@ -99,6 +127,16 @@ def simulate(
         quorum=quorum,
         deadline_seconds=deadline,
         shards=shards,
+        byzantine=byzantine,
+        attack=attack,
+        attack_strength=attack_strength,
+        rule=rule,
+        trim=trim,
+        num_byzantine=num_byzantine,
+        max_norm=max_norm,
+        clip=clip,
+        drift=drift,
+        update_scale=update_scale,
     )
     rates = FaultRates(
         dropout=dropout,
@@ -110,7 +148,14 @@ def simulate(
     with fresh(clock=VirtualClock()) as ctx:
         simulator = FLSimulator(
             config,
-            fault_plan=FaultPlan(rates, seed=seed, shard_down=shard_down),
+            fault_plan=FaultPlan(
+                rates,
+                seed=seed,
+                shard_down=shard_down,
+                byzantine=byzantine,
+                attack=attack,
+                attack_strength=attack_strength,
+            ),
             clock=ctx.clock,
         )
         report = simulator.run()

@@ -184,9 +184,16 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     """
     from .core import StaticPolicy
     from .data.synthetic import synthetic_cifar
-    from .fl import FLClient, FLServer, TrainingPlan
+    from .fl import (
+        AdmissionConfig,
+        FLClient,
+        FLServer,
+        RoundConfig,
+        ServerConfig,
+        TrainingPlan,
+    )
     from .nn import lenet5 as make_lenet5
-    from .obs import FakeClock, fresh, validate_trace
+    from .obs import FakeClock, fresh, validate_metrics, validate_trace
 
     protect = tuple(int(p) for p in args.protect.split(",") if p.strip())
     shape = (3, 16, 16)
@@ -194,10 +201,21 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     def policy():
         return StaticPolicy(5, protect) if protect else None
 
+    # Admission is always in the loop for traces so the `fl.admission.*`
+    # and `fl.reputation.*` counters appear in the metrics snapshot even
+    # on a healthy fleet (zero-valued); --max-norm arms the norm ceiling.
+    server_config = ServerConfig(
+        seed=args.seed,
+        round=RoundConfig(
+            rule=args.rule,
+            admission=AdmissionConfig(max_norm=args.max_norm),
+        ),
+    )
+
     with fresh(clock=FakeClock()) as ctx:
         global_model = make_lenet5(num_classes=10, input_shape=shape, seed=args.seed)
         plan = TrainingPlan(lr=0.05, batch_size=4, local_steps=args.steps)
-        server = FLServer(global_model, plan, policy=policy())
+        server = FLServer(global_model, plan, policy=policy(), config=server_config)
         dataset = synthetic_cifar(
             num_samples=8 * args.clients,
             num_classes=10,
@@ -227,6 +245,14 @@ def _cmd_trace(args: argparse.Namespace) -> None:
             "uploads": server.channel.uploads,
         }
     validate_trace(trace)
+    validate_metrics(
+        metrics,
+        required=(
+            "fl.admission.rejected",
+            "fl.reputation.quarantined",
+            "fl.aggregate.rule",
+        ),
+    )
     payload = {
         "schema": 1,
         "command": "trace",
@@ -236,6 +262,8 @@ def _cmd_trace(args: argparse.Namespace) -> None:
             "seed": args.seed,
             "steps": args.steps,
             "protected_layers": list(protect),
+            "rule": args.rule,
+            "max_norm": args.max_norm,
         },
         "trace": trace,
         "metrics": metrics,
@@ -278,6 +306,16 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         quorum=args.quorum,
         deadline_seconds=args.deadline,
         shards=args.shards,
+        byzantine=args.byzantine,
+        attack=args.attack,
+        attack_strength=args.attack_strength,
+        rule=args.rule,
+        trim=args.trim,
+        num_byzantine=args.num_byzantine,
+        max_norm=args.max_norm,
+        clip=args.clip,
+        drift=args.drift,
+        update_scale=args.update_scale,
     )
     rates = FaultRates(
         dropout=args.dropout,
@@ -304,7 +342,12 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         simulator = FLSimulator(
             config,
             fault_plan=FaultPlan(
-                rates, seed=args.seed, shard_down=args.shard_down
+                rates,
+                seed=args.seed,
+                shard_down=args.shard_down,
+                byzantine=args.byzantine,
+                attack=args.attack,
+                attack_strength=args.attack_strength,
             ),
             storage=storage,
             clock=ctx.clock,
@@ -407,6 +450,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="2,3",
         help="comma-separated protected layer indices ('' for none)",
     )
+    trace.add_argument(
+        "--rule",
+        default="fedavg",
+        choices=["fedavg", "median", "trimmed_mean", "krum", "clipped_fedavg"],
+        help="aggregation rule for the traced rounds",
+    )
+    trace.add_argument(
+        "--max-norm",
+        type=float,
+        default=None,
+        help="admission-control L2 ceiling on update deltas",
+    )
     trace.add_argument("--out", default=None, help="write the JSON here")
     simulate = subparsers.add_parser(
         "simulate", help="event-driven FL fleet simulation with fault injection"
@@ -450,6 +505,65 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="per-round probability a shard aggregator is dead",
+    )
+    simulate.add_argument(
+        "--byzantine",
+        type=float,
+        default=0.0,
+        help="fraction of the fleet that is Byzantine (persistent identity)",
+    )
+    simulate.add_argument(
+        "--attack",
+        default="sign_flip",
+        choices=["sign_flip", "scale", "gauss_noise", "collude"],
+        help="attack Byzantine clients mount on their updates",
+    )
+    simulate.add_argument(
+        "--attack-strength",
+        type=float,
+        default=10.0,
+        help="attack strength parameter (scale factor / noise multiplier)",
+    )
+    simulate.add_argument(
+        "--rule",
+        default="fedavg",
+        choices=["fedavg", "median", "trimmed_mean", "krum", "clipped_fedavg"],
+        help="aggregation rule",
+    )
+    simulate.add_argument(
+        "--trim",
+        type=int,
+        default=None,
+        help="per-side trim for trimmed_mean (default: assumed attacker count)",
+    )
+    simulate.add_argument(
+        "--num-byzantine",
+        type=int,
+        default=None,
+        help="attacker count Krum assumes (default: ceil(byzantine * cohort))",
+    )
+    simulate.add_argument(
+        "--max-norm",
+        type=float,
+        default=None,
+        help="admission-control delta-norm ceiling (enables the reputation ledger)",
+    )
+    simulate.add_argument(
+        "--clip",
+        action="store_true",
+        help="rescale over-norm updates onto the ceiling instead of rejecting",
+    )
+    simulate.add_argument(
+        "--drift",
+        type=float,
+        default=0.2,
+        help="per-round honest pull toward the teacher model",
+    )
+    simulate.add_argument(
+        "--update-scale",
+        type=float,
+        default=0.05,
+        help="noise std of honest pseudo-updates",
     )
     simulate.add_argument(
         "--state-dir",

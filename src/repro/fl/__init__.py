@@ -5,6 +5,13 @@ attestation-gated client selection, the trusted-I/O-path weight transport,
 and server-side baselines (secure aggregation, differential privacy).
 """
 
+from .admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    ReputationConfig,
+    ReputationTracker,
+)
 from .aggregation import (
     CompensatedAccumulator,
     StreamingWeightedSum,
@@ -21,14 +28,26 @@ from .history import SnapshotHistory
 from .metrics import RoundRecord, TrainingMonitor
 from .plan import TrainingPlan
 from .resilience import RetryPolicy, collect_with_retries
-from .robust import coordinate_median, krum, trimmed_mean
+from .robust import (
+    RULES,
+    apply_rule,
+    clipped_mean,
+    coordinate_median,
+    krum,
+    krum_index,
+    trimmed_mean,
+)
 from .secure_agg import PairwiseMasker, aggregate_masked, mask_update
 from .selection import SelectionResult, TEESelector
 from .server import FLServer
 from .sharding import (
     HierarchicalAggregator,
+    RobustHierarchicalAggregator,
+    RobustShardCollector,
+    RobustShardPartial,
     ShardAggregator,
     ShardPartial,
+    make_aggregation_tree,
     plan_shards,
     shard_of,
 )
@@ -49,5 +68,10 @@ __all__ = [
     "PairwiseMasker", "mask_update", "aggregate_masked",
     "GaussianMechanism", "clip_by_norm",
     "TopKCompressor", "SparseUpdate",
-    "coordinate_median", "trimmed_mean", "krum",
+    "RULES", "coordinate_median", "trimmed_mean", "krum", "krum_index",
+    "clipped_mean", "apply_rule",
+    "AdmissionConfig", "AdmissionController", "AdmissionDecision",
+    "ReputationConfig", "ReputationTracker",
+    "RobustShardPartial", "RobustShardCollector",
+    "RobustHierarchicalAggregator", "make_aggregation_tree",
 ]

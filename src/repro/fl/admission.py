@@ -1,0 +1,342 @@
+"""Update admission control: the gate every client update passes first.
+
+GradSec's TEE shields layers from an *observer*; a production coordinator
+must additionally survive clients that *send* hostile updates — poisoned,
+scaled, sign-flipped, or numerically broken (SEAR [57] and the FL security
+survey make the same point).  This module is the first line of that
+defence: before any update reaches an accumulator it is checked for
+
+* **structure** — layer count, key set, and per-key shapes must match the
+  global model (a malformed payload can otherwise crash or skew the fold);
+* **numerical health** — NaN/Inf anywhere poisons every downstream mean;
+* **norm ceiling** — the L2 norm of the update's *delta* from the current
+  global weights is bounded; over-norm deltas are either rejected or
+  rescaled onto the ceiling (``clip=True``), the standard norm-bounding
+  defence against scaling attacks;
+* **provenance** — optionally, updates from senders that did not attest
+  this round are refused outright.
+
+Every rejection feeds the ``fl.admission.*`` metrics and a per-client
+:class:`ReputationTracker`: repeated strikes quarantine a client for a few
+rounds, and repeated quarantines evict it permanently.  Both the controller
+and the tracker are deterministic — no randomness, no wall clock — so a
+seeded run admits and quarantines identically every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn.model import WeightsList
+from ..nn.serialize import flatten_weights, unflatten_weights
+from ..obs import get_registry
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionDecision",
+    "AdmissionController",
+    "ReputationConfig",
+    "ReputationTracker",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """What the admission gate enforces.
+
+    Attributes
+    ----------
+    max_norm:
+        L2 ceiling on ``||update - global||``; ``None`` disables the check.
+    clip:
+        When an update exceeds ``max_norm``: ``True`` rescales its delta
+        onto the ceiling and admits it, ``False`` rejects it.
+    check_finite:
+        Reject updates containing NaN or Inf anywhere (cheap, always wise).
+    require_provenance:
+        Reject updates whose sender did not attest this round.
+    """
+
+    max_norm: Optional[float] = None
+    clip: bool = False
+    check_finite: bool = True
+    require_provenance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_norm is not None and self.max_norm <= 0:
+            raise ValueError("max_norm must be positive when set")
+
+
+@dataclass(frozen=True)
+class ReputationConfig:
+    """Strike/quarantine/eviction thresholds.
+
+    ``max_strikes`` rejections send a client into quarantine for
+    ``quarantine_rounds`` rounds (strikes reset on entry); after
+    ``evict_after`` quarantines the client is evicted permanently.  An
+    admitted update heals one strike, so a client on a flaky link does not
+    drift into quarantine from occasional rejects.
+    """
+
+    max_strikes: int = 3
+    quarantine_rounds: int = 2
+    evict_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_strikes < 1:
+            raise ValueError("max_strikes must be >= 1")
+        if self.quarantine_rounds < 1:
+            raise ValueError("quarantine_rounds must be >= 1")
+        if self.evict_after < 1:
+            raise ValueError("evict_after must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``weights`` carries the payload to fold when admitted — the original
+    update, or the norm-clipped rewrite when ``clipped`` — and is ``None``
+    on rejection.  ``reason`` is one of the ``REJECT_*`` constants below.
+    """
+
+    admitted: bool
+    reason: Optional[str] = None
+    clipped: bool = False
+    norm: float = 0.0
+    weights: Optional[WeightsList] = None
+
+
+REJECT_STRUCTURE = "structure"
+REJECT_NONFINITE = "nonfinite"
+REJECT_NORM = "norm"
+REJECT_PROVENANCE = "provenance"
+
+
+class AdmissionController:
+    """Checks every incoming update against the current global model.
+
+    Parameters
+    ----------
+    template:
+        The global model's :data:`WeightsList` — only layer count, key
+        names, and shapes are read.
+    config:
+        What to enforce (see :class:`AdmissionConfig`).
+
+    The controller registers its counters on construction so a metrics
+    snapshot shows ``fl.admission.*`` even for an all-healthy run.
+    """
+
+    def __init__(
+        self, template: WeightsList, config: Optional[AdmissionConfig] = None
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self.template: WeightsList = [
+            {key: np.asarray(value) for key, value in layer.items()}
+            for layer in template
+        ]
+        registry = get_registry()
+        self._checked = registry.counter(
+            "fl.admission.checked", "updates inspected by admission control"
+        )
+        self._rejected = registry.counter(
+            "fl.admission.rejected", "updates refused by admission control"
+        )
+        self._clipped = registry.counter(
+            "fl.admission.clipped", "updates rescaled onto the norm ceiling"
+        )
+
+    def _structure_ok(self, weights: WeightsList) -> bool:
+        if len(weights) != len(self.template):
+            return False
+        for layer, expected in zip(weights, self.template):
+            if set(layer) != set(expected):
+                return False
+            for key, value in layer.items():
+                if np.shape(value) != expected[key].shape:
+                    return False
+        return True
+
+    def check(
+        self,
+        client_id: str,
+        weights: WeightsList,
+        *,
+        reference: Optional[WeightsList] = None,
+        attested: bool = True,
+    ) -> AdmissionDecision:
+        """Admit, clip, or reject one update.
+
+        ``reference`` is the global weights the update trained from; the
+        norm ceiling applies to the delta against it (and clipping rewrites
+        the update as ``reference + clipped_delta``).  Without a reference
+        the ceiling applies to the raw update vector.
+        """
+        self._checked.inc(client=client_id)
+        cfg = self.config
+        if cfg.require_provenance and not attested:
+            return self._reject(client_id, REJECT_PROVENANCE)
+        if not self._structure_ok(weights):
+            return self._reject(client_id, REJECT_STRUCTURE)
+        flat = flatten_weights(weights)
+        if cfg.check_finite and not np.isfinite(flat).all():
+            return self._reject(client_id, REJECT_NONFINITE)
+        norm = 0.0
+        if cfg.max_norm is not None:
+            delta = flat if reference is None else flat - flatten_weights(reference)
+            norm = float(np.linalg.norm(delta))
+            if norm > cfg.max_norm:
+                if not cfg.clip:
+                    return self._reject(client_id, REJECT_NORM, norm=norm)
+                scaled = delta * (cfg.max_norm / norm)
+                clipped_flat = (
+                    scaled
+                    if reference is None
+                    else flatten_weights(reference) + scaled
+                )
+                self._clipped.inc(client=client_id)
+                return AdmissionDecision(
+                    admitted=True,
+                    clipped=True,
+                    norm=norm,
+                    weights=unflatten_weights(clipped_flat, self.template),
+                )
+        return AdmissionDecision(admitted=True, norm=norm, weights=weights)
+
+    def _reject(
+        self, client_id: str, reason: str, norm: float = 0.0
+    ) -> AdmissionDecision:
+        self._rejected.inc(client=client_id, reason=reason)
+        return AdmissionDecision(admitted=False, reason=reason, norm=norm)
+
+
+@dataclass
+class _Standing:
+    strikes: int = 0
+    quarantines: int = 0
+    quarantined_until: int = -1  # first round the client is free again
+    evicted: bool = False
+
+
+class ReputationTracker:
+    """Per-client strike ledger with quarantine and permanent eviction.
+
+    Rounds are identified by a monotonically increasing integer (the FL
+    cycle); all state transitions are pure functions of the sequence of
+    recorded events, so a seeded run reproduces quarantines exactly.
+    ``state_dict`` / ``load_state`` round-trip the ledger through a JSON
+    checkpoint, which is what lets a resumed simulation keep quarantining
+    the same clients.
+    """
+
+    def __init__(self, config: Optional[ReputationConfig] = None) -> None:
+        self.config = config or ReputationConfig()
+        self._standing: Dict[str, _Standing] = {}
+        registry = get_registry()
+        self._quarantined_counter = registry.counter(
+            "fl.reputation.quarantined", "clients entering strike quarantine"
+        )
+        self._evicted_counter = registry.counter(
+            "fl.reputation.evicted", "clients permanently evicted by reputation"
+        )
+
+    def _get(self, client_id: str) -> _Standing:
+        standing = self._standing.get(client_id)
+        if standing is None:
+            standing = _Standing()
+            self._standing[client_id] = standing
+        return standing
+
+    # -- event recording ---------------------------------------------------
+    def record_rejection(self, client_id: str, round_index: int) -> None:
+        """One admission rejection; may tip the client into quarantine."""
+        standing = self._get(client_id)
+        if standing.evicted:
+            return
+        standing.strikes += 1
+        if standing.strikes < self.config.max_strikes:
+            return
+        standing.strikes = 0
+        standing.quarantines += 1
+        if standing.quarantines >= self.config.evict_after:
+            standing.evicted = True
+            self._evicted_counter.inc(client=client_id)
+            return
+        standing.quarantined_until = (
+            int(round_index) + 1 + self.config.quarantine_rounds
+        )
+        self._quarantined_counter.inc(client=client_id)
+
+    def record_admission(self, client_id: str) -> None:
+        """One admitted update heals one strike."""
+        standing = self._standing.get(client_id)
+        if standing is not None and standing.strikes > 0:
+            standing.strikes -= 1
+
+    # -- queries -----------------------------------------------------------
+    def status(self, client_id: str, round_index: int) -> str:
+        standing = self._standing.get(client_id)
+        if standing is None:
+            return "ok"
+        if standing.evicted:
+            return "evicted"
+        if int(round_index) < standing.quarantined_until:
+            return "quarantined"
+        return "ok"
+
+    def is_blocked(self, client_id: str, round_index: int) -> bool:
+        return self.status(client_id, round_index) != "ok"
+
+    def snapshot(self, round_index: int) -> Dict[str, object]:
+        """JSON-ready standing summary for round reports (sorted, stable)."""
+        quarantined = sorted(
+            cid
+            for cid in self._standing
+            if self.status(cid, round_index) == "quarantined"
+        )
+        evicted = sorted(
+            cid for cid in self._standing if self._standing[cid].evicted
+        )
+        strikes = {
+            cid: standing.strikes
+            for cid, standing in sorted(self._standing.items())
+            if standing.strikes > 0
+        }
+        return {
+            "quarantined": quarantined,
+            "evicted": evicted,
+            "strikes": strikes,
+        }
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> Dict[str, List]:
+        """JSON-safe dump of the full ledger (sorted for byte stability)."""
+        return {
+            "clients": [
+                [
+                    cid,
+                    standing.strikes,
+                    standing.quarantines,
+                    standing.quarantined_until,
+                    standing.evicted,
+                ]
+                for cid, standing in sorted(self._standing.items())
+            ]
+        }
+
+    def load_state(self, state: Dict[str, List]) -> None:
+        self._standing = {
+            cid: _Standing(
+                strikes=int(strikes),
+                quarantines=int(quarantines),
+                quarantined_until=int(until),
+                evicted=bool(evicted),
+            )
+            for cid, strikes, quarantines, until, evicted in state.get(
+                "clients", []
+            )
+        }

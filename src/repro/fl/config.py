@@ -15,7 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .admission import AdmissionConfig, ReputationConfig
 from .resilience import RetryPolicy
+from .robust import RULES
 
 __all__ = ["RoundConfig", "ShardingConfig", "ServerConfig"]
 
@@ -50,7 +52,7 @@ class ShardingConfig:
 
 @dataclass(frozen=True)
 class RoundConfig:
-    """Per-cycle behaviour: failure tolerance and admission control.
+    """Per-cycle behaviour: failure tolerance, admission, aggregation rule.
 
     Attributes
     ----------
@@ -61,10 +63,45 @@ class RoundConfig:
     reattest:
         Re-challenge every participant's TEE at the start of each cycle and
         evict clients that stopped attesting.
+    rule:
+        Aggregation rule — any of :data:`repro.fl.robust.RULES`.
+        ``fedavg`` is the exact sample-weighted streaming reduce; the rest
+        are Byzantine-robust rules applied over the (unweighted) flat
+        update vectors, composed with sharding via
+        :class:`~repro.fl.sharding.RobustHierarchicalAggregator`.
+    trim / num_byzantine / clip_norm:
+        Rule parameters: extremes dropped per side (``trimmed_mean``),
+        assumed attacker count (``krum``), and the norm ceiling for
+        ``clipped_fedavg`` (``None`` self-calibrates to the median norm).
+    admission:
+        When given, every collected update passes the
+        :class:`~repro.fl.admission.AdmissionController` gate before it is
+        folded; rejects strike the per-client reputation ledger.
+    reputation:
+        Strike/quarantine/eviction thresholds (only meaningful with
+        ``admission``; defaults are used when omitted).
     """
 
     retry: Optional[RetryPolicy] = None
     reattest: bool = True
+    rule: str = "fedavg"
+    trim: int = 1
+    num_byzantine: int = 1
+    clip_norm: Optional[float] = None
+    admission: Optional[AdmissionConfig] = None
+    reputation: Optional[ReputationConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(
+                f"unknown aggregation rule {self.rule!r}; expected one of {RULES}"
+            )
+        if self.trim < 0:
+            raise ValueError("trim must be non-negative")
+        if self.num_byzantine < 0:
+            raise ValueError("num_byzantine must be non-negative")
+        if self.clip_norm is not None and self.clip_norm <= 0:
+            raise ValueError("clip_norm must be positive when set")
 
 
 @dataclass(frozen=True)

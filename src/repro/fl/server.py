@@ -18,6 +18,7 @@ from ..core.policy import NoProtection, ProtectionPolicy
 from ..nn.model import Sequential, WeightsList
 from ..obs import get_clock, get_registry, get_tracer
 from ..tee.attestation import AttestationVerifier
+from .admission import AdmissionController, ReputationTracker
 from .aggregation import merge_plain_and_sealed
 from .client import FLClient
 from .config import ServerConfig
@@ -26,7 +27,7 @@ from .history import SnapshotHistory
 from .plan import TrainingPlan
 from .resilience import RetryPolicy, collect_with_retries
 from .selection import SelectionResult, TEESelector
-from .sharding import HierarchicalAggregator
+from .sharding import make_aggregation_tree
 from .transport import Channel, ClientUpdate, ModelDownload
 
 __all__ = ["FLServer"]
@@ -112,6 +113,13 @@ class FLServer:
         self.channel = Channel()
         self.retry = self.config.round.retry
         self.reattest = self.config.round.reattest
+        self.admission: Optional[AdmissionController] = None
+        self.reputation: Optional[ReputationTracker] = None
+        if self.config.round.admission is not None:
+            self.admission = AdmissionController(
+                model.get_weights(), self.config.round.admission
+            )
+            self.reputation = ReputationTracker(self.config.round.reputation)
         self.cycle = 0
         self._rng = np.random.default_rng(self.config.seed)
         self._registered: Dict[str, FLClient] = {}
@@ -138,8 +146,26 @@ class FLServer:
         re-enrolled — a tampered TA presenting a new measurement must fail
         verification, not get its measurement allow-listed.  Evicted
         clients are counted into ``fl.selection.evicted`` and dropped from
-        the round.
+        the round.  Clients the reputation ledger holds in quarantine (or
+        has evicted permanently) are excluded first — they don't even get
+        the model download.
         """
+        if self.reputation is not None:
+            registry = get_registry()
+            cleared = []
+            for client in participants:
+                if self.reputation.is_blocked(client.client_id, self.cycle):
+                    registry.counter(
+                        "fl.reputation.blocked",
+                        "round slots denied to quarantined/evicted clients",
+                    ).inc(client=client.client_id)
+                else:
+                    cleared.append(client)
+            if not cleared:
+                raise ValueError(
+                    f"cycle {self.cycle}: every participant is quarantined"
+                )
+            participants = cleared
         if not self.reattest:
             return list(participants)
         for client in participants:
@@ -249,23 +275,37 @@ class FLServer:
                 collected = [update for _, update in delivered]
 
             updates: List[ClientUpdate] = []
-            degraded = (
+            round_cfg = self.config.round
+            quorum_short = (
                 self.retry is not None
                 and len(collected) < self.retry.quorum_count(len(participants))
             )
+            admitted = 0
             with get_tracer().span(
                 "fl.aggregate",
                 cycle=self.cycle,
                 shards=self.config.sharding.num_shards,
+                rule=round_cfg.rule,
             ):
-                # Stream every delivered update straight into its shard's
-                # bounded accumulator — the merged payload is dropped as
-                # soon as it is folded, so aggregation holds O(model) state
-                # per shard, never O(clients x model).  The reduce is exact
-                # (see repro.fl.aggregation), so any shard count produces
-                # the same bits as the flat fold.
-                tree = HierarchicalAggregator(
-                    self.model.get_weights(), self.config.sharding
+                registry.counter(
+                    "fl.aggregate.rule", "rounds aggregated, labelled per rule"
+                ).inc(rule=round_cfg.rule)
+                # Stream every delivered update straight into its shard —
+                # for fedavg a bounded exact accumulator (O(model) state
+                # per shard, any shard count produces the same bits as the
+                # flat fold); for a robust rule the shard-level collect
+                # feeding the root robust combine (see repro.fl.sharding).
+                # With admission control enabled, each merged update passes
+                # the gate first: rejects strike the reputation ledger and
+                # never reach an accumulator.
+                reference = self.model.get_weights()
+                tree = make_aggregation_tree(
+                    reference,
+                    self.config.sharding,
+                    rule=round_cfg.rule,
+                    trim=round_cfg.trim,
+                    num_byzantine=round_cfg.num_byzantine,
+                    clip_norm=round_cfg.clip_norm,
                 )
                 cohort_size = max(1, len(collected))
                 for position, (client, update) in enumerate(
@@ -273,15 +313,39 @@ class FLServer:
                 ):
                     update = self.channel.send_update(update)
                     updates.append(update)
-                    if not degraded:
-                        tree.fold(
-                            tree.shard_for(position, cohort_size),
-                            self._merge_update(client, update),
-                            update.num_samples,
+                    if quorum_short:
+                        continue
+                    merged = self._merge_update(client, update)
+                    if self.admission is not None:
+                        decision = self.admission.check(
+                            client.client_id,
+                            merged,
+                            reference=reference,
+                            attested=client.has_tee(),
                         )
+                        if not decision.admitted:
+                            self.reputation.record_rejection(
+                                client.client_id, self.cycle
+                            )
+                            continue
+                        self.reputation.record_admission(client.client_id)
+                        merged = decision.weights
+                    tree.fold(
+                        tree.shard_for(position, cohort_size),
+                        merged,
+                        update.num_samples,
+                        position=position,
+                    )
+                    admitted += 1
+                # Below quorum — or every update rejected at admission — a
+                # biased average would hurt more than a stale one, so the
+                # previous global model stands.
+                degraded = quorum_short or admitted == 0
+                if self.retry is not None:
+                    degraded = degraded or admitted < self.retry.quorum_count(
+                        len(participants)
+                    )
                 if degraded:
-                    # Below quorum: a biased average would hurt more than a
-                    # stale one, so the previous global model stands.
                     new_global = self.model.get_weights()
                     registry.counter(
                         "fl.rounds.degraded",
@@ -296,6 +360,7 @@ class FLServer:
                     new_global = tree.reduce()
                     self.model.set_weights(new_global)
             round_span.set_attribute("collected", len(updates))
+            round_span.set_attribute("admitted", admitted)
             round_span.set_attribute("degraded", degraded)
         self.history.record(new_global)
         registry.counter("fl.rounds", "completed FL cycles").inc()

@@ -22,6 +22,27 @@ shard), shard→root partials are sized into ``fl.shard.partial_bytes``, and
 — unless disabled via :class:`~repro.fl.config.ShardingConfig` — resident
 accumulator bytes are published as ``fl.shard.bytes.live`` / ``.peak``
 gauges.  The root reduce runs inside an ``fl.shard.reduce`` span.
+
+**Byzantine-robust composition.**  The FedAvg tree above is a streaming
+fold; the robust rules (median, trimmed mean, Krum, clipped mean — see
+:mod:`repro.fl.robust`) need the update *set*, so they compose with
+sharding through :class:`RobustHierarchicalAggregator` instead:
+
+* for ``median`` / ``krum`` / ``clipped_fedavg`` each shard **collects**
+  its flat updates and forwards them; the root orders the union by cohort
+  position and applies the pure rule — so the aggregate is a pure function
+  of the ``(position, update)`` multiset, bitwise-identical for every
+  shard count, routing, and arrival order, and with one shard it *is* the
+  pure rule call;
+* for ``trimmed_mean`` on a multi-shard tree each shard keeps only an
+  **exact compensated sum** of everything it folded plus the per-coordinate
+  ``trim`` smallest/largest candidate rows (the only values the root could
+  ever trim) — O(trim × model) per shard instead of O(clients × model).
+  The root merges the exact sums, picks the global extremes from the
+  candidate union, subtracts them exactly, and rounds once: the correctly
+  rounded trimmed mean, again independent of routing and order.  The flat
+  (``num_shards == 1``) case bypasses this and calls the pure rule, so it
+  stays bitwise-equal to :func:`repro.fl.robust.trimmed_mean`.
 """
 
 from __future__ import annotations
@@ -32,10 +53,11 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn.model import WeightsList
-from ..nn.serialize import weights_to_bytes
+from ..nn.serialize import flatten_weights, unflatten_weights, weights_to_bytes
 from ..obs import get_registry, get_tracer
-from .aggregation import StreamingWeightedSum
+from .aggregation import CompensatedAccumulator, StreamingWeightedSum
 from .config import ShardingConfig
+from .robust import apply_rule
 
 __all__ = [
     "plan_shards",
@@ -43,6 +65,10 @@ __all__ = [
     "ShardPartial",
     "ShardAggregator",
     "HierarchicalAggregator",
+    "RobustShardPartial",
+    "RobustShardCollector",
+    "RobustHierarchicalAggregator",
+    "make_aggregation_tree",
 ]
 
 
@@ -206,7 +232,15 @@ class HierarchicalAggregator:
         """Contiguous balanced routing (see :func:`plan_shards`)."""
         return shard_of(position, cohort_size, self.num_shards)
 
-    def fold(self, shard_id: int, weights: WeightsList, num_samples: int) -> None:
+    def fold(
+        self,
+        shard_id: int,
+        weights: WeightsList,
+        num_samples: int,
+        position: Optional[int] = None,
+    ) -> None:
+        # ``position`` is accepted for call-site uniformity with the robust
+        # tree; the exact streaming reduce is order-free, so it is unused.
         self.shards[shard_id].fold(weights, num_samples)
 
     def fold_sparse(self, shard_id: int, sparse, num_samples: int) -> None:
@@ -270,3 +304,330 @@ class HierarchicalAggregator:
                 live = merged
             span.set_attribute("total_samples", live[0].total_samples)
             return live[0].finalize()
+
+
+@dataclass
+class RobustShardPartial:
+    """Shard → root message of the robust tree.
+
+    ``arrays`` is whatever the shard's collect mode produced — gathered
+    update rows, or (for the streaming trimmed collect) the compensated-sum
+    components plus candidate-extreme matrices.  :meth:`wire_bytes` prices
+    the uplink exactly like :class:`ShardPartial` does, so simulators can
+    charge the hop through a :class:`~repro.sim.network.NetworkModel`.
+    """
+
+    shard_id: int
+    count: int
+    arrays: Tuple[np.ndarray, ...]
+
+    def wire_bytes(self) -> int:
+        if not self.arrays:
+            return 0
+        payload: WeightsList = [
+            {f"a{i}": array for i, array in enumerate(self.arrays)}
+        ]
+        return len(weights_to_bytes(payload))
+
+
+class RobustShardCollector:
+    """One leaf of the robust aggregation tree.
+
+    ``mode="gather"`` keeps every folded update as a ``(position, flat)``
+    row (memory O(shard cohort × model) — inherent to median/Krum, which
+    need the full set).  ``mode="trimmed"`` keeps an exact
+    :class:`~repro.fl.aggregation.CompensatedAccumulator` over everything
+    folded plus the per-coordinate ``trim`` smallest and largest candidate
+    rows — the only values a global trim could ever drop — so memory is
+    O(trim × model) no matter how many clients report to the shard.
+
+    Cohort positions must be unique within a round; they are the stable
+    sort key that makes the root combine independent of arrival order.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        template: WeightsList,
+        mode: str = "gather",
+        trim: int = 1,
+        config: Optional[ShardingConfig] = None,
+    ) -> None:
+        if mode not in ("gather", "trimmed"):
+            raise ValueError(f"unknown collect mode {mode!r}")
+        self.shard_id = int(shard_id)
+        self.mode = mode
+        self.trim = int(trim)
+        self.config = config or ShardingConfig()
+        self.size = int(flatten_weights(template).size)
+        self.folds = 0
+        self.total_samples = 0
+        self.peak_bytes = 0
+        self._rows: List[Tuple[int, np.ndarray]] = []
+        self._sum = CompensatedAccumulator(self.size) if mode == "trimmed" else None
+        self._low: Optional[np.ndarray] = None  # (<=trim, size), ascending
+        self._high: Optional[np.ndarray] = None  # (<=trim, size), ascending
+
+    def fold(self, weights: WeightsList, num_samples: int, position: int) -> None:
+        flat = flatten_weights(weights)
+        if flat.size != self.size:
+            raise ValueError("clients disagree on parameter count")
+        if self.mode == "gather":
+            self._rows.append((int(position), flat))
+        else:
+            self._sum.add(flat)
+            if self.trim > 0:
+                row = flat[None, :]
+                low = row if self._low is None else np.sort(
+                    np.concatenate([self._low, row]), axis=0
+                )[: self.trim]
+                high = row if self._high is None else np.sort(
+                    np.concatenate([self._high, row]), axis=0
+                )[-self.trim :]
+                self._low, self._high = low, high
+        self.folds += 1
+        self.total_samples += int(num_samples)
+        self._account()
+
+    def _account(self) -> None:
+        registry = get_registry()
+        registry.counter(
+            "fl.shard.folds", "client updates folded by shard aggregators"
+        ).inc(shard=str(self.shard_id))
+        live = self.live_bytes
+        self.peak_bytes = max(self.peak_bytes, live)
+        if self.config.track_memory:
+            registry.gauge(
+                "fl.shard.bytes.live", "resident accumulator bytes per shard"
+            ).set(live, shard=str(self.shard_id))
+            registry.gauge(
+                "fl.shard.bytes.peak", "peak accumulator bytes per shard"
+            ).set(self.peak_bytes, shard=str(self.shard_id))
+
+    @property
+    def live_bytes(self) -> int:
+        if self.mode == "gather":
+            return int(sum(row.nbytes for _, row in self._rows))
+        extreme = sum(
+            int(m.nbytes) for m in (self._low, self._high) if m is not None
+        )
+        return self._sum.live_bytes + extreme
+
+    def partial(self) -> RobustShardPartial:
+        """Snapshot this shard's collect as a shard→root message."""
+        if self.mode == "gather":
+            positions = np.array([p for p, _ in self._rows], dtype=np.int64)
+            rows = (
+                np.stack([row for _, row in self._rows])
+                if self._rows
+                else np.zeros((0, self.size))
+            )
+            arrays: Tuple[np.ndarray, ...] = (positions, rows)
+        else:
+            low = self._low if self._low is not None else np.zeros((0, self.size))
+            high = (
+                self._high if self._high is not None else np.zeros((0, self.size))
+            )
+            arrays = (low.copy(), high.copy()) + tuple(
+                c.copy() for c in self._sum.components
+            )
+        return RobustShardPartial(
+            shard_id=self.shard_id, count=self.folds, arrays=arrays
+        )
+
+
+class RobustHierarchicalAggregator:
+    """Shard-composed Byzantine-robust aggregation.
+
+    Same topology and call shape as :class:`HierarchicalAggregator` —
+    route each update to a shard with :meth:`fold`, then :meth:`reduce`
+    once — but the root applies a robust rule from
+    :mod:`repro.fl.robust` instead of the weighted mean:
+
+    * gather rules (``median``, ``krum``, ``clipped_fedavg``; and
+      ``trimmed_mean`` on a flat tree) order the collected union by cohort
+      position and call the pure rule, so any shard count/routing yields
+      the bits of the flat call — the ``--shards 1`` bitwise-equality the
+      acceptance tests pin;
+    * multi-shard ``trimmed_mean`` combines the shards' exact sums and
+      candidate extremes into the correctly rounded trimmed mean without
+      ever materialising the cohort (see :class:`RobustShardCollector`).
+
+    Robust rules are unweighted (the literature's convention): sample
+    counts are tracked for reporting but do not weight the combine.
+    """
+
+    def __init__(
+        self,
+        template: WeightsList,
+        config: Optional[ShardingConfig] = None,
+        *,
+        rule: str = "median",
+        trim: int = 1,
+        num_byzantine: int = 1,
+        clip_norm: Optional[float] = None,
+    ) -> None:
+        if rule == "fedavg":
+            raise ValueError(
+                "fedavg is the streaming reduce; use HierarchicalAggregator"
+            )
+        self.config = config or ShardingConfig()
+        self.template = template
+        self.rule = rule
+        self.trim = int(trim)
+        self.num_byzantine = int(num_byzantine)
+        self.clip_norm = clip_norm
+        streaming_trim = rule == "trimmed_mean" and not self.config.flat
+        mode = "trimmed" if streaming_trim else "gather"
+        self.shards: List[RobustShardCollector] = [
+            RobustShardCollector(i, template, mode, self.trim, self.config)
+            for i in range(self.config.num_shards)
+        ]
+        self.partial_bytes = 0
+        self.root_peak_bytes = 0
+
+    @property
+    def num_shards(self) -> int:
+        return self.config.num_shards
+
+    def shard_for(self, position: int, cohort_size: int) -> int:
+        """Contiguous balanced routing (see :func:`plan_shards`)."""
+        return shard_of(position, cohort_size, self.num_shards)
+
+    def fold(
+        self,
+        shard_id: int,
+        weights: WeightsList,
+        num_samples: int,
+        position: Optional[int] = None,
+    ) -> None:
+        pos = int(position) if position is not None else self.folds
+        self.shards[shard_id].fold(weights, num_samples, pos)
+
+    @property
+    def folds(self) -> int:
+        return sum(shard.folds for shard in self.shards)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(shard.total_samples for shard in self.shards)
+
+    @property
+    def peak_bytes(self) -> int:
+        shard_peak = max((shard.peak_bytes for shard in self.shards), default=0)
+        return max(shard_peak, self.root_peak_bytes)
+
+    def partials(self) -> List[RobustShardPartial]:
+        """Shard→root messages for the non-empty shards, sized and counted."""
+        registry = get_registry()
+        out: List[RobustShardPartial] = []
+        for shard in self.shards:
+            if shard.folds == 0:
+                continue
+            partial = shard.partial()
+            size = partial.wire_bytes()
+            self.partial_bytes += size
+            registry.counter(
+                "fl.shard.partial_bytes", "bytes shards sent to the root"
+            ).inc(size, shard=str(shard.shard_id))
+            out.append(partial)
+        return out
+
+    def _reduce_gather(self) -> np.ndarray:
+        rows: List[Tuple[int, np.ndarray]] = []
+        for shard in self.shards:
+            rows.extend(shard._rows)
+        rows.sort(key=lambda item: item[0])
+        matrix = [row for _, row in rows]
+        self.root_peak_bytes = max(
+            self.root_peak_bytes, int(sum(row.nbytes for row in matrix))
+        )
+        return apply_rule(
+            self.rule,
+            matrix,
+            trim=self.trim,
+            num_byzantine=self.num_byzantine,
+            clip_norm=self.clip_norm,
+        )
+
+    def _reduce_trimmed(self) -> np.ndarray:
+        """Exact distributed trimmed mean from sums + candidate extremes.
+
+        The global ``trim`` smallest (largest) values of every coordinate
+        are necessarily among the union of the shards' ``trim`` smallest
+        (largest) candidates, so subtracting the sorted union's extremes
+        from the exact total leaves exactly the trimmed sum; one division
+        rounds it.  Candidate sorting canonicalises shard order, and the
+        compensated merge is exact, so the result is independent of
+        routing and arrival order.
+        """
+        n = self.folds
+        effective = min(self.trim, (n - 1) // 2)
+        size = self.shards[0].size
+        total = CompensatedAccumulator(size)
+        lows: List[np.ndarray] = []
+        highs: List[np.ndarray] = []
+        for shard in self.shards:
+            if shard.folds == 0:
+                continue
+            for component in shard._sum.components:
+                total.add(component)
+            if shard._low is not None:
+                lows.append(shard._low)
+                highs.append(shard._high)
+        if effective > 0 and lows:
+            low_union = np.sort(np.concatenate(lows), axis=0)[:effective]
+            high_union = np.sort(np.concatenate(highs), axis=0)[-effective:]
+            for row in low_union:
+                total.add(-row)
+            for row in high_union:
+                total.add(-row)
+        self.root_peak_bytes = max(self.root_peak_bytes, total.live_bytes)
+        return total.value() / float(n - 2 * effective)
+
+    def reduce(self) -> WeightsList:
+        """Combine the shard collects under the configured robust rule."""
+        if self.folds == 0:
+            raise ValueError("no client weights to aggregate")
+        with get_tracer().span(
+            "fl.shard.reduce",
+            shards=self.num_shards,
+            folds=self.folds,
+            rule=self.rule,
+        ) as span:
+            if self.shards[0].mode == "trimmed":
+                flat = self._reduce_trimmed()
+            else:
+                flat = self._reduce_gather()
+            span.set_attribute("total_samples", self.total_samples)
+            return unflatten_weights(flat, self.template)
+
+
+def make_aggregation_tree(
+    template: WeightsList,
+    config: Optional[ShardingConfig] = None,
+    *,
+    rule: str = "fedavg",
+    trim: int = 1,
+    num_byzantine: int = 1,
+    clip_norm: Optional[float] = None,
+):
+    """The aggregation tree for one round under the configured rule.
+
+    ``fedavg`` builds the exact streaming :class:`HierarchicalAggregator`;
+    every other :data:`repro.fl.robust.RULES` entry builds a
+    :class:`RobustHierarchicalAggregator`.  Both expose the same
+    ``shard_for`` / ``fold`` / ``partials`` / ``reduce`` surface, so the
+    server and the simulator stay rule-agnostic.
+    """
+    if rule == "fedavg":
+        return HierarchicalAggregator(template, config)
+    return RobustHierarchicalAggregator(
+        template,
+        config,
+        rule=rule,
+        trim=trim,
+        num_byzantine=num_byzantine,
+        clip_norm=clip_norm,
+    )
+

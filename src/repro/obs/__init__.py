@@ -24,7 +24,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .clock import Clock, FakeClock, MonotonicClock, VirtualClock
-from .export import TraceValidationError, trace_errors, validate_trace
+from .export import (
+    TraceValidationError,
+    metrics_errors,
+    trace_errors,
+    validate_metrics,
+    validate_trace,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, label_key
 from .tracing import Span, TRACE_SCHEMA_VERSION, Tracer
 
@@ -44,6 +50,8 @@ __all__ = [
     "TraceValidationError",
     "trace_errors",
     "validate_trace",
+    "metrics_errors",
+    "validate_metrics",
     "ObsContext",
     "get_context",
     "get_registry",

@@ -16,15 +16,36 @@ library (the container has none).  The schema, in prose:
 
 :func:`trace_errors` returns the list of problems; :func:`validate_trace`
 raises :class:`TraceValidationError` with all of them at once.
+
+The metrics half of the trace payload (a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`) has its own
+validator pair, :func:`metrics_errors` / :func:`validate_metrics`:
+
+* top level: exactly ``{"counters": {...}, "gauges": {...},
+  "histograms": {...}}``;
+* counter series map label keys to non-negative numbers, gauge series to
+  any number;
+* histogram series map label keys to ``{"count", "sum", "min", "max"}``
+  with ``count >= 1`` and ``min <= max``;
+* ``required`` names must be present in *some* section — this is how the
+  CLI asserts the robustness counters (``fl.admission.rejected``,
+  ``fl.reputation.quarantined``, ``fl.aggregate.rule``) made it into the
+  export.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 from .tracing import TRACE_SCHEMA_VERSION
 
-__all__ = ["TraceValidationError", "trace_errors", "validate_trace"]
+__all__ = [
+    "TraceValidationError",
+    "trace_errors",
+    "validate_trace",
+    "metrics_errors",
+    "validate_metrics",
+]
 
 _SCALARS = (str, int, float, bool)
 _SPAN_FIELDS = ("span_id", "parent_id", "name", "start", "end", "thread", "attributes")
@@ -149,5 +170,82 @@ def trace_errors(payload) -> List[str]:
 def validate_trace(payload) -> None:
     """Raise :class:`TraceValidationError` unless ``payload`` is schema-valid."""
     errors = trace_errors(payload)
+    if errors:
+        raise TraceValidationError(errors)
+
+
+_METRIC_SECTIONS = ("counters", "gauges", "histograms")
+_HISTOGRAM_STATS = ("count", "sum", "min", "max")
+
+
+def metrics_errors(snapshot, required: Iterable[str] = ()) -> List[str]:
+    """Every violation in a registry ``snapshot`` (empty list == valid).
+
+    ``required`` lists metric names that must exist in some section, so a
+    caller can insist that a subsystem's instrumentation actually fired
+    (or at least registered) during the run being exported.
+    """
+    errors: List[str] = []
+    if not isinstance(snapshot, dict):
+        return [f"metrics snapshot must be a dict, got {type(snapshot).__name__}"]
+    extra = [key for key in snapshot if key not in _METRIC_SECTIONS]
+    if extra:
+        errors.append(f"unknown metric sections {extra}")
+    for section in _METRIC_SECTIONS:
+        series_map = snapshot.get(section)
+        if not isinstance(series_map, dict):
+            errors.append(f"{section} must be a dict, got {type(series_map).__name__}")
+            continue
+        for name, series in series_map.items():
+            where = f"{section}[{name!r}]"
+            if not isinstance(name, str) or not name:
+                errors.append(f"{where} name must be a non-empty string")
+                continue
+            if not isinstance(series, dict):
+                errors.append(f"{where} series must be a dict")
+                continue
+            for label_key, value in series.items():
+                if not isinstance(label_key, str):
+                    errors.append(f"{where} label key {label_key!r} is not a string")
+                    continue
+                point = f"{where}[{label_key!r}]"
+                if section == "histograms":
+                    if not isinstance(value, dict):
+                        errors.append(f"{point} must be a stats dict")
+                        continue
+                    missing = [s for s in _HISTOGRAM_STATS if s not in value]
+                    unknown = [s for s in value if s not in _HISTOGRAM_STATS]
+                    if missing or unknown:
+                        errors.append(
+                            f"{point} stats keys wrong "
+                            f"(missing {missing}, unknown {unknown})"
+                        )
+                        continue
+                    if not all(_is_number(value[s]) for s in _HISTOGRAM_STATS):
+                        errors.append(f"{point} stats must all be numbers")
+                    elif value["count"] < 1:
+                        errors.append(f"{point} count {value['count']} < 1")
+                    elif value["min"] > value["max"]:
+                        errors.append(
+                            f"{point} min {value['min']} exceeds max {value['max']}"
+                        )
+                elif not _is_number(value):
+                    errors.append(f"{point} must be a number, got {value!r}")
+                elif section == "counters" and value < 0:
+                    errors.append(f"{point} counter is negative ({value})")
+    present = set()
+    for section in _METRIC_SECTIONS:
+        series_map = snapshot.get(section)
+        if isinstance(series_map, dict):
+            present.update(k for k in series_map if isinstance(k, str))
+    for name in required:
+        if name not in present:
+            errors.append(f"required metric {name!r} missing from snapshot")
+    return errors
+
+
+def validate_metrics(snapshot, required: Iterable[str] = ()) -> None:
+    """Raise :class:`TraceValidationError` unless ``snapshot`` is valid."""
+    errors = metrics_errors(snapshot, required)
     if errors:
         raise TraceValidationError(errors)

@@ -20,7 +20,21 @@ server-side control loop real:
   a round never materializes O(clients × model) state and any shard count
   yields the same bits as flat :func:`~repro.fl.aggregation.fedavg`;
 * **faults** come from a :class:`~repro.sim.faults.FaultPlan`, including
-  dead shard aggregators whose lost uploads feed the retry machinery.
+  dead shard aggregators whose lost uploads feed the retry machinery and
+  **Byzantine clients** (sign-flip / scale / noise / collusion attacks on
+  the updates they produce — see :class:`~repro.sim.faults.AttackKind`);
+* **learning progress** is observable: honest pseudo-updates drift toward a
+  seed-derived *teacher* model and every round reports the global model's
+  accuracy on a teacher-labelled eval set, so attacks (and the robust rules
+  that defeat them — ``rule=median|trimmed_mean|krum|clipped_fedavg``,
+  composed with sharding through
+  :func:`~repro.fl.sharding.make_aggregation_tree`) have a measurable
+  effect, not just a byte-level one;
+* **admission control** (``max_norm``) puts the production
+  :class:`~repro.fl.admission.AdmissionController` and its reputation
+  ledger in the loop: rejected updates strike their sender, repeat
+  offenders are quarantined out of future cohorts, and the ledger rides
+  the round checkpoint so a resumed run quarantines identically.
 
 The round engine mirrors what the production retrofit in
 :mod:`repro.fl.server` does, but event-driven: it over-provisions the cohort
@@ -47,23 +61,30 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.policy import NoProtection, ProtectionPolicy
+from ..fl.admission import AdmissionConfig, AdmissionController, ReputationTracker
 from ..fl.config import ShardingConfig
-from ..fl.sharding import HierarchicalAggregator, shard_of
+from ..fl.robust import RULES
+from ..fl.sharding import make_aggregation_tree, shard_of
 from ..fl.transport import ClientUpdate, ModelDownload
 from ..nn.model import Sequential, WeightsList
-from ..nn.serialize import flatten_weights, weights_from_bytes, weights_to_bytes
+from ..nn.serialize import (
+    flatten_weights,
+    unflatten_weights,
+    weights_from_bytes,
+    weights_to_bytes,
+)
 from ..nn.zoo import mlp
 from ..obs import get_registry, get_tracer
 from ..obs.clock import VirtualClock
 from ..tee.costmodel import CostModel
 from ..tee.storage import SecureStorage
 from .events import EventLoop
-from .faults import FaultKind, FaultPlan
+from .faults import AttackKind, FaultKind, FaultPlan
 from .network import NetworkModel
 
 __all__ = ["SimConfig", "FLSimulator", "REPORT_SCHEMA_VERSION"]
 
-REPORT_SCHEMA_VERSION = 2
+REPORT_SCHEMA_VERSION = 3
 
 # Independent derivation streams off (seed, stream, ...); values are
 # arbitrary distinct constants.
@@ -71,6 +92,10 @@ _STREAM_TRAITS = 11
 _STREAM_SELECT = 12
 _STREAM_UPDATE = 13
 _STREAM_SHARD_TRAITS = 14
+_STREAM_TEACHER = 15
+_STREAM_EVAL = 16
+
+_EVAL_SAMPLES = 256
 
 _CHECKPOINT_OBJECT = "fl-round-checkpoint"
 
@@ -108,6 +133,29 @@ class SimConfig:
         produces bitwise-identical final weights at the same seed — the
         streaming reduce is exact — while peak aggregator memory stays
         O(shards × model size), independent of the cohort and fleet size.
+    drift / teacher_scale:
+        Learning signal of the honest pseudo-updates: each one pulls the
+        global model ``drift`` of the way toward a seed-derived *teacher*
+        (whose per-coordinate offset from the initial weights has std
+        ``teacher_scale``), plus the usual ``update_scale`` noise.  This
+        is what makes attacks measurable — accuracy on a teacher-labelled
+        eval set is reported per round.
+    byzantine / attack / attack_strength:
+        Fraction of the fleet that is Byzantine (persistent per-client
+        identity), which :class:`~repro.sim.faults.AttackKind` they mount,
+        and its strength parameter.  Flows into the default
+        :class:`~repro.sim.faults.FaultPlan`; an explicitly passed plan
+        carries its own attack settings.
+    rule / trim / num_byzantine:
+        Aggregation rule (:data:`repro.fl.robust.RULES`) and its
+        parameters.  ``trim``/``num_byzantine`` of ``None`` self-scale to
+        the assumed attacker count ``ceil(byzantine * cohort)`` (min 1).
+    max_norm / clip:
+        When ``max_norm`` is set, the production
+        :class:`~repro.fl.admission.AdmissionController` gates every
+        arriving update (delta-norm ceiling; ``clip`` rescales instead of
+        rejecting) and a reputation ledger quarantines repeat offenders
+        out of future cohorts.
     """
 
     num_clients: int
@@ -124,6 +172,16 @@ class SimConfig:
     batch_size: int = 32
     local_steps: int = 1
     shards: int = 1
+    drift: float = 0.2
+    teacher_scale: float = 1.0
+    byzantine: float = 0.0
+    attack: str = "sign_flip"
+    attack_strength: float = 10.0
+    rule: str = "fedavg"
+    trim: Optional[int] = None
+    num_byzantine: Optional[int] = None
+    max_norm: Optional[float] = None
+    clip: bool = False
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -152,6 +210,23 @@ class SimConfig:
             raise ValueError("update_scale must be positive")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if not 0.0 <= self.drift <= 1.0:
+            raise ValueError("drift must be in [0, 1]")
+        if self.teacher_scale < 0:
+            raise ValueError("teacher_scale cannot be negative")
+        if not 0.0 <= self.byzantine <= 1.0:
+            raise ValueError("byzantine must be in [0, 1]")
+        AttackKind(self.attack)  # raises on unknown kinds
+        if self.rule not in RULES:
+            raise ValueError(
+                f"unknown aggregation rule {self.rule!r}; expected one of {RULES}"
+            )
+        if self.trim is not None and self.trim < 0:
+            raise ValueError("trim must be non-negative")
+        if self.num_byzantine is not None and self.num_byzantine < 0:
+            raise ValueError("num_byzantine must be non-negative")
+        if self.max_norm is not None and self.max_norm <= 0:
+            raise ValueError("max_norm must be positive when set")
 
     @property
     def asked(self) -> int:
@@ -162,6 +237,20 @@ class SimConfig:
     def quorum_count(self) -> int:
         """Minimum collected updates for a round to aggregate."""
         return max(1, math.ceil(self.quorum * self.cohort))
+
+    @property
+    def assumed_byzantine(self) -> int:
+        """Attacker count the robust rules assume (explicit or derived)."""
+        if self.num_byzantine is not None:
+            return self.num_byzantine
+        if self.byzantine > 0:
+            return max(1, math.ceil(self.byzantine * self.cohort))
+        return 1
+
+    @property
+    def effective_trim(self) -> int:
+        """Per-side trim for ``trimmed_mean`` (explicit or derived)."""
+        return self.trim if self.trim is not None else self.assumed_byzantine
 
 
 @dataclass
@@ -175,7 +264,7 @@ class _RoundState:
 
     members: List[int]
     deadline_at: float
-    tree: Optional[HierarchicalAggregator] = None
+    tree: Optional[object] = None  # HierarchicalAggregator or robust variant
     positions: Dict[int, int] = field(default_factory=dict)
     dead_shards: frozenset = frozenset()
     collected: Dict[int, int] = field(default_factory=dict)
@@ -190,6 +279,10 @@ class _RoundState:
             "retries": 0,
             "giveups": 0,
             "shard_down": 0,
+            "attacked": 0,
+            "admission_rejected": 0,
+            "admission_clipped": 0,
+            "quarantined": 0,
         }
     )
     done: bool = False
@@ -244,7 +337,12 @@ class FLSimulator:
             num_classes=4, input_shape=(6,), hidden=(8, 5), seed=config.seed
         )
         self.policy = policy or NoProtection(self.model.num_layers)
-        self.fault_plan = fault_plan or FaultPlan(seed=config.seed)
+        self.fault_plan = fault_plan or FaultPlan(
+            seed=config.seed,
+            byzantine=config.byzantine,
+            attack=config.attack,
+            attack_strength=config.attack_strength,
+        )
         self.storage = storage
         self.cost_model = cost_model or CostModel(
             batch_size=config.batch_size, batches_per_cycle=config.local_steps
@@ -268,6 +366,58 @@ class FLSimulator:
             if config.shards > 1
             else None
         )
+        # Learning signal: a seed-derived teacher the honest fleet drifts
+        # toward, and an eval set it labels.  Accuracy of the global model
+        # on this set is the run's figure of merit under attack.
+        teacher_rng = np.random.default_rng((config.seed, _STREAM_TEACHER))
+        initial = self.model.get_weights()
+        self.teacher_weights: WeightsList = [
+            {
+                key: value
+                + config.teacher_scale * teacher_rng.standard_normal(value.shape)
+                for key, value in layer.items()
+            }
+            for layer in initial
+        ]
+        eval_rng = np.random.default_rng((config.seed, _STREAM_EVAL))
+        self._eval_x = eval_rng.standard_normal(
+            (_EVAL_SAMPLES, *self.model.input_shape)
+        )
+        teacher = self.model.clone()
+        teacher.set_weights(self.teacher_weights)
+        # Re-centre the teacher's output bias on the eval set: without
+        # this the random bias offsets dominate the logits and the teacher
+        # labels everything with one class, which would make accuracy a
+        # trivially-satisfied metric.  The correction is folded back into
+        # the teacher weights, so "global == teacher" still scores 1.0.
+        logit_means = teacher.forward(self._eval_x).data.mean(axis=0)
+        last = self.teacher_weights[-1]
+        if "bias" in last and last["bias"].shape == logit_means.shape:
+            last["bias"] = last["bias"] - logit_means
+            teacher.set_weights(self.teacher_weights)
+        # Keep only the samples the teacher labels confidently (top-1 vs
+        # top-2 logit margin at or above the median margin).  Borderline
+        # samples flip under tiny weight perturbations and would drown the
+        # attack signal in metric noise; on the confident half, a model
+        # that tracks the teacher scores ~1.0 and one pulled off course by
+        # an attack visibly does not.
+        logits = teacher.forward(self._eval_x).data
+        ordered = np.sort(logits, axis=1)
+        margin = ordered[:, -1] - ordered[:, -2]
+        keep = margin >= np.median(margin)
+        self._eval_x = self._eval_x[keep]
+        labels = teacher.predict(self._eval_x)
+        classes = int(self.model.output_shape[-1])
+        self._eval_y = np.eye(classes)[labels]
+        # Admission control + reputation (the production gate, in the loop).
+        self.admission: Optional[AdmissionController] = None
+        self.reputation: Optional[ReputationTracker] = None
+        if config.max_norm is not None:
+            self.admission = AdmissionController(
+                initial,
+                AdmissionConfig(max_norm=config.max_norm, clip=config.clip),
+            )
+            self.reputation = ReputationTracker()
         self.aggregator_peak_bytes = 0
         self.round = 0
         self.history: List[Dict[str, object]] = []
@@ -286,20 +436,34 @@ class FLSimulator:
     def _make_update(
         self, round_index: int, client_index: int, global_weights: WeightsList
     ) -> ClientUpdate:
-        """The client's pseudo-trained update: global + seeded delta.
+        """The client's pseudo-trained update: drift toward the teacher
+        plus seeded noise — and, for a Byzantine client, the attack applied
+        to that honest delta *at production time* (so every retry re-sends
+        the same poisoned bytes and deliveries are never re-perturbed).
 
         Keyed on ``(seed, round, client)`` only, so a retried attempt
         re-sends the exact same payload and resume replays it bitwise.
         """
+        cfg = self.config
         rng = np.random.default_rng(
-            (self.config.seed, _STREAM_UPDATE, round_index, client_index)
+            (cfg.seed, _STREAM_UPDATE, round_index, client_index)
         )
-        trained: WeightsList = [
+        delta: WeightsList = [
             {
-                key: value + self.config.update_scale * rng.standard_normal(value.shape)
+                key: cfg.drift * (self.teacher_weights[i][key] - value)
+                + cfg.update_scale * rng.standard_normal(value.shape)
                 for key, value in layer.items()
             }
-            for layer in global_weights
+            for i, layer in enumerate(global_weights)
+        ]
+        if self.fault_plan.attack_for(client_index) is not None:
+            flat = self.fault_plan.attack_delta(
+                round_index, client_index, flatten_weights(delta)
+            )
+            delta = unflatten_weights(flat, global_weights)
+        trained: WeightsList = [
+            {key: value + delta[i][key] for key, value in layer.items()}
+            for i, layer in enumerate(global_weights)
         ]
         return ClientUpdate(
             client_id=f"sim-{client_index}",
@@ -307,6 +471,10 @@ class FLSimulator:
             num_samples=int(self.num_samples[client_index]),
             plain_weights=trained,
         )
+
+    def accuracy(self) -> float:
+        """Global-model accuracy on the teacher-labelled eval set."""
+        return self.model.accuracy(self._eval_x, self._eval_y)
 
     # -- one round ---------------------------------------------------------
     def step_round(self) -> Dict[str, object]:
@@ -322,8 +490,29 @@ class FLSimulator:
         ).wire_bytes()
 
         started_at = self.clock.time
-        with get_tracer().span("sim.round", cycle=rnd, asked=cfg.asked) as span:
+        with get_tracer().span(
+            "sim.round", cycle=rnd, asked=cfg.asked, rule=cfg.rule
+        ) as span:
+            registry.counter(
+                "fl.aggregate.rule", "rounds aggregated, labelled per rule"
+            ).inc(rule=cfg.rule)
             members = self._select_cohort(rnd)
+            quarantined: List[int] = []
+            if self.reputation is not None:
+                # The selection draw is untouched (pure function of the
+                # seed); quarantined clients are filtered *after* it, so
+                # the honest cohort is identical across runs.
+                quarantined = [
+                    i
+                    for i in members
+                    if self.reputation.is_blocked(f"sim-{i}", rnd)
+                ]
+                if quarantined:
+                    members = [i for i in members if i not in set(quarantined)]
+                    registry.counter(
+                        "sim.quarantined",
+                        "cohort slots denied to quarantined/evicted clients",
+                    ).inc(len(quarantined))
             dead_shards = frozenset(
                 shard
                 for shard in range(cfg.shards)
@@ -336,19 +525,28 @@ class FLSimulator:
             state = _RoundState(
                 members=members,
                 deadline_at=started_at + cfg.deadline_seconds,
-                tree=HierarchicalAggregator(
+                tree=make_aggregation_tree(
                     global_weights,
                     ShardingConfig(num_shards=cfg.shards, track_memory=False),
+                    rule=cfg.rule,
+                    trim=cfg.effective_trim,
+                    num_byzantine=cfg.assumed_byzantine,
                 ),
                 positions={index: pos for pos, index in enumerate(members)},
                 dead_shards=dead_shards,
             )
+            state.counts["quarantined"] = len(quarantined)
             # Deadline first: a completion landing exactly on the deadline
             # is late, deterministically.
             self.loop.schedule_at(
                 state.deadline_at, lambda: self._finish(state, registry)
             )
             for index in members:
+                if self.fault_plan.attack_for(index) is not None:
+                    state.counts["attacked"] += 1
+                    registry.counter(
+                        "sim.attacked", "cohort slots held by Byzantine clients"
+                    ).inc()
                 fault = self.fault_plan.fault_for(rnd, index)
                 if fault is FaultKind.FAIL_ATTESTATION:
                     state.status[index] = "evicted"
@@ -432,8 +630,14 @@ class FLSimulator:
             self.aggregator_peak_bytes = max(
                 self.aggregator_peak_bytes, state.tree.peak_bytes
             )
+            accuracy = self.accuracy()
+            registry.gauge(
+                "sim.accuracy",
+                "global-model accuracy on the teacher-labelled eval set",
+            ).set(accuracy)
             span.set_attribute("collected", len(state.collected))
             span.set_attribute("degraded", degraded)
+            span.set_attribute("accuracy", accuracy)
 
         registry.counter("sim.rounds", "simulated FL rounds").inc()
         registry.counter(
@@ -459,6 +663,8 @@ class FLSimulator:
             "dead_shards": sorted(state.dead_shards),
             "shard_bytes": int(shard_bytes),
             "aggregator_peak_bytes": int(state.tree.peak_bytes),
+            "rule": cfg.rule,
+            "accuracy": accuracy,
             **state.counts,
         }
         self.history.append(outcome)
@@ -581,7 +787,31 @@ class FLSimulator:
                 registry,
             )
             return
-        state.tree.fold(shard, update.plain_weights, update.num_samples)
+        weights = update.plain_weights
+        if self.admission is not None:
+            # The production gate, against this round's global weights.
+            # A rejected update is NOT retried: the payload is a pure
+            # function of (seed, round, client), so the same bytes would
+            # be rejected again — the client just strikes its reputation.
+            decision = self.admission.check(
+                update.client_id, weights, reference=global_weights
+            )
+            if not decision.admitted:
+                self.reputation.record_rejection(update.client_id, rnd)
+                state.counts["admission_rejected"] += 1
+                state.status[index] = "rejected"
+                registry.counter(
+                    "sim.admission.rejected",
+                    "arrived updates refused by admission control",
+                ).inc()
+                return
+            self.reputation.record_admission(update.client_id)
+            if decision.clipped:
+                state.counts["admission_clipped"] += 1
+            weights = decision.weights
+        state.tree.fold(
+            shard, weights, update.num_samples, position=state.positions[index]
+        )
         state.collected[index] = int(update.num_samples)
         state.status[index] = "collected"
         if len(state.collected) >= self.config.cohort:
@@ -676,6 +906,13 @@ class FLSimulator:
             "round": self.round,
             "virtual_time": self.clock.time,
             "history": self.history,
+            # The reputation ledger must survive a coordinator restart or a
+            # resumed run would re-admit clients the original quarantined.
+            "reputation": (
+                self.reputation.state_dict()
+                if self.reputation is not None
+                else None
+            ),
         }
         blob = (
             json.dumps(meta, sort_keys=True).encode()
@@ -697,6 +934,8 @@ class FLSimulator:
         self.model.set_weights(weights_from_bytes(weights_blob))
         self.round = int(meta["round"])
         self.history = list(meta["history"])
+        if self.reputation is not None and meta.get("reputation"):
+            self.reputation.load_state(meta["reputation"])
         self.clock.advance_to(float(meta["virtual_time"]))
         self.resumed_from = self.round
         get_registry().counter(
@@ -727,9 +966,13 @@ class FLSimulator:
             "retries",
             "giveups",
             "shard_down",
+            "attacked",
+            "admission_rejected",
+            "admission_clipped",
+            "quarantined",
         )
         totals: Dict[str, object] = {
-            key: sum(int(outcome[key]) for outcome in self.history)
+            key: sum(int(outcome.get(key, 0)) for outcome in self.history)
             for key in count_keys
         }
         totals["rounds"] = len(self.history)
@@ -743,6 +986,8 @@ class FLSimulator:
             "fault_plan": self.fault_plan.describe(),
             "rounds": self.history,
             "totals": totals,
+            "rule": self.config.rule,
+            "final_accuracy": self.accuracy(),
             # Computed from the per-round records (not live state) so a
             # resumed run reports the same bytes as an uninterrupted one.
             "aggregator_peak_bytes": max(

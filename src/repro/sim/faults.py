@@ -19,6 +19,16 @@ interrogated in any order and two runs with the same seed realise the exact
 same fault set.  Transient faults (``corrupt``, ``exhaust_pool``) hit only a
 client's first attempt of the round, so bounded retry can win; ``drop`` and
 ``straggle`` persist for the round.
+
+Beyond crash-style faults, a plan can mark a fraction of the fleet
+**Byzantine** (:class:`AttackKind`): those clients still complete the round
+on time, but the *update they produce* is hostile — sign-flipped, scaled,
+noise-drowned, or a colluding copy of a shared poisoned payload.  Attacker
+identity is persistent (drawn once per client from its own stream) so the
+same clients attack every round and the server's reputation ledger can
+catch repeat offenders; the attack payload's randomness is keyed on
+``(seed, round, client)`` like everything else, so a retried attempt
+re-sends the exact same poisoned bytes.
 """
 
 from __future__ import annotations
@@ -29,12 +39,14 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["FaultKind", "FaultRates", "FaultPlan"]
+__all__ = ["FaultKind", "FaultRates", "FaultPlan", "AttackKind", "apply_attack"]
 
 # Stream tags keeping fault draws independent of every other (seed, round)
 # derived stream in the simulator.
 _STREAM_FAULT = 0xFA017
 _STREAM_SHARD_FAULT = 0xFA5D
+_STREAM_ATTACKER = 0xB12A7
+_STREAM_ATTACK_PAYLOAD = 0xB12A8
 
 
 class FaultKind(enum.Enum):
@@ -50,6 +62,71 @@ class FaultKind(enum.Enum):
     def transient(self) -> bool:
         """Whether a retry of the same round can succeed."""
         return self in (FaultKind.CORRUPT, FaultKind.EXHAUST_POOL)
+
+
+class AttackKind(enum.Enum):
+    """One way a Byzantine client poisons the update it produces.
+
+    All attacks transform the client's honest *delta* (``update − global``);
+    the attacker behaves normally at the protocol level — attests, meets
+    deadlines — so only admission control and robust aggregation can stop
+    it.
+
+    * ``sign_flip`` — send ``global − delta``: norm-preserving (slips past
+      any norm ceiling), pulls plain FedAvg straight away from the honest
+      direction;
+    * ``scale`` — send ``global + λ·delta``: the classic model-replacement
+      boost; loud under a norm ceiling, devastating without one;
+    * ``gauss_noise`` — drown the delta in large seeded Gaussian noise;
+    * ``collude`` — every colluder sends the *same* crafted payload (drawn
+      once per round, no client in the key), concentrating their mass on
+      one poisoned point — the case that stresses Krum's neighbour scoring
+      and its lowest-index tie-break.
+    """
+
+    SIGN_FLIP = "sign_flip"
+    SCALE = "scale"
+    GAUSS_NOISE = "gauss_noise"
+    COLLUDE = "collude"
+
+
+def apply_attack(
+    kind: AttackKind,
+    delta: np.ndarray,
+    *,
+    seed: int,
+    round_index: int,
+    client_index: int,
+    strength: float = 10.0,
+) -> np.ndarray:
+    """The poisoned delta a Byzantine client sends instead of ``delta``.
+
+    A pure function of ``(kind, delta, seed, round, client, strength)`` —
+    ``collude`` drops the client from the key so all colluders of a round
+    produce bitwise-identical payloads.
+    """
+    kind = AttackKind(kind)
+    if kind is AttackKind.SIGN_FLIP:
+        return -delta
+    if kind is AttackKind.SCALE:
+        return float(strength) * delta
+    if kind is AttackKind.GAUSS_NOISE:
+        rng = np.random.default_rng(
+            (int(seed), _STREAM_ATTACK_PAYLOAD, int(round_index), int(client_index))
+        )
+        rms = (
+            float(np.linalg.norm(delta)) / float(np.sqrt(delta.size))
+            if delta.size
+            else 0.0
+        )
+        return delta + float(strength) * rms * rng.standard_normal(delta.shape)
+    rng = np.random.default_rng(
+        (int(seed), _STREAM_ATTACK_PAYLOAD, int(round_index))
+    )
+    magnitude = float(strength) * float(np.linalg.norm(delta))
+    direction = rng.standard_normal(delta.shape)
+    norm = float(np.linalg.norm(direction))
+    return (magnitude / norm) * direction if norm > 0 else delta
 
 
 @dataclass(frozen=True)
@@ -108,6 +185,13 @@ class FaultPlan:
         round.  An upload arriving at a dead shard is lost — which feeds
         the client back into the ordinary retry/quorum machinery; retries
         are re-routed to a surviving shard.
+    byzantine / attack / attack_strength:
+        Fraction of the fleet that is Byzantine, which :class:`AttackKind`
+        they mount, and the attack's strength parameter (λ for ``scale``,
+        the noise/offset multiplier otherwise).  Attacker identity is
+        drawn once per client from ``(seed, client)`` on a dedicated
+        stream — persistent across rounds, so reputation tracking bites —
+        and is independent of the crash-fault draws.
     """
 
     def __init__(
@@ -115,14 +199,23 @@ class FaultPlan:
         rates: Optional[FaultRates] = None,
         seed: int = 0,
         shard_down: float = 0.0,
+        byzantine: float = 0.0,
+        attack="sign_flip",
+        attack_strength: float = 10.0,
     ) -> None:
         if not 0.0 <= shard_down <= 1.0:
             raise ValueError(f"shard_down rate must be in [0, 1], got {shard_down}")
+        if not 0.0 <= byzantine <= 1.0:
+            raise ValueError(f"byzantine rate must be in [0, 1], got {byzantine}")
         self.rates = rates or FaultRates()
         self.seed = int(seed)
         self.shard_down = float(shard_down)
+        self.byzantine = float(byzantine)
+        self.attack = AttackKind(attack)
+        self.attack_strength = float(attack_strength)
         self._explicit: Dict[Tuple[int, int], Optional[FaultKind]] = {}
         self._explicit_shards: Dict[Tuple[int, int], bool] = {}
+        self._explicit_attackers: Dict[int, Optional[AttackKind]] = {}
 
     def inject(self, round_index: int, client_index: int, kind) -> "FaultPlan":
         """Pin a specific fault (or ``None`` to force health) for one cell."""
@@ -145,6 +238,46 @@ class FaultPlan:
             if draw < edge:
                 return kind
         return None
+
+    def inject_attack(self, client_index: int, kind) -> "FaultPlan":
+        """Pin one client Byzantine (or ``None`` to force honesty)."""
+        attack = AttackKind(kind) if kind is not None else None
+        self._explicit_attackers[int(client_index)] = attack
+        return self
+
+    def attack_for(self, client_index: int) -> Optional[AttackKind]:
+        """The attack this client mounts every round (None = honest).
+
+        A pure function of ``(seed, client)`` on its own stream: attacker
+        identity never depends on the round, on query order, or on which
+        crash faults realised — so raising ``byzantine`` from 0.2 to 0.3
+        only *adds* attackers, it never reshuffles the existing ones.
+        """
+        key = int(client_index)
+        if key in self._explicit_attackers:
+            return self._explicit_attackers[key]
+        if self.byzantine <= 0.0:
+            return None
+        draw = float(
+            np.random.default_rng((self.seed, _STREAM_ATTACKER, key)).random()
+        )
+        return self.attack if draw < self.byzantine else None
+
+    def attack_delta(
+        self, round_index: int, client_index: int, delta: np.ndarray
+    ) -> np.ndarray:
+        """Apply this client's attack to its honest flat delta."""
+        kind = self.attack_for(client_index)
+        if kind is None:
+            return delta
+        return apply_attack(
+            kind,
+            delta,
+            seed=self.seed,
+            round_index=round_index,
+            client_index=client_index,
+            strength=self.attack_strength,
+        )
 
     def inject_shard(
         self, round_index: int, shard_index: int, down: bool = True
@@ -179,6 +312,12 @@ class FaultPlan:
         ]
         if self.shard_down > 0:
             active.append(f"shard_down={self.shard_down:g}")
-        pinned_cells = len(self._explicit) + len(self._explicit_shards)
+        if self.byzantine > 0:
+            active.append(f"byzantine={self.byzantine:g}:{self.attack.value}")
+        pinned_cells = (
+            len(self._explicit)
+            + len(self._explicit_shards)
+            + len(self._explicit_attackers)
+        )
         pinned = f", {pinned_cells} pinned" if pinned_cells else ""
         return f"FaultPlan(seed={self.seed}, {', '.join(active) or 'no faults'}{pinned})"

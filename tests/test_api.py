@@ -21,6 +21,11 @@ class TestSurface:
             "ServerConfig",
             "RoundConfig",
             "ShardingConfig",
+            "AdmissionConfig",
+            "AdmissionController",
+            "ReputationConfig",
+            "ReputationTracker",
+            "RULES",
         }
         for name in api.__all__:
             assert hasattr(api, name)

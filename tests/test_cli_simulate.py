@@ -78,6 +78,49 @@ class TestSimulateCommand:
         assert "simulate" in capsys.readouterr().out
 
 
+class TestByzantineFlags:
+    BYZANTINE = [
+        "--byzantine", "0.3",
+        "--attack", "scale",
+        "--rule", "trimmed_mean",
+        "--max-norm", "6",
+        "--drift", "0.3",
+        "--update-scale", "0.01",
+    ]
+
+    def test_flags_thread_into_the_report(self, tmp_path):
+        payload = json.loads(
+            run_simulate(tmp_path, "byz.json", *self.BYZANTINE)
+        )
+        assert payload["rule"] == "trimmed_mean"
+        assert payload["config"]["byzantine"] == 0.3
+        assert payload["config"]["attack"] == "scale"
+        assert payload["config"]["max_norm"] == 6.0
+        assert payload["totals"]["attacked"] > 0
+        assert payload["totals"]["admission_rejected"] > 0
+        assert "final_accuracy" in payload
+
+    def test_byzantine_run_byte_identical(self, tmp_path):
+        first = run_simulate(tmp_path, "byz-a.json", *self.BYZANTINE)
+        second = run_simulate(tmp_path, "byz-b.json", *self.BYZANTINE)
+        assert first == second
+
+    def test_rule_changes_the_weights(self, tmp_path):
+        base = ["--byzantine", "0.3", "--attack", "sign_flip"]
+        fedavg = json.loads(run_simulate(tmp_path, "r-fedavg.json", *base))
+        krum = json.loads(
+            run_simulate(tmp_path, "r-krum.json", *base, "--rule", "krum")
+        )
+        assert fedavg["weights_sha256"] != krum["weights_sha256"]
+
+    def test_clip_admits_instead_of_rejecting(self, tmp_path):
+        payload = json.loads(
+            run_simulate(tmp_path, "clip.json", *self.BYZANTINE, "--clip")
+        )
+        assert payload["totals"]["admission_rejected"] == 0
+        assert payload["totals"]["admission_clipped"] > 0
+
+
 class TestTraceTraffic:
     def test_trace_reports_traffic_totals(self, tmp_path):
         out = tmp_path / "trace.json"
@@ -89,3 +132,15 @@ class TestTraceTraffic:
         counters = payload["metrics"]["counters"]
         assert "fl.bytes.down" in counters
         assert "fl.bytes.up" in counters
+
+    def test_trace_exports_robustness_metrics(self, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--clients", "2", "--rule", "median", "--out", str(out),
+        ]) == 0
+        counters = json.loads(out.read_text())["metrics"]["counters"]
+        # Present (zero-valued on a healthy fleet) because the admission
+        # controller and reputation ledger register them at construction.
+        assert "fl.admission.rejected" in counters
+        assert "fl.reputation.quarantined" in counters
+        assert counters["fl.aggregate.rule"] == {"rule=median": 1.0}

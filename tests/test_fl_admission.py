@@ -1,0 +1,232 @@
+"""Tests for update admission control and the reputation ledger."""
+
+import numpy as np
+import pytest
+
+from repro.fl.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    REJECT_NONFINITE,
+    REJECT_NORM,
+    REJECT_PROVENANCE,
+    REJECT_STRUCTURE,
+    ReputationConfig,
+    ReputationTracker,
+)
+from repro.nn.serialize import flatten_weights
+from repro.obs import FakeClock, fresh
+
+
+def make_weights(scale=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        {"weight": rng.normal(size=(4, 3)) + scale, "bias": rng.normal(size=4)},
+        {"weight": rng.normal(size=(2, 4)) + scale, "bias": rng.normal(size=2)},
+    ]
+
+
+@pytest.fixture
+def obs_ctx():
+    with fresh(clock=FakeClock()) as ctx:
+        yield ctx
+
+
+class TestStructure:
+    def test_matching_structure_admitted(self, obs_ctx):
+        template = make_weights()
+        gate = AdmissionController(template)
+        decision = gate.check("c0", make_weights(seed=1))
+        assert decision.admitted
+        assert decision.weights is not None
+
+    def test_layer_count_mismatch_rejected(self, obs_ctx):
+        gate = AdmissionController(make_weights())
+        decision = gate.check("c0", make_weights()[:1])
+        assert not decision.admitted
+        assert decision.reason == REJECT_STRUCTURE
+
+    def test_key_set_mismatch_rejected(self, obs_ctx):
+        gate = AdmissionController(make_weights())
+        bad = make_weights()
+        bad[0] = {"weight": bad[0]["weight"], "gamma": bad[0]["bias"]}
+        assert gate.check("c0", bad).reason == REJECT_STRUCTURE
+
+    def test_shape_mismatch_rejected(self, obs_ctx):
+        gate = AdmissionController(make_weights())
+        bad = make_weights()
+        bad[1]["bias"] = np.zeros(5)
+        assert gate.check("c0", bad).reason == REJECT_STRUCTURE
+
+
+class TestNumericalHealth:
+    def test_nan_rejected(self, obs_ctx):
+        gate = AdmissionController(make_weights())
+        bad = make_weights(seed=1)
+        bad[0]["weight"][0, 0] = np.nan
+        assert gate.check("c0", bad).reason == REJECT_NONFINITE
+
+    def test_inf_rejected(self, obs_ctx):
+        gate = AdmissionController(make_weights())
+        bad = make_weights(seed=1)
+        bad[1]["bias"][0] = np.inf
+        assert gate.check("c0", bad).reason == REJECT_NONFINITE
+
+    def test_check_can_be_disabled(self, obs_ctx):
+        gate = AdmissionController(
+            make_weights(), AdmissionConfig(check_finite=False)
+        )
+        bad = make_weights(seed=1)
+        bad[0]["weight"][0, 0] = np.nan
+        assert gate.check("c0", bad).admitted
+
+
+class TestNormCeiling:
+    def test_delta_norm_measured_against_reference(self, obs_ctx):
+        reference = make_weights()
+        gate = AdmissionController(reference, AdmissionConfig(max_norm=1.0))
+        # Same weights as the reference: delta norm 0, admitted.
+        assert gate.check("c0", reference, reference=reference).admitted
+        # Far away in absolute terms but that is irrelevant without drift.
+        far = [
+            {key: value + 100.0 for key, value in layer.items()}
+            for layer in reference
+        ]
+        decision = gate.check("c0", far, reference=far)
+        assert decision.admitted
+
+    def test_over_norm_rejected(self, obs_ctx):
+        reference = make_weights()
+        gate = AdmissionController(reference, AdmissionConfig(max_norm=1.0))
+        far = [
+            {key: value + 10.0 for key, value in layer.items()}
+            for layer in reference
+        ]
+        decision = gate.check("c0", far, reference=reference)
+        assert not decision.admitted
+        assert decision.reason == REJECT_NORM
+        assert decision.norm > 1.0
+
+    def test_clip_rescales_onto_ceiling(self, obs_ctx):
+        reference = make_weights()
+        gate = AdmissionController(
+            reference, AdmissionConfig(max_norm=2.0, clip=True)
+        )
+        far = [
+            {key: value + 5.0 for key, value in layer.items()}
+            for layer in reference
+        ]
+        decision = gate.check("c0", far, reference=reference)
+        assert decision.admitted and decision.clipped
+        delta = flatten_weights(decision.weights) - flatten_weights(reference)
+        assert np.linalg.norm(delta) == pytest.approx(2.0)
+        # Direction is preserved, only the magnitude changes.
+        raw = flatten_weights(far) - flatten_weights(reference)
+        cos = delta @ raw / (np.linalg.norm(delta) * np.linalg.norm(raw))
+        assert cos == pytest.approx(1.0)
+
+    def test_invalid_ceiling_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_norm=0.0)
+
+
+class TestProvenance:
+    def test_unattested_sender_rejected_when_required(self, obs_ctx):
+        gate = AdmissionController(
+            make_weights(), AdmissionConfig(require_provenance=True)
+        )
+        good = make_weights(seed=1)
+        assert gate.check("c0", good, attested=True).admitted
+        assert gate.check("c0", good, attested=False).reason == REJECT_PROVENANCE
+
+    def test_unattested_tolerated_by_default(self, obs_ctx):
+        gate = AdmissionController(make_weights())
+        assert gate.check("c0", make_weights(seed=1), attested=False).admitted
+
+
+class TestAdmissionMetrics:
+    def test_counters_registered_and_labelled(self, obs_ctx):
+        gate = AdmissionController(make_weights(), AdmissionConfig(max_norm=1.0))
+        snapshot = obs_ctx.registry.snapshot()
+        # Registered at construction: present even before any check.
+        assert "fl.admission.rejected" in snapshot["counters"]
+        far = [
+            {key: value + 10.0 for key, value in layer.items()}
+            for layer in make_weights()
+        ]
+        gate.check("evil", far, reference=make_weights())
+        rejected = obs_ctx.registry.counter("fl.admission.rejected")
+        assert rejected.total() == 1
+
+
+class TestReputation:
+    def test_strikes_tip_into_quarantine(self, obs_ctx):
+        ledger = ReputationTracker(ReputationConfig(max_strikes=3))
+        for _ in range(2):
+            ledger.record_rejection("c0", round_index=0)
+        assert ledger.status("c0", 1) == "ok"
+        ledger.record_rejection("c0", round_index=0)
+        assert ledger.status("c0", 1) == "quarantined"
+
+    def test_quarantine_expires(self, obs_ctx):
+        ledger = ReputationTracker(
+            ReputationConfig(max_strikes=1, quarantine_rounds=2)
+        )
+        ledger.record_rejection("c0", round_index=5)
+        assert ledger.is_blocked("c0", 6)
+        assert ledger.is_blocked("c0", 7)
+        assert not ledger.is_blocked("c0", 8)
+
+    def test_repeat_quarantines_evict_permanently(self, obs_ctx):
+        ledger = ReputationTracker(
+            ReputationConfig(max_strikes=1, quarantine_rounds=1, evict_after=2)
+        )
+        ledger.record_rejection("c0", round_index=0)
+        ledger.record_rejection("c0", round_index=10)
+        assert ledger.status("c0", 10_000) == "evicted"
+        # Further events on an evicted client are inert.
+        ledger.record_rejection("c0", round_index=10_001)
+        assert ledger.status("c0", 10_002) == "evicted"
+
+    def test_admission_heals_one_strike(self, obs_ctx):
+        ledger = ReputationTracker(ReputationConfig(max_strikes=2))
+        ledger.record_rejection("c0", round_index=0)
+        ledger.record_admission("c0")
+        ledger.record_rejection("c0", round_index=1)
+        # Healed strike means this second rejection is only the first again.
+        assert ledger.status("c0", 2) == "ok"
+
+    def test_quarantine_counter_fires(self, obs_ctx):
+        ledger = ReputationTracker(ReputationConfig(max_strikes=1))
+        ledger.record_rejection("bad", round_index=0)
+        counter = obs_ctx.registry.counter("fl.reputation.quarantined")
+        assert counter.total() == 1
+
+    def test_snapshot_is_sorted_and_json_safe(self, obs_ctx):
+        import json
+
+        ledger = ReputationTracker(ReputationConfig(max_strikes=1))
+        ledger.record_rejection("z", round_index=0)
+        ledger.record_rejection("a", round_index=0)
+        snap = ledger.snapshot(round_index=1)
+        assert snap["quarantined"] == ["a", "z"]
+        json.dumps(snap)
+
+    def test_state_dict_round_trip(self, obs_ctx):
+        ledger = ReputationTracker(
+            ReputationConfig(max_strikes=1, quarantine_rounds=3)
+        )
+        ledger.record_rejection("c0", round_index=4)
+        ledger.record_rejection("c1", round_index=4)
+        restored = ReputationTracker(ledger.config)
+        restored.load_state(ledger.state_dict())
+        for rnd in (5, 6, 7, 8):
+            assert restored.status("c0", rnd) == ledger.status("c0", rnd)
+        assert restored.state_dict() == ledger.state_dict()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ReputationConfig(max_strikes=0)
+        with pytest.raises(ValueError):
+            ReputationConfig(quarantine_rounds=0)
+        with pytest.raises(ValueError):
+            ReputationConfig(evict_after=0)
