@@ -44,12 +44,14 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from common import write_result
+
     from repro.bench.perf import run_perf_suite
 
     payload = run_perf_suite(
         quick=args.quick, max_workers=args.workers, progress=print
     )
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    write_result(args.out, payload)
     conv = payload["conv_step"]
     fl = payload["fl_round"]
     print(

@@ -34,6 +34,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from common import write_result  # noqa: E402
+
 from repro.api import RULES, simulate  # noqa: E402
 
 # Learning-signal shape: honest deltas are drift * (teacher - global)
@@ -136,10 +138,7 @@ def main(argv=None) -> int:
             "robust_rule_tolerance": 0.02,
         },
     }
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out}")
+    write_result(args.out, payload)
     return 0
 
 

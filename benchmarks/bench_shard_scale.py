@@ -27,6 +27,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from common import write_result  # noqa: E402
+
 from repro import obs  # noqa: E402
 from repro.obs import VirtualClock  # noqa: E402
 from repro.sim import FLSimulator, FaultPlan, FaultRates, SimConfig  # noqa: E402
@@ -141,10 +143,7 @@ def main(argv=None) -> int:
         },
         "results": results,
     }
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.out}")
+    write_result(args.out, payload)
     return 0
 
 

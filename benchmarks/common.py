@@ -1,0 +1,97 @@
+"""Shared harness for the ``BENCH_*.json``-writing benchmark scripts.
+
+Two things every benchmark needs live here so no script reinvents them:
+
+* :func:`time_call` — the timing loop (warmup, repeats, best/median), so
+  numbers across BENCH files are comparable like-for-like;
+* :func:`write_result` — the result writer, which stamps each payload with
+  a ``provenance`` block (commit SHA, Python and NumPy versions, machine,
+  UTC timestamp) before writing.  A BENCH file without provenance cannot be
+  regressed against later: the stamp records exactly which tree and
+  toolchain produced the numbers.
+
+Scripts run standalone (``python benchmarks/bench_X.py``), so the script
+directory is already first on ``sys.path`` and ``import common`` just works.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, Union
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["REPO_ROOT", "repo_commit", "provenance", "time_call", "write_result"]
+
+
+def repo_commit() -> str:
+    """The repo's current commit SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def provenance() -> Dict[str, str]:
+    """The stamp every BENCH payload carries: who produced these numbers."""
+    import numpy as np
+
+    return {
+        "commit": repo_commit(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "timestamp_utc": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+    }
+
+
+def time_call(
+    fn: Callable[[], object], *, repeats: int = 5, warmup: int = 1
+) -> Dict[str, float]:
+    """Time ``fn()`` after ``warmup`` unrecorded calls.
+
+    Returns best/median/mean seconds over ``repeats`` measured calls.  Use
+    ``best_s`` for speedup ratios (least scheduler noise) and ``median_s``
+    when reporting absolute time.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return {
+        "best_s": samples[0],
+        "median_s": samples[len(samples) // 2],
+        "mean_s": sum(samples) / len(samples),
+        "repeats": float(repeats),
+    }
+
+
+def write_result(path: Union[str, Path], payload: dict) -> Path:
+    """Stamp ``payload`` with :func:`provenance` and write it as JSON."""
+    stamped = dict(payload)
+    stamped.setdefault("provenance", provenance())
+    out = Path(path)
+    out.write_text(json.dumps(stamped, indent=2) + "\n")
+    print(f"wrote {out}")
+    return out

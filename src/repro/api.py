@@ -99,6 +99,8 @@ def simulate(
     clip: bool = False,
     drift: float = 0.2,
     update_scale: float = 0.05,
+    compile: bool = False,
+    client_batch: int = 1,
     include_metrics: bool = False,
 ) -> dict:
     """Run one deterministic fleet simulation and return its report.
@@ -113,7 +115,10 @@ def simulate(
     (:data:`RULES`), and ``max_norm`` puts admission control and the
     reputation/quarantine ledger in the loop.  Identical arguments produce
     an identical report, byte for byte once serialised — quarantine events
-    included.
+    included.  ``compile`` produces client updates through the traced
+    graph VM and ``client_batch`` stacks that many clients per execution;
+    both are pure execution knobs — the report (``weights_sha256``
+    included) is byte-identical to the eager run.
     """
     from .obs import VirtualClock, fresh
     from .sim import FLSimulator, FaultPlan, FaultRates, SimConfig
@@ -137,6 +142,8 @@ def simulate(
         clip=clip,
         drift=drift,
         update_scale=update_scale,
+        compile=compile,
+        client_batch=client_batch,
     )
     rates = FaultRates(
         dropout=dropout,

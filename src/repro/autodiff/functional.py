@@ -116,7 +116,11 @@ def flatten(x: Tensor) -> Tensor:
 
 def _stable_shift(x: Tensor) -> Tensor:
     """Subtract the per-row max (as a constant) for numerical stability."""
+    from ..graph import trace as _trace
+
     shift = Tensor(x.data.max(axis=1, keepdims=True))
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("rowmax", (x,), shift)
     return ops.sub(x, shift)
 
 

@@ -41,6 +41,7 @@ import numpy as np
 from .ops import _make, reshape as _reshape_op, sum_ as _sum_op
 from .tensor import Tensor, as_tensor
 from .workspace import Workspace, get_workspace
+from ..graph import trace as _trace
 
 __all__ = ["conv2d_fused"]
 
@@ -200,7 +201,13 @@ def _conv_dx_node(
             _conv_dw_node(g, h, w.shape, stride, pad) if _needs(w) else None,
         )
 
-    return _make(data, (g, w), grad_fn, "conv2d_dx")
+    out = _make(data, (g, w), grad_fn, "conv2d_dx")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op(
+            "conv2d_dx", (g, w), out,
+            x_shape=tuple(x_shape), stride=stride, pad=pad,
+        )
+    return out
 
 
 def _conv_dw_node(
@@ -234,7 +241,20 @@ def _conv_dw_node(
             _conv_dx_node(g, h, x.shape, stride, pad) if _needs(x) else None,
         )
 
-    return _make(data, (g, x), grad_fn, "conv2d_dw")
+    out = _make(data, (g, x), grad_fn, "conv2d_dw")
+    if _trace.TAPE is not None:
+        if own_cols:
+            _trace.TAPE.op(
+                "conv2d_dw", (g, x), out,
+                w_shape=tuple(w_shape), stride=stride, pad=pad,
+            )
+        else:
+            # The forward's cached column matrix is a first-class traced
+            # value (second output of the conv2d_fused node).
+            _trace.TAPE.op(
+                "conv2d_dw_cols", (g, cols), out, w_shape=tuple(w_shape)
+            )
+    return out
 
 
 def conv2d_fused(
@@ -299,6 +319,11 @@ def conv2d_fused(
 
     parents = (x, weight) if bias_t is None else (x, weight, bias_t)
     result = _make(out, parents, grad_fn, "conv2d")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op(
+            "conv2d_fused", parents, (result, cols),
+            stride=stride, pad=pad, has_bias=bias_t is not None,
+        )
     if result._grad_fn is None:
         # Inference path: no node retains the closure, return the lease now.
         ws.release(cols)

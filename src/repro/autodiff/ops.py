@@ -16,6 +16,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from .tensor import Tensor, as_tensor
+from ..graph import trace as _trace
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "pow_", "exp", "log", "sqrt",
@@ -67,7 +68,10 @@ def broadcast_to(x: Tensor, shape: tuple) -> Tensor:
     def grad_fn(g):
         return (_unbroadcast(g, x_shape),)
 
-    return _make(data, (x,), grad_fn, "broadcast_to")
+    out = _make(data, (x,), grad_fn, "broadcast_to")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("broadcast_to", (x,), out, shape=target)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -81,7 +85,10 @@ def add(a, b) -> Tensor:
     def grad_fn(g):
         return (_unbroadcast(g, a_shape), _unbroadcast(g, b_shape))
 
-    return _make(a.data + b.data, (a, b), grad_fn, "add")
+    out = _make(a.data + b.data, (a, b), grad_fn, "add")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("add", (a, b), out)
+    return out
 
 
 def sub(a, b) -> Tensor:
@@ -91,7 +98,10 @@ def sub(a, b) -> Tensor:
     def grad_fn(g):
         return (_unbroadcast(g, a_shape), _unbroadcast(neg(g), b_shape))
 
-    return _make(a.data - b.data, (a, b), grad_fn, "sub")
+    out = _make(a.data - b.data, (a, b), grad_fn, "sub")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("sub", (a, b), out)
+    return out
 
 
 def mul(a, b) -> Tensor:
@@ -101,7 +111,10 @@ def mul(a, b) -> Tensor:
     def grad_fn(g):
         return (_unbroadcast(mul(g, b), a_shape), _unbroadcast(mul(g, a), b_shape))
 
-    return _make(a.data * b.data, (a, b), grad_fn, "mul")
+    out = _make(a.data * b.data, (a, b), grad_fn, "mul")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("mul", (a, b), out)
+    return out
 
 
 def div(a, b) -> Tensor:
@@ -115,7 +128,10 @@ def neg(a) -> Tensor:
     def grad_fn(g):
         return (neg(g),)
 
-    return _make(-a.data, (a,), grad_fn, "neg")
+    out = _make(-a.data, (a,), grad_fn, "neg")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("neg", (a,), out)
+    return out
 
 
 def pow_(a, exponent: float) -> Tensor:
@@ -126,20 +142,28 @@ def pow_(a, exponent: float) -> Tensor:
     def grad_fn(g):
         return (mul(g, mul(pow_(a, exponent - 1.0), exponent)),)
 
-    return _make(a.data ** exponent, (a,), grad_fn, "pow")
+    out = _make(a.data ** exponent, (a,), grad_fn, "pow")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("pow", (a,), out, exponent=exponent)
+    return out
 
 
 def exp(a) -> Tensor:
     a = as_tensor(a)
     out_data = np.exp(a.data)
     if not _result_requires(a):
-        return Tensor(out_data)
+        out = Tensor(out_data)
+        if _trace.TAPE is not None:
+            _trace.TAPE.op("exp", (a,), out)
+        return out
     out = Tensor(out_data, parents=(a,), grad_fn=None, name="exp")
 
     def grad_fn(g):
         return (mul(g, out),)
 
     out._grad_fn = grad_fn
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("exp", (a,), out)
     return out
 
 
@@ -149,7 +173,10 @@ def log(a) -> Tensor:
     def grad_fn(g):
         return (div(g, a),)
 
-    return _make(np.log(a.data), (a,), grad_fn, "log")
+    out = _make(np.log(a.data), (a,), grad_fn, "log")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("log", (a,), out)
+    return out
 
 
 def sqrt(a) -> Tensor:
@@ -159,11 +186,16 @@ def sqrt(a) -> Tensor:
 def abs_(a) -> Tensor:
     a = as_tensor(a)
     sign = Tensor(np.sign(a.data))
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("sign", (a,), sign)
 
     def grad_fn(g):
         return (mul(g, sign),)
 
-    return _make(np.abs(a.data), (a,), grad_fn, "abs")
+    out = _make(np.abs(a.data), (a,), grad_fn, "abs")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("abs", (a,), out)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -179,7 +211,10 @@ def matmul(a, b) -> Tensor:
     def grad_fn(g):
         return (matmul(g, transpose(b)), matmul(transpose(a), g))
 
-    return _make(a.data @ b.data, (a, b), grad_fn, "matmul")
+    out = _make(a.data @ b.data, (a, b), grad_fn, "matmul")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("matmul", (a, b), out)
+    return out
 
 
 def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
@@ -192,7 +227,10 @@ def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
     def grad_fn(g):
         return (transpose(g, inverse),)
 
-    return _make(np.transpose(a.data, axes).copy(), (a,), grad_fn, "transpose")
+    out = _make(np.transpose(a.data, axes).copy(), (a,), grad_fn, "transpose")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("transpose", (a,), out, axes=axes)
+    return out
 
 
 def reshape(a, shape) -> Tensor:
@@ -202,7 +240,10 @@ def reshape(a, shape) -> Tensor:
     def grad_fn(g):
         return (reshape(g, original),)
 
-    return _make(a.data.reshape(shape).copy(), (a,), grad_fn, "reshape")
+    out = _make(a.data.reshape(shape).copy(), (a,), grad_fn, "reshape")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("reshape", (a,), out, shape=shape)
+    return out
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -219,7 +260,10 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         return tuple(grads)
 
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    return _make(data, tuple(tensors), grad_fn, "concatenate")
+    out = _make(data, tuple(tensors), grad_fn, "concatenate")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("concatenate", tuple(tensors), out, axis=axis)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -244,7 +288,16 @@ def sum_(a, axis=None, keepdims: bool = False) -> Tensor:
 
     data = a.data.sum(axis=norm_axes if axis is not None else None, keepdims=keepdims)
     data = np.asarray(data)
-    return _make(data, (a,), grad_fn, "sum")
+    out = _make(data, (a,), grad_fn, "sum")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op(
+            "sum",
+            (a,),
+            out,
+            axis=norm_axes if axis is not None else None,
+            keepdims=keepdims,
+        )
+    return out
 
 
 def mean(a, axis=None, keepdims: bool = False) -> Tensor:
@@ -270,7 +323,10 @@ def getitem(a, index) -> Tensor:
     def grad_fn(g):
         return (_scatter(g, index, a_shape),)
 
-    return _make(np.asarray(a.data[index]).copy(), (a,), grad_fn, "getitem")
+    out = _make(np.asarray(a.data[index]).copy(), (a,), grad_fn, "getitem")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("getitem", (a,), out, index=index)
+    return out
 
 
 def _scatter(g: Tensor, index, target_shape: tuple) -> Tensor:
@@ -280,7 +336,10 @@ def _scatter(g: Tensor, index, target_shape: tuple) -> Tensor:
 
     data = np.zeros(target_shape, dtype=g.data.dtype)
     data[index] = g.data
-    return _make(data, (g,), grad_fn, "scatter")
+    out = _make(data, (g,), grad_fn, "scatter")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("scatter", (g,), out, index=index, shape=tuple(target_shape))
+    return out
 
 
 def pad2d(a, pad: int) -> Tensor:
@@ -297,7 +356,10 @@ def pad2d(a, pad: int) -> Tensor:
         return (getitem(g, index),)
 
     data = np.pad(a.data, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    return _make(data, (a,), grad_fn, "pad2d")
+    out = _make(data, (a,), grad_fn, "pad2d")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("pad2d", (a,), out, pad=pad)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -307,24 +369,34 @@ def pad2d(a, pad: int) -> Tensor:
 def relu(a) -> Tensor:
     a = as_tensor(a)
     mask = Tensor((a.data > 0).astype(a.data.dtype))
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("gtzero_mask", (a,), mask)
 
     def grad_fn(g):
         return (mul(g, mask),)
 
-    return _make(np.maximum(a.data, 0.0), (a,), grad_fn, "relu")
+    out = _make(np.maximum(a.data, 0.0), (a,), grad_fn, "relu")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("relu", (a,), out)
+    return out
 
 
 def sigmoid(a) -> Tensor:
     a = as_tensor(a)
     out_data = 1.0 / (1.0 + np.exp(-a.data))
     if not _result_requires(a):
-        return Tensor(out_data)
+        out = Tensor(out_data)
+        if _trace.TAPE is not None:
+            _trace.TAPE.op("sigmoid", (a,), out)
+        return out
     out = Tensor(out_data, parents=(a,), grad_fn=None, name="sigmoid")
 
     def grad_fn(g):
         return (mul(g, mul(out, sub(1.0, out))),)
 
     out._grad_fn = grad_fn
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("sigmoid", (a,), out)
     return out
 
 
@@ -332,13 +404,18 @@ def tanh(a) -> Tensor:
     a = as_tensor(a)
     out_data = np.tanh(a.data)
     if not _result_requires(a):
-        return Tensor(out_data)
+        out = Tensor(out_data)
+        if _trace.TAPE is not None:
+            _trace.TAPE.op("tanh", (a,), out)
+        return out
     out = Tensor(out_data, parents=(a,), grad_fn=None, name="tanh")
 
     def grad_fn(g):
         return (mul(g, sub(1.0, mul(out, out))),)
 
     out._grad_fn = grad_fn
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("tanh", (a,), out)
     return out
 
 
@@ -346,12 +423,17 @@ def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
     a = as_tensor(a)
     slope = float(negative_slope)
     factor = Tensor(np.where(a.data > 0, 1.0, slope))
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("leaky_factor", (a,), factor, slope=slope)
 
     def grad_fn(g):
         return (mul(g, factor),)
 
     data = np.where(a.data > 0, a.data, slope * a.data)
-    return _make(data, (a,), grad_fn, "leaky_relu")
+    out = _make(data, (a,), grad_fn, "leaky_relu")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("leaky_relu", (a,), out, slope=slope)
+    return out
 
 
 def softplus(a) -> Tensor:
@@ -359,13 +441,18 @@ def softplus(a) -> Tensor:
     a = as_tensor(a)
     data = np.logaddexp(0.0, a.data)
     if not _result_requires(a):
-        return Tensor(data)
+        out = Tensor(data)
+        if _trace.TAPE is not None:
+            _trace.TAPE.op("softplus", (a,), out)
+        return out
     out = Tensor(data, parents=(a,), grad_fn=None, name="softplus")
 
     def grad_fn(g):
         return (mul(g, sigmoid(a)),)
 
     out._grad_fn = grad_fn
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("softplus", (a,), out)
     return out
 
 
@@ -375,11 +462,16 @@ def clip(a, low: float, high: float) -> Tensor:
     if low > high:
         raise ValueError(f"clip bounds inverted: {low} > {high}")
     mask = Tensor(((a.data >= low) & (a.data <= high)).astype(a.data.dtype))
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("clip_mask", (a,), mask, low=float(low), high=float(high))
 
     def grad_fn(g):
         return (mul(g, mask),)
 
-    return _make(np.clip(a.data, low, high), (a,), grad_fn, "clip")
+    out = _make(np.clip(a.data, low, high), (a,), grad_fn, "clip")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("clip", (a,), out, low=float(low), high=float(high))
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -437,7 +529,10 @@ def im2col(x, kernel: Tuple[int, int], stride: int, pad: int) -> Tensor:
     def grad_fn(g):
         return (col2im(g, x_shape, kernel, stride, pad),)
 
-    return _make(_im2col_array(x.data, kh, kw, stride, pad), (x,), grad_fn, "im2col")
+    out = _make(_im2col_array(x.data, kh, kw, stride, pad), (x,), grad_fn, "im2col")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("im2col", (x,), out, kernel=(kh, kw), stride=stride, pad=pad)
+    return out
 
 
 def col2im(cols, x_shape: tuple, kernel: Tuple[int, int], stride: int, pad: int) -> Tensor:
@@ -449,7 +544,18 @@ def col2im(cols, x_shape: tuple, kernel: Tuple[int, int], stride: int, pad: int)
         return (im2col(g, kernel, stride, pad),)
 
     data = _col2im_array(cols.data, tuple(x_shape), kh, kw, stride, pad)
-    return _make(data, (cols,), grad_fn, "col2im")
+    out = _make(data, (cols,), grad_fn, "col2im")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op(
+            "col2im",
+            (cols,),
+            out,
+            x_shape=tuple(x_shape),
+            kernel=(kh, kw),
+            stride=stride,
+            pad=pad,
+        )
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -492,7 +598,10 @@ def maxpool2d(x, kernel: int = 2) -> Tensor:
     def grad_fn(g):
         return (_maxpool_scatter(g, argmax, x.shape),)
 
-    return _make(out_data, (x,), grad_fn, "maxpool2d")
+    out = _make(out_data, (x,), grad_fn, "maxpool2d")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("maxpool2d", (x,), (out, argmax), kernel=kernel)
+    return out
 
 
 def _maxpool_scatter(g: Tensor, argmax: tuple, x_shape: tuple) -> Tensor:
@@ -503,7 +612,12 @@ def _maxpool_scatter(g: Tensor, argmax: tuple, x_shape: tuple) -> Tensor:
 
     data = np.zeros(x_shape, dtype=g.data.dtype)
     data[argmax] = g.data
-    return _make(data, (g,), grad_fn, "maxpool_scatter")
+    out = _make(data, (g,), grad_fn, "maxpool_scatter")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op(
+            "maxpool_scatter", (g, argmax), out, x_shape=tuple(x_shape)
+        )
+    return out
 
 
 def _maxpool_gather(x: Tensor, argmax: tuple) -> Tensor:
@@ -513,7 +627,10 @@ def _maxpool_gather(x: Tensor, argmax: tuple) -> Tensor:
         return (_maxpool_scatter(g, argmax, x.shape),)
 
     data = x.data[argmax]
-    return _make(data, (x,), grad_fn, "maxpool_gather")
+    out = _make(data, (x,), grad_fn, "maxpool_gather")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("maxpool_gather", (x, argmax), out)
+    return out
 
 
 # ----------------------------------------------------------------------

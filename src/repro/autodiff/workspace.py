@@ -27,7 +27,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-__all__ = ["Workspace", "get_workspace"]
+__all__ = ["Workspace", "get_workspace", "set_workspace"]
 
 
 class Workspace:
@@ -103,3 +103,16 @@ _GLOBAL = Workspace()
 def get_workspace() -> Workspace:
     """The process-wide workspace shared by all fused kernels."""
     return _GLOBAL
+
+
+def set_workspace(workspace) -> "Workspace":
+    """Swap the process-wide workspace; returns the previous one.
+
+    The graph tracer installs a non-recycling workspace while recording
+    (a recycled buffer would alias two distinct trace values); anything
+    honoring the checkout/release/clear protocol is accepted.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = workspace
+    return previous

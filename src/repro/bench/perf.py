@@ -40,7 +40,71 @@ from ..nn import SGD, Sequential, lenet5, one_hot
 from ..obs import get_registry
 from ..tee.costmodel import CostModel
 
-__all__ = ["bench_conv_step", "bench_fl_round", "run_perf_suite"]
+__all__ = [
+    "bench_conv_step",
+    "bench_fl_round",
+    "run_perf_suite",
+    "TRACKED_METRICS",
+    "compare_payloads",
+]
+
+# Metrics ``repro perf --compare`` regresses against, with the direction in
+# which a change counts as worse: times regress when they grow, speedups when
+# they shrink.  Machine-dependent wall numbers are tracked too — comparisons
+# only make sense between runs on the same machine, which is exactly what a
+# perf-gate CI job provides.
+TRACKED_METRICS = {
+    "conv_step.composed_step_ms": "lower",
+    "conv_step.fused_step_ms": "lower",
+    "conv_step.speedup": "higher",
+    "fl_round.sequential_wall_s": "lower",
+    "fl_round.parallel_wall_s": "lower",
+    "fl_round.simulated_speedup": "higher",
+}
+
+
+def _lookup(payload: dict, dotted: str):
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def compare_payloads(
+    current: dict, baseline: dict, threshold: float = 0.20
+) -> List[Dict[str, object]]:
+    """Compare two perf payloads metric by metric.
+
+    Returns one row per tracked metric present in both payloads; a row is a
+    *regression* when the metric moved in its bad direction by more than
+    ``threshold`` (relative to the baseline value).  Metrics missing from
+    either payload are skipped — an old baseline never fails a new suite.
+    """
+    rows: List[Dict[str, object]] = []
+    for metric, direction in TRACKED_METRICS.items():
+        base = _lookup(baseline, metric)
+        cur = _lookup(current, metric)
+        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+            continue
+        if base <= 0:
+            continue
+        if direction == "lower":
+            change = (cur - base) / base
+        else:
+            change = (base - cur) / base
+        rows.append(
+            {
+                "metric": metric,
+                "direction": f"{direction}_is_better",
+                "baseline": float(base),
+                "current": float(cur),
+                "regression_fraction": change,
+                "regressed": change > threshold,
+            }
+        )
+    return rows
 
 
 def _flat_params(model: Sequential):

@@ -316,6 +316,8 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         clip=args.clip,
         drift=args.drift,
         update_scale=args.update_scale,
+        compile=args.compile,
+        client_batch=args.client_batch,
     )
     rates = FaultRates(
         dropout=args.dropout,
@@ -364,8 +366,8 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         print(text)
 
 
-def _cmd_perf(args: argparse.Namespace) -> None:
-    from .bench.perf import run_perf_suite
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .bench.perf import compare_payloads, run_perf_suite
 
     payload = run_perf_suite(
         quick=args.quick,
@@ -378,6 +380,28 @@ def _cmd_perf(args: argparse.Namespace) -> None:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.out}")
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        rows = compare_payloads(payload, baseline, threshold=args.threshold)
+        regressed = [row for row in rows if row["regressed"]]
+        print(
+            f"comparing against {args.compare} "
+            f"(threshold {args.threshold:.0%}):"
+        )
+        for row in rows:
+            flag = "REGRESSION" if row["regressed"] else "ok"
+            print(
+                f"  {row['metric']:<28} baseline {row['baseline']:.4g} "
+                f"-> current {row['current']:.4g} "
+                f"({row['regression_fraction']:+.1%} worse) {flag}"
+            )
+        if regressed:
+            print(f"{len(regressed)} tracked metric(s) regressed > "
+                  f"{args.threshold:.0%}")
+            return 1
+        print("no tracked metric regressed")
+    return 0
 
 
 _COMMANDS = {
@@ -438,6 +462,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--clients", type=int, default=8, help="FL participants in round benchmarks"
     )
     perf.add_argument("--out", default=None, help="write BENCH_kernels JSON here")
+    perf.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a previous BENCH_kernels JSON; exit non-zero "
+        "when any tracked metric regresses past --threshold",
+    )
+    perf.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative regression tolerance for --compare (default 0.20)",
+    )
     trace = subparsers.add_parser(
         "trace", help="deterministic FL-round trace + metrics as JSON"
     )
@@ -566,6 +603,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="noise std of honest pseudo-updates",
     )
     simulate.add_argument(
+        "--compile",
+        action="store_true",
+        help="produce client updates through the compiled graph VM "
+        "(bitwise-identical report, faster)",
+    )
+    simulate.add_argument(
+        "--client-batch",
+        type=int,
+        default=1,
+        help="clients stacked per batched VM execution (requires --compile)",
+    )
+    simulate.add_argument(
         "--state-dir",
         default=None,
         help="checkpoint directory (enables kill/resume across invocations)",
@@ -580,8 +629,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_list(args)
         return 0
     if args.command == "perf":
-        _cmd_perf(args)
-        return 0
+        return _cmd_perf(args)
     if args.command == "trace":
         _cmd_trace(args)
         return 0

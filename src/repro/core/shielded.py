@@ -210,6 +210,11 @@ class ShieldedModel:
     cost_model:
         When provided, the trainer accrues simulated device time
         (user/kernel/alloc) per cycle, reproducing Table 6 accounting.
+    compile_steps:
+        Route fully-unprotected training steps through the graph VM
+        (:mod:`repro.graph`).  Bitwise-identical to the eager path; cycles
+        with a non-empty protected set always use the partitioned eager
+        executor (the enclave boundary is the point of those cycles).
     """
 
     def __init__(
@@ -220,6 +225,7 @@ class ShieldedModel:
         monitor: Optional[SecureMonitor] = None,
         batch_size: int = 32,
         cost_model: Optional[CostModel] = None,
+        compile_steps: bool = False,
     ) -> None:
         self.model = model
         self.policy = policy or NoProtection(model.num_layers)
@@ -239,6 +245,8 @@ class ShieldedModel:
         self._in_cycle = False
         self.history: List[CycleLeakage] = []
         self.simulated_cost = CycleCost(0.0, 0.0, 0.0, 0)
+        self.compile_steps = bool(compile_steps)
+        self._compiled_step = None  # (CompiledStep, VM) for the last shape
 
     # ------------------------------------------------------------------
     @property
@@ -317,12 +325,55 @@ class ShieldedModel:
             runs.append((tuple(run), is_protected))
         return runs
 
+    def _accrue_step_cost(self, batch: int) -> None:
+        """Simulated user/kernel time for one step (Table 6 accounting)."""
+        factor = self.cost_model.profile.training_flops_factor()
+        user = kernel = 0.0
+        for i in range(1, self.model.num_layers + 1):
+            flops = self.model.layer(i).flops_per_sample() * factor * batch
+            if i in self._protected:
+                kernel += flops * self.cost_model.profile.tee_seconds_per_flop
+            else:
+                user += flops * self.cost_model.profile.ree_seconds_per_flop
+        kernel += len(self._protected) * self.cost_model.profile.world_switch_seconds
+        self.simulated_cost = self.simulated_cost.plus(CycleCost(user, kernel, 0.0, 0))
+
+    def _train_step_compiled(
+        self, x: np.ndarray, y_onehot: np.ndarray, lr: float
+    ) -> float:
+        """Unprotected step through the graph VM (bitwise == eager path).
+
+        The eager unprotected path computes every parameter gradient before
+        applying any update, in ascending (layer, sorted key) order — the
+        exact contract the compiled program replays, so leakage records and
+        weights match the eager step bit for bit.
+        """
+        from ..graph.vm import compile_model_step
+
+        step = compile_model_step(self.model, x, y_onehot)
+        cached = self._compiled_step
+        if cached is None or cached[0] is not step:
+            # VM instances hold mutable scratch, so each ShieldedModel (one
+            # per client / thread) owns its own.
+            self._compiled_step = (step, step.make_vm())
+        step, vm = self._compiled_step
+        loss, grads = step.run_step(vm, self.model, x, y_onehot)
+        for (li, name), g in zip(step.param_index, grads):
+            self._cycle_leakage.record_gradient(li + 1, name, g)
+            param = self.model.layers[li].params[name]
+            param.data = param.data - lr * g
+        if self.cost_model is not None:
+            self._accrue_step_cost(x.shape[0])
+        return loss
+
     def train_step(self, x: np.ndarray, y_onehot: np.ndarray, lr: float = 0.1) -> float:
         """One SGD step with partitioned execution; returns the loss."""
         if not self._in_cycle:
             raise RuntimeError("train_step outside begin_cycle/end_cycle")
         x = np.asarray(x)
         y_onehot = np.asarray(y_onehot)
+        if self.compile_steps and not self._protected:
+            return self._train_step_compiled(x, y_onehot, lr)
         runs = self._runs()
 
         # Forward: normal-world runs execute locally; protected runs via SMC.
@@ -375,19 +426,7 @@ class ShieldedModel:
                 gout_data = gin.data
 
         if self.cost_model is not None:
-            factor = self.cost_model.profile.training_flops_factor()
-            batch = x.shape[0]
-            user = kernel = 0.0
-            for i in range(1, self.model.num_layers + 1):
-                flops = self.model.layer(i).flops_per_sample() * factor * batch
-                if i in self._protected:
-                    kernel += flops * self.cost_model.profile.tee_seconds_per_flop
-                else:
-                    user += flops * self.cost_model.profile.ree_seconds_per_flop
-            kernel += len(self._protected) * self.cost_model.profile.world_switch_seconds
-            self.simulated_cost = self.simulated_cost.plus(
-                CycleCost(user, kernel, 0.0, 0)
-            )
+            self._accrue_step_cost(x.shape[0])
         return float(loss.item())
 
     def end_cycle(self, restore: bool = True) -> CycleLeakage:

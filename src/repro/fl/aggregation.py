@@ -191,13 +191,24 @@ class StreamingWeightedSum:
         self.accumulator = CompensatedAccumulator(self.size)
         self.total_samples = 0
 
-    def fold(self, weights: WeightsList, num_samples: int) -> None:
-        """Fold one dense client update, then drop it."""
+    def fold(
+        self,
+        weights: WeightsList,
+        num_samples: int,
+        flat: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fold one dense client update, then drop it.
+
+        ``flat`` lets a producer that already holds the flattened vector
+        (same order as :func:`~repro.nn.serialize.flatten_weights`) skip
+        the re-flatten; the fold is bitwise-identical either way.
+        """
         if num_samples <= 0:
             raise ValueError("num_samples must be positive")
         if len(weights) != len(self.template):
             raise ValueError("clients disagree on layer count")
-        flat = flatten_weights(weights)
+        if flat is None:
+            flat = flatten_weights(weights)
         if flat.size != self.size:
             raise ValueError("clients disagree on parameter count")
         self.accumulator.add(float(num_samples) * flat)

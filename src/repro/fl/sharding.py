@@ -143,9 +143,14 @@ class ShardAggregator:
         self.peak_bytes = 0
 
     # -- folding -----------------------------------------------------------
-    def fold(self, weights: WeightsList, num_samples: int) -> None:
+    def fold(
+        self,
+        weights: WeightsList,
+        num_samples: int,
+        flat: Optional[np.ndarray] = None,
+    ) -> None:
         """Fold one dense client update and release it."""
-        self.fold_state.fold(weights, num_samples)
+        self.fold_state.fold(weights, num_samples, flat=flat)
         self._account()
 
     def fold_sparse(self, sparse, num_samples: int) -> None:
@@ -238,10 +243,11 @@ class HierarchicalAggregator:
         weights: WeightsList,
         num_samples: int,
         position: Optional[int] = None,
+        flat: Optional[np.ndarray] = None,
     ) -> None:
         # ``position`` is accepted for call-site uniformity with the robust
         # tree; the exact streaming reduce is order-free, so it is unused.
-        self.shards[shard_id].fold(weights, num_samples)
+        self.shards[shard_id].fold(weights, num_samples, flat=flat)
 
     def fold_sparse(self, shard_id: int, sparse, num_samples: int) -> None:
         self.shards[shard_id].fold_sparse(sparse, num_samples)
@@ -368,8 +374,17 @@ class RobustShardCollector:
         self._low: Optional[np.ndarray] = None  # (<=trim, size), ascending
         self._high: Optional[np.ndarray] = None  # (<=trim, size), ascending
 
-    def fold(self, weights: WeightsList, num_samples: int, position: int) -> None:
-        flat = flatten_weights(weights)
+    def fold(
+        self,
+        weights: WeightsList,
+        num_samples: int,
+        position: int,
+        flat: Optional[np.ndarray] = None,
+    ) -> None:
+        if flat is None:
+            flat = flatten_weights(weights)
+        else:
+            flat = np.asarray(flat, dtype=np.float64)
         if flat.size != self.size:
             raise ValueError("clients disagree on parameter count")
         if self.mode == "gather":
@@ -500,9 +515,10 @@ class RobustHierarchicalAggregator:
         weights: WeightsList,
         num_samples: int,
         position: Optional[int] = None,
+        flat: Optional[np.ndarray] = None,
     ) -> None:
         pos = int(position) if position is not None else self.folds
-        self.shards[shard_id].fold(weights, num_samples, pos)
+        self.shards[shard_id].fold(weights, num_samples, pos, flat=flat)
 
     @property
     def folds(self) -> int:

@@ -1,0 +1,162 @@
+"""TEE-aware memory planning as a compile-time artifact.
+
+The paper's binding constraint is peak secure-world memory: a protected
+set only trains if ``W + dW + A_{l-1} + Z_l + delta_l`` for every shielded
+layer fits the enclave pool at once.  At runtime the repo measures this via
+the ``tee.pool.peak_bytes`` gauge; this module computes the same number
+*statically*, per layer, from shapes alone — before any enclave is
+provisioned — and cross-checks it against :meth:`CostModel.tee_memory_bytes`
+so the two accountings can never drift apart.
+
+:func:`plan_protection` evaluates one protected set; :func:`plan_policy`
+sweeps a protection policy's per-cycle shielded-layer partitions (the
+dynamic policies move a window across the model) and reports the worst-case
+cycle, which is what capacity admission must budget for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..nn.model import Sequential
+from ..tee.costmodel import CostModel
+from ..tee.memory import DEFAULT_CAPACITY_BYTES
+
+__all__ = ["LayerMemory", "MemoryPlan", "plan_protection", "plan_policy"]
+
+_FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LayerMemory:
+    """Static secure-memory breakdown for one shielded layer (1-based index).
+
+    ``params_bytes`` covers W + dW; ``activation_bytes`` covers the batch
+    activations the enclave holds (A_{l-1} + Z_l + delta_l).  Their sum is
+    exactly :meth:`repro.nn.layers.Layer.tee_memory_bytes`.
+    """
+
+    index: int
+    name: str
+    params_bytes: int
+    activation_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.params_bytes + self.activation_bytes
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Compile-time secure-pool budget for one protected set."""
+
+    protected: Tuple[int, ...]
+    batch_size: int
+    layers: Tuple[LayerMemory, ...]
+    capacity_bytes: int
+
+    @property
+    def peak_bytes(self) -> int:
+        """Planned secure-pool peak: all shielded buffers are provisioned at
+        cycle start and live through the cycle, so the peak is the sum."""
+        return sum(entry.total_bytes for entry in self.layers)
+
+    @property
+    def fits(self) -> bool:
+        return self.peak_bytes <= self.capacity_bytes
+
+    @property
+    def headroom_bytes(self) -> int:
+        return self.capacity_bytes - self.peak_bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "protected": list(self.protected),
+            "batch_size": self.batch_size,
+            "peak_bytes": self.peak_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "fits": self.fits,
+            "layers": [
+                {
+                    "index": e.index,
+                    "name": e.name,
+                    "params_bytes": e.params_bytes,
+                    "activation_bytes": e.activation_bytes,
+                    "total_bytes": e.total_bytes,
+                }
+                for e in self.layers
+            ],
+        }
+
+
+def plan_protection(
+    model: Sequential,
+    protected: Iterable[int],
+    batch_size: int = 32,
+    capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+    cost_model: Optional[CostModel] = None,
+) -> MemoryPlan:
+    """Plan secure-pool usage for shielding ``protected`` layers (1-based).
+
+    The plan's ``peak_bytes`` is asserted equal to
+    :meth:`CostModel.tee_memory_bytes` for the same set — a drift between
+    the per-layer breakdown here and the cost model's aggregate would mean
+    the compile-time budget no longer predicts the runtime gauge.
+    """
+    indices = tuple(sorted(set(int(i) for i in protected)))
+    entries: List[LayerMemory] = []
+    for index in indices:
+        layer = model.layer(index)
+        total = layer.tee_memory_bytes(batch_size)
+        params_bytes = 2 * _FLOAT_BYTES * layer.param_count
+        entries.append(
+            LayerMemory(
+                index=index,
+                name=layer.name,
+                params_bytes=params_bytes,
+                activation_bytes=total - params_bytes,
+            )
+        )
+    plan = MemoryPlan(
+        protected=indices,
+        batch_size=int(batch_size),
+        layers=tuple(entries),
+        capacity_bytes=int(capacity_bytes),
+    )
+    cm = cost_model or CostModel(batch_size=batch_size)
+    expected = cm.tee_memory_bytes(model, indices)
+    if plan.peak_bytes != expected:
+        raise AssertionError(
+            f"planned secure-pool peak {plan.peak_bytes} B disagrees with "
+            f"CostModel.tee_memory_bytes {expected} B for set {indices}"
+        )
+    return plan
+
+
+def plan_policy(
+    model: Sequential,
+    policy,
+    batch_size: int = 32,
+    cycles: int = 1,
+    capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+) -> Tuple[MemoryPlan, List[MemoryPlan]]:
+    """Plan every cycle of a protection policy; returns (worst, per-cycle).
+
+    ``policy`` is any object with ``layers_for_cycle(cycle)`` (the
+    :class:`repro.core.policy.ProtectionPolicy` protocol).  The worst plan
+    (largest peak) is what admission control must budget against when the
+    policy is dynamic.
+    """
+    per_cycle: List[MemoryPlan] = []
+    for cycle in range(int(cycles)):
+        per_cycle.append(
+            plan_protection(
+                model,
+                policy.layers_for_cycle(cycle),
+                batch_size=batch_size,
+                capacity_bytes=capacity_bytes,
+            )
+        )
+    worst = max(per_cycle, key=lambda plan: plan.peak_bytes)
+    return worst, per_cycle

@@ -341,7 +341,22 @@ class Dropout(Layer):
             return x
         keep = 1.0 - self.rate
         mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
-        return ops.mul(x, Tensor(mask))
+        mask_t = Tensor(mask)
+        from ..graph import trace as _trace
+
+        if _trace.TAPE is not None:
+            # Stateful: replay must advance this layer's RNG exactly like
+            # eager execution, so the node carries a pre-bound kernel and
+            # pins the program to this layer instance (non-cacheable).
+            rng, shape = self._rng, x.shape
+
+            def _draw_mask(_x):
+                return (rng.random(shape) < keep).astype(np.float64) / keep
+
+            _trace.TAPE.op(
+                "dropout_mask", (x,), mask_t, stateful=True, kernel_fn=_draw_mask
+            )
+        return ops.mul(x, mask_t)
 
     def flops_per_sample(self) -> float:
         return float(np.prod(self.input_shape))

@@ -156,6 +156,15 @@ class SimConfig:
         arriving update (delta-norm ceiling; ``clip`` rescales instead of
         rejecting) and a reputation ledger quarantines repeat offenders
         out of future cohorts.
+    compile / client_batch:
+        Execution knobs (not deployment semantics — :meth:`FLSimulator.report`
+        omits them so compiled and eager runs report identical bytes).
+        ``compile`` routes pseudo-update production through a traced
+        :mod:`repro.graph` program replayed by the batched VM;
+        ``client_batch`` stacks that many cohort members per VM execution
+        along a leading client axis.  Per-client results are
+        bitwise-identical to the sequential eager loop for every batch
+        size.
     """
 
     num_clients: int
@@ -182,6 +191,8 @@ class SimConfig:
     num_byzantine: Optional[int] = None
     max_norm: Optional[float] = None
     clip: bool = False
+    compile: bool = False
+    client_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -227,6 +238,10 @@ class SimConfig:
             raise ValueError("num_byzantine must be non-negative")
         if self.max_norm is not None and self.max_norm <= 0:
             raise ValueError("max_norm must be positive when set")
+        if self.client_batch < 1:
+            raise ValueError("client_batch must be >= 1")
+        if self.client_batch > 1 and not self.compile:
+            raise ValueError("client_batch > 1 requires compile=True")
 
     @property
     def asked(self) -> int:
@@ -422,6 +437,15 @@ class FLSimulator:
         self.round = 0
         self.history: List[Dict[str, object]] = []
         self.resumed_from: Optional[int] = None
+        # Compiled update production (config.compile): per-round cache of
+        # (round, client) -> (trained weights, flat vector), the traced
+        # delta program + batched VM, the flat weight layout, and the
+        # once-per-run memoised update wire size (a pure function of the
+        # model structure, so one serialisation prices every upload).
+        self._update_cache: Dict[tuple, tuple] = {}
+        self._flat_layout: Optional[tuple] = None
+        self._delta_exec: Optional[tuple] = None
+        self._wire_size: Optional[int] = None
         if self.storage is not None:
             self._load_checkpoint()
 
@@ -433,6 +457,149 @@ class FLSimulator:
         )
         return sorted(int(i) for i in picked)
 
+    # -- compiled (batched) update production ------------------------------
+    def _layout(self) -> tuple:
+        """Flat layout of the model's parameters.
+
+        Returns ``(total, perm, sorted_pos)``: the parameter count, the
+        permutation taking an *items-order* flat vector (the order
+        :meth:`_make_update` draws noise in) onto
+        :func:`~repro.nn.serialize.flatten_weights`' sorted-key order, and
+        per-``(layer, key)`` offsets into the sorted-order vector.
+        """
+        if self._flat_layout is None:
+            template = self.model.get_weights()
+            items_pos: Dict[tuple, tuple] = {}
+            offset = 0
+            for i, layer in enumerate(template):
+                for key, value in layer.items():
+                    items_pos[(i, key)] = (offset, int(value.size))
+                    offset += int(value.size)
+            perm_parts: List[np.ndarray] = []
+            sorted_pos: Dict[tuple, int] = {}
+            sorted_offset = 0
+            for i, layer in enumerate(template):
+                for key in sorted(layer):
+                    start, size = items_pos[(i, key)]
+                    perm_parts.append(np.arange(start, start + size))
+                    sorted_pos[(i, key)] = sorted_offset
+                    sorted_offset += size
+            perm = (
+                np.concatenate(perm_parts)
+                if perm_parts
+                else np.zeros(0, dtype=np.int64)
+            )
+            struct = [
+                [
+                    (
+                        key,
+                        sorted_pos[(i, key)],
+                        sorted_pos[(i, key)] + int(value.size),
+                        value.shape,
+                    )
+                    for key, value in layer.items()
+                ]
+                for i, layer in enumerate(template)
+            ]
+            self._flat_layout = (offset, perm, sorted_pos, struct)
+        return self._flat_layout
+
+    def _delta_vm(self) -> tuple:
+        """The traced honest-delta program and its client-batched VM.
+
+        Traces ``drift * (teacher - global) + scale * noise`` once over
+        flat parameter vectors, then lifts the noise placeholder along a
+        leading client axis — elementwise throughout, so each batched row
+        equals the eager per-client arithmetic bitwise.
+        """
+        if self._delta_exec is None:
+            from ..autodiff.ops import add, mul, sub
+            from ..graph.vm import BatchedVM, trace_callable
+
+            total = self._layout()[0]
+            drift = self.config.drift
+            scale = self.config.update_scale
+
+            def delta_fn(global_flat, teacher_flat, noise):
+                return add(
+                    mul(sub(teacher_flat, global_flat), drift),
+                    mul(noise, scale),
+                )
+
+            with get_tracer().span(
+                "graph.compile", model="sim-update-delta", inputs=str((total,))
+            ):
+                program = trace_callable(
+                    delta_fn,
+                    [np.zeros(total), np.zeros(total), np.zeros(total)],
+                )
+            self._delta_exec = (program, BatchedVM(program, [2]))
+        return self._delta_exec
+
+    def _precompute_updates(
+        self, round_index: int, members: List[int], global_weights: WeightsList
+    ) -> None:
+        """Produce the cohort's pseudo-updates through the batched VM.
+
+        Bitwise-identical to per-client :meth:`_make_update`: one flat
+        ``standard_normal`` draw per client equals its per-parameter
+        chunked draws (the generator fills arrays sequentially from the
+        same bit stream), the traced program replays the eager arithmetic
+        elementwise, and attacks are applied per client on the sorted-order
+        flat delta exactly as the eager path flattens it.
+        """
+        cfg = self.config
+        total, perm, _, struct = self._layout()
+        _, vm = self._delta_vm()
+        global_flat = flatten_weights(global_weights)
+        teacher_flat = flatten_weights(self.teacher_weights)
+        batch = cfg.client_batch
+        seed = cfg.seed
+        cache = self._update_cache
+        attack_for = self.fault_plan.attack_for
+        with get_tracer().span(
+            "graph.execute",
+            program="sim-update-delta",
+            cycle=round_index,
+            clients=len(members),
+            batch=batch,
+        ):
+            for start in range(0, len(members), batch):
+                chunk = members[start : start + batch]
+                noise = np.empty((len(chunk), total))
+                for j, client in enumerate(chunk):
+                    # Generator(PCG64(SeedSequence(...))) is what
+                    # default_rng(...) builds, minus its dispatch overhead;
+                    # the bit stream — and every draw — is identical.
+                    rng = np.random.Generator(
+                        np.random.PCG64(
+                            np.random.SeedSequence(
+                                (seed, _STREAM_UPDATE, round_index, client)
+                            )
+                        )
+                    )
+                    noise[j] = rng.standard_normal(total)
+                deltas = vm.run([global_flat, teacher_flat, noise[:, perm]])[0]
+                # One broadcast add prices the whole chunk; each row is the
+                # same IEEE elementwise sum the eager path computes.
+                trained_mat = global_flat + deltas
+                for j, client in enumerate(chunk):
+                    if attack_for(client) is not None:
+                        flat = self.fault_plan.attack_delta(
+                            round_index, client, deltas[j]
+                        )
+                        trained_flat = global_flat + flat
+                    else:
+                        trained_flat = trained_mat[j]
+                    trained: WeightsList = [
+                        {
+                            key: trained_flat[s:e].reshape(shape)
+                            for key, s, e, shape in layer
+                        }
+                        for layer in struct
+                    ]
+                    cache[(round_index, client)] = (trained, trained_flat)
+
     def _make_update(
         self, round_index: int, client_index: int, global_weights: WeightsList
     ) -> ClientUpdate:
@@ -443,8 +610,27 @@ class FLSimulator:
 
         Keyed on ``(seed, round, client)`` only, so a retried attempt
         re-sends the exact same payload and resume replays it bitwise.
+        Under ``config.compile`` the payload comes from the round's
+        precomputed batch (same bytes; see :meth:`_precompute_updates`).
         """
         cfg = self.config
+        cached = self._update_cache.get((round_index, client_index))
+        if cached is not None:
+            trained_cached, flat_cached = cached
+            update = ClientUpdate(
+                client_id=f"sim-{client_index}",
+                cycle=round_index,
+                num_samples=int(self.num_samples[client_index]),
+                plain_weights=trained_cached,
+                flat_weights=flat_cached,
+            )
+            # The npz wire size is a pure function of the weight structure:
+            # serialise once per run, stamp every later update with it.
+            if self._wire_size is None:
+                self._wire_size = update.wire_bytes()
+            else:
+                update._wire_cache = self._wire_size
+            return update
         rng = np.random.default_rng(
             (cfg.seed, _STREAM_UPDATE, round_index, client_index)
         )
@@ -513,6 +699,8 @@ class FLSimulator:
                         "sim.quarantined",
                         "cohort slots denied to quarantined/evicted clients",
                     ).inc(len(quarantined))
+            if cfg.compile:
+                self._precompute_updates(rnd, members, global_weights)
             dead_shards = frozenset(
                 shard
                 for shard in range(cfg.shards)
@@ -669,6 +857,7 @@ class FLSimulator:
         }
         self.history.append(outcome)
         self.round += 1
+        self._update_cache.clear()
         self._save_checkpoint()
         return outcome
 
@@ -810,7 +999,17 @@ class FLSimulator:
                 state.counts["admission_clipped"] += 1
             weights = decision.weights
         state.tree.fold(
-            shard, weights, update.num_samples, position=state.positions[index]
+            shard,
+            weights,
+            update.num_samples,
+            position=state.positions[index],
+            # Admission clipping replaces the weights; the precomputed flat
+            # only describes the original payload.
+            flat=(
+                update.flat_weights
+                if weights is update.plain_weights
+                else None
+            ),
         )
         state.collected[index] = int(update.num_samples)
         state.status[index] = "collected"
@@ -980,9 +1179,14 @@ class FLSimulator:
         totals["collected"] = sum(len(o["collected"]) for o in self.history)
         totals["asked"] = sum(int(o["asked"]) for o in self.history)
         totals["shard_bytes"] = sum(int(o["shard_bytes"]) for o in self.history)
+        config = asdict(self.config)
+        # Execution knobs, not deployment semantics: a compiled/batched run
+        # must report the same bytes as the eager loop it reproduces.
+        for knob in ("compile", "client_batch"):
+            config.pop(knob, None)
         return {
             "schema": REPORT_SCHEMA_VERSION,
-            "config": asdict(self.config),
+            "config": config,
             "fault_plan": self.fault_plan.describe(),
             "rounds": self.history,
             "totals": totals,

@@ -1,0 +1,160 @@
+"""Perf regression gate (``repro perf --compare``) and BENCH provenance."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.perf import TRACKED_METRICS, compare_payloads
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _payload(**overrides):
+    base = {
+        "conv_step": {
+            "composed_step_ms": 10.0,
+            "fused_step_ms": 2.0,
+            "speedup": 5.0,
+        },
+        "fl_round": {
+            "sequential_wall_s": 1.0,
+            "parallel_wall_s": 0.5,
+            "simulated_speedup": 2.0,
+        },
+    }
+    for dotted, value in overrides.items():
+        section, metric = dotted.split(".")
+        base[section][metric] = value
+    return base
+
+
+class TestComparePayloads:
+    def test_identical_payloads_have_no_regressions(self):
+        rows = compare_payloads(_payload(), _payload())
+        assert len(rows) == len(TRACKED_METRICS)
+        assert not any(row["regressed"] for row in rows)
+
+    def test_slower_time_past_threshold_regresses(self):
+        rows = compare_payloads(
+            _payload(**{"conv_step.fused_step_ms": 2.5}), _payload()
+        )
+        flagged = {r["metric"] for r in rows if r["regressed"]}
+        assert flagged == {"conv_step.fused_step_ms"}
+
+    def test_smaller_speedup_past_threshold_regresses(self):
+        rows = compare_payloads(
+            _payload(**{"fl_round.simulated_speedup": 1.5}), _payload()
+        )
+        flagged = {r["metric"] for r in rows if r["regressed"]}
+        assert flagged == {"fl_round.simulated_speedup"}
+
+    def test_improvement_never_regresses(self):
+        rows = compare_payloads(
+            _payload(
+                **{"conv_step.fused_step_ms": 0.5, "conv_step.speedup": 20.0}
+            ),
+            _payload(),
+        )
+        assert not any(row["regressed"] for row in rows)
+
+    def test_within_threshold_change_passes(self):
+        rows = compare_payloads(
+            _payload(**{"conv_step.fused_step_ms": 2.3}), _payload()
+        )
+        assert not any(row["regressed"] for row in rows)
+
+    def test_missing_metric_is_skipped(self):
+        baseline = _payload()
+        del baseline["fl_round"]
+        rows = compare_payloads(_payload(), baseline)
+        assert all(row["metric"].startswith("conv_step") for row in rows)
+
+    def test_threshold_is_adjustable(self):
+        current = _payload(**{"conv_step.fused_step_ms": 2.2})
+        assert not any(
+            r["regressed"] for r in compare_payloads(current, _payload())
+        )
+        assert any(
+            r["regressed"]
+            for r in compare_payloads(current, _payload(), threshold=0.05)
+        )
+
+
+class TestCliCompareGate:
+    def _run(self, monkeypatch, tmp_path, current, baseline, extra=()):
+        import repro.bench.perf as perf_mod
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            perf_mod, "run_perf_suite", lambda **kwargs: current
+        )
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        return main(
+            ["perf", "--quick", "--compare", str(baseline_path), *extra]
+        )
+
+    def test_no_regression_exits_zero(self, monkeypatch, tmp_path, capsys):
+        assert self._run(monkeypatch, tmp_path, _payload(), _payload()) == 0
+        assert "no tracked metric regressed" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, monkeypatch, tmp_path, capsys):
+        current = _payload(**{"conv_step.fused_step_ms": 3.0})
+        assert self._run(monkeypatch, tmp_path, current, _payload()) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_custom_threshold(self, monkeypatch, tmp_path):
+        current = _payload(**{"conv_step.fused_step_ms": 2.2})
+        assert (
+            self._run(
+                monkeypatch,
+                tmp_path,
+                current,
+                _payload(),
+                extra=["--threshold", "0.05"],
+            )
+            == 1
+        )
+
+
+class TestBenchProvenance:
+    @pytest.fixture(autouse=True)
+    def _bench_on_path(self):
+        bench_dir = str(REPO_ROOT / "benchmarks")
+        sys.path.insert(0, bench_dir)
+        yield
+        sys.path.remove(bench_dir)
+
+    def test_write_result_stamps_provenance(self, tmp_path):
+        import common
+
+        out = common.write_result(tmp_path / "BENCH_x.json", {"schema": 1})
+        payload = json.loads(out.read_text())
+        stamp = payload["provenance"]
+        assert len(stamp["commit"]) == 40 or stamp["commit"] == "unknown"
+        assert stamp["python"].count(".") == 2
+        assert stamp["numpy"]
+        assert stamp["timestamp_utc"].endswith("Z")
+
+    def test_existing_provenance_is_preserved(self, tmp_path):
+        import common
+
+        marker = {"commit": "abc", "python": "x", "numpy": "y",
+                  "machine": "z", "timestamp_utc": "t"}
+        out = common.write_result(
+            tmp_path / "BENCH_y.json", {"schema": 1, "provenance": marker}
+        )
+        assert json.loads(out.read_text())["provenance"] == marker
+
+    def test_time_call_shape(self):
+        import common
+
+        timing = common.time_call(lambda: sum(range(100)), repeats=3, warmup=1)
+        assert timing["best_s"] <= timing["median_s"]
+        assert timing["repeats"] == 3
+        with pytest.raises(ValueError):
+            common.time_call(lambda: None, repeats=0)
