@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Asynchronous buffered-aggregation benchmark: scale + sync/async frontier.
+
+Two sweeps, written to ``BENCH_async.json``:
+
+* **Scale**: fleets up to 10^6 simulated clients streaming through the
+  FedBuff-style pipeline (``--async``).  The claim under measurement is the
+  flat-memory invariant: ``aggregator_peak_bytes`` stays O(model size) —
+  the commit buffer holds exact per-shard accumulators, never per-client
+  updates, and resident model versions are bounded by the concurrency
+  window.
+* **Frontier**: the same faulty 2000-client deployment run synchronously
+  and asynchronously at several buffer sizes, recording final accuracy
+  against the virtual seconds the deployment needed — the
+  accuracy-vs-wall-clock trade the EXPERIMENTS.md entry plots.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_async.py
+    PYTHONPATH=src python benchmarks/bench_async.py --quick --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from common import write_result  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.obs import VirtualClock  # noqa: E402
+from repro.sim import FLSimulator, FaultPlan, FaultRates, SimConfig  # noqa: E402
+
+
+def run_async(num_clients: int, *, rounds: int, seed: int, buffer_size: int,
+              concurrency: int, straggler: float = 0.1, dropout: float = 0.1,
+              shards: int = 1) -> dict:
+    rates = FaultRates(dropout=dropout, straggler=straggler)
+    config = SimConfig(
+        num_clients=num_clients,
+        rounds=rounds,
+        seed=seed,
+        cohort=min(num_clients, concurrency),
+        shards=shards,
+        async_mode=True,
+        buffer_size=buffer_size,
+        concurrency=concurrency,
+        deadline_seconds=0.5,
+    )
+    with obs.fresh(clock=VirtualClock()) as ctx:
+        simulator = FLSimulator(
+            config, fault_plan=FaultPlan(rates, seed=seed), clock=ctx.clock
+        )
+        started = time.perf_counter()
+        report = simulator.run()
+        wall = time.perf_counter() - started
+    return {
+        "clients": num_clients,
+        "commits": report["totals"]["commits"],
+        "updates": report["totals"]["updates"],
+        "buffer_size": buffer_size,
+        "concurrency": concurrency,
+        "wall_seconds": wall,
+        "virtual_seconds": report["virtual_seconds"],
+        "events_processed": simulator.loop.processed,
+        "aggregator_peak_bytes": report["aggregator_peak_bytes"],
+        "staleness": report["totals"]["staleness"],
+        "staleness_max": report["totals"]["staleness_max"],
+        "final_accuracy": report["final_accuracy"],
+        "weights_sha256": report["weights_sha256"],
+    }
+
+
+def run_frontier(*, seed: int, quick: bool) -> list:
+    """Sync vs async on one deployment, updates held (roughly) constant."""
+    clients = 500 if quick else 2000
+    cohort = 50
+    sync_rounds = 4 if quick else 10
+    total_updates = cohort * sync_rounds
+    shared = dict(
+        num_clients=clients,
+        seed=seed,
+        cohort=cohort,
+        drift=0.3,
+        update_scale=0.01,
+    )
+    rates = FaultRates(straggler=0.2, dropout=0.1)
+    rows = []
+
+    with obs.fresh(clock=VirtualClock()) as ctx:
+        simulator = FLSimulator(
+            SimConfig(rounds=sync_rounds, **shared),
+            fault_plan=FaultPlan(rates, seed=seed),
+            clock=ctx.clock,
+        )
+        started = time.perf_counter()
+        report = simulator.run()
+        wall = time.perf_counter() - started
+    rows.append({
+        "mode": "sync",
+        "buffer_size": None,
+        "commits": report["totals"]["rounds"],
+        "updates": report["totals"]["collected"],
+        "virtual_seconds": report["virtual_seconds"],
+        "wall_seconds": wall,
+        "final_accuracy": report["final_accuracy"],
+        "stragglers_dropped": report["totals"]["stragglers"],
+    })
+
+    for buffer_size in (cohort, cohort // 2, cohort // 4):
+        commits = max(1, total_updates // buffer_size)
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            simulator = FLSimulator(
+                SimConfig(
+                    rounds=commits,
+                    async_mode=True,
+                    buffer_size=buffer_size,
+                    concurrency=cohort,
+                    **shared,
+                ),
+                fault_plan=FaultPlan(rates, seed=seed),
+                clock=ctx.clock,
+            )
+            started = time.perf_counter()
+            report = simulator.run()
+            wall = time.perf_counter() - started
+        rows.append({
+            "mode": "async",
+            "buffer_size": buffer_size,
+            "commits": report["totals"]["commits"],
+            "updates": report["totals"]["updates"],
+            "virtual_seconds": report["virtual_seconds"],
+            "wall_seconds": wall,
+            "final_accuracy": report["final_accuracy"],
+            "staleness": report["totals"]["staleness"],
+            "staleness_max": report["totals"]["staleness_max"],
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smoke configuration")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_async.json")
+    args = parser.parse_args(argv)
+
+    sizes = [1_000, 10_000] if args.quick else [10_000, 100_000, 1_000_000]
+    rounds = 2 if args.quick else 3
+
+    scale = []
+    for size in sizes:
+        entry = run_async(
+            size,
+            rounds=rounds,
+            seed=args.seed,
+            buffer_size=64,
+            concurrency=256,
+        )
+        scale.append(entry)
+        print(
+            f"  {size:>8} clients  {entry['wall_seconds']:7.3f}s wall  "
+            f"{entry['aggregator_peak_bytes']:>8} peak agg bytes  "
+            f"stale_max={entry['staleness_max']}"
+        )
+    peaks = [entry["aggregator_peak_bytes"] for entry in scale]
+    flat = max(peaks) <= 1.5 * min(peaks)
+    print(f"  aggregator memory flat across sweep: {flat} (peaks={peaks})")
+
+    print("  sync-vs-async frontier:")
+    frontier = run_frontier(seed=args.seed, quick=args.quick)
+    for row in frontier:
+        label = row["buffer_size"] if row["buffer_size"] else "-"
+        print(
+            f"    {row['mode']:>5} K={label:>4}  "
+            f"accuracy={row['final_accuracy']:.3f}  "
+            f"virtual={row['virtual_seconds']:8.2f}s"
+        )
+
+    payload = {
+        "benchmark": "async_buffer",
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {"rounds": rounds, "seed": args.seed, "quick": args.quick},
+        "scale": scale,
+        "aggregator_memory_flat": flat,
+        "frontier": frontier,
+    }
+    write_result(args.out, payload)
+    if not flat:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ from .fl.admission import (
     ReputationConfig,
     ReputationTracker,
 )
-from .fl.config import RoundConfig, ServerConfig, ShardingConfig
+from .fl.config import BufferConfig, RoundConfig, ServerConfig, ShardingConfig
 from .fl.plan import TrainingPlan
 from .fl.robust import RULES
 from .fl.server import FLServer
@@ -39,6 +39,7 @@ __all__ = [
     "ServerConfig",
     "RoundConfig",
     "ShardingConfig",
+    "BufferConfig",
     "AdmissionConfig",
     "AdmissionController",
     "ReputationConfig",
@@ -101,6 +102,11 @@ def simulate(
     update_scale: float = 0.05,
     compile: bool = False,
     client_batch: int = 1,
+    async_mode: bool = False,
+    buffer_size: Optional[int] = None,
+    staleness: str = "constant",
+    staleness_exponent: float = 0.5,
+    concurrency: Optional[int] = None,
     include_metrics: bool = False,
 ) -> dict:
     """Run one deterministic fleet simulation and return its report.
@@ -118,7 +124,11 @@ def simulate(
     included.  ``compile`` produces client updates through the traced
     graph VM and ``client_batch`` stacks that many clients per execution;
     both are pure execution knobs — the report (``weights_sha256``
-    included) is byte-identical to the eager run.
+    included) is byte-identical to the eager run.  ``async_mode`` switches
+    to the FedBuff-style buffered pipeline: no round barrier, a commit
+    every ``buffer_size`` admitted updates, stale arrivals folded with the
+    ``staleness`` weighting, and ``rounds`` counting commits — with the
+    same byte-for-byte determinism guarantees.
     """
     from .obs import VirtualClock, fresh
     from .sim import FLSimulator, FaultPlan, FaultRates, SimConfig
@@ -144,6 +154,11 @@ def simulate(
         update_scale=update_scale,
         compile=compile,
         client_batch=client_batch,
+        async_mode=async_mode,
+        buffer_size=buffer_size,
+        staleness=staleness,
+        staleness_exponent=staleness_exponent,
+        concurrency=concurrency,
     )
     rates = FaultRates(
         dropout=dropout,

@@ -289,7 +289,11 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     resumes where it stopped.  With ``--shards N`` updates are folded
     through a hierarchical aggregation tree of N shard aggregators whose
     memory stays O(model size) regardless of fleet size; the global
-    weights are bitwise-identical to the flat path.
+    weights are bitwise-identical to the flat path.  With ``--async`` the
+    round barrier is replaced by the FedBuff-style buffered pipeline:
+    commits fire every ``--buffer-size`` admitted updates and stale
+    arrivals fold in under the ``--staleness`` weighting — same
+    determinism guarantees, including mid-buffer kill/resume.
     """
     import hashlib
 
@@ -318,6 +322,11 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         update_scale=args.update_scale,
         compile=args.compile,
         client_batch=args.client_batch,
+        async_mode=args.async_mode,
+        buffer_size=args.buffer_size,
+        staleness=args.staleness,
+        staleness_exponent=args.staleness_exponent,
+        concurrency=args.concurrency,
     )
     rates = FaultRates(
         dropout=args.dropout,
@@ -613,6 +622,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="clients stacked per batched VM execution (requires --compile)",
+    )
+    simulate.add_argument(
+        "--async",
+        dest="async_mode",
+        action="store_true",
+        help="FedBuff-style asynchronous buffered aggregation: no round "
+        "barrier; commit every --buffer-size admitted updates, folding "
+        "stale arrivals with their staleness weight",
+    )
+    simulate.add_argument(
+        "--buffer-size",
+        type=int,
+        default=None,
+        help="admitted updates per async commit (default: the cohort size)",
+    )
+    simulate.add_argument(
+        "--staleness",
+        default="constant",
+        choices=["constant", "polynomial"],
+        help="staleness weighting of late async updates",
+    )
+    simulate.add_argument(
+        "--staleness-exponent",
+        type=float,
+        default=0.5,
+        help="decay exponent a of the polynomial weighting (1+tau)^-a",
+    )
+    simulate.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="max in-flight clients in async mode (default: the asked cohort)",
     )
     simulate.add_argument(
         "--state-dir",

@@ -19,9 +19,10 @@ from .aggregation import (
     merge_plain_and_sealed,
     weighted_average,
 )
+from .buffer import BufferedAggregator
 from .client import FLClient
 from .compression import SparseUpdate, TopKCompressor, weighted_sparse_mean
-from .config import RoundConfig, ServerConfig, ShardingConfig
+from .config import BufferConfig, RoundConfig, ServerConfig, ShardingConfig
 from .dp import GaussianMechanism, clip_by_norm
 from .executor import ParallelRoundExecutor, RoundExecutor, SequentialRoundExecutor
 from .history import SnapshotHistory
@@ -60,6 +61,7 @@ __all__ = [
     "fedavg", "weighted_average", "merge_plain_and_sealed",
     "CompensatedAccumulator", "StreamingWeightedSum",
     "ServerConfig", "RoundConfig", "ShardingConfig",
+    "BufferConfig", "BufferedAggregator",
     "HierarchicalAggregator", "ShardAggregator", "ShardPartial",
     "plan_shards", "shard_of", "weighted_sparse_mean",
     "SnapshotHistory", "TEESelector", "SelectionResult",

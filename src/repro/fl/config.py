@@ -19,7 +19,64 @@ from .admission import AdmissionConfig, ReputationConfig
 from .resilience import RetryPolicy
 from .robust import RULES
 
-__all__ = ["RoundConfig", "ShardingConfig", "ServerConfig"]
+__all__ = ["BufferConfig", "RoundConfig", "ShardingConfig", "ServerConfig"]
+
+#: Staleness-weighting families the buffered (async) aggregator knows.
+STALENESS_KINDS = ("constant", "polynomial")
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """FedBuff-style commit buffer: size ``K`` plus staleness weighting.
+
+    The asynchronous pipeline folds admitted updates as they arrive and
+    commits an aggregate whenever ``size`` of them have accumulated.  An
+    update trained against an older global model (staleness ``tau`` = commits
+    since its base version) is folded in with weight :meth:`weight` instead
+    of being dropped.
+
+    Attributes
+    ----------
+    size:
+        ``K`` — admitted updates per commit.
+    staleness:
+        Weighting family: ``constant`` folds every update with weight 1
+        (the exact sample-weighted mean — bitwise-identical to the sync
+        :func:`~repro.fl.aggregation.fedavg` when ``size`` equals the sync
+        cohort); ``polynomial`` decays late updates as
+        ``(1 + tau) ** -exponent``.
+    exponent:
+        Decay exponent ``a`` of the polynomial family (ignored by
+        ``constant``).
+    """
+
+    size: int = 32
+    staleness: str = "constant"
+    exponent: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("buffer size must be >= 1")
+        if self.staleness not in STALENESS_KINDS:
+            raise ValueError(
+                f"unknown staleness weighting {self.staleness!r}; "
+                f"expected one of {STALENESS_KINDS}"
+            )
+        if self.exponent < 0:
+            raise ValueError("staleness exponent cannot be negative")
+
+    def weight(self, staleness: float) -> float:
+        """The fold weight ``w(tau)`` of an update ``tau`` commits stale.
+
+        A pure function of ``(config, staleness)`` — the weighted fold stays
+        a deterministic function of the update multiset.
+        """
+        tau = float(staleness)
+        if tau < 0:
+            raise ValueError("staleness cannot be negative")
+        if self.staleness == "constant":
+            return 1.0
+        return (1.0 + tau) ** (-self.exponent)
 
 
 @dataclass(frozen=True)

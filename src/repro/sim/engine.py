@@ -48,10 +48,21 @@ resumes mid-training and produces bitwise-identical final weights.
 Every random draw is keyed on ``(seed, stream, round[, client])`` — no
 evolving generator crosses a round boundary — which is what makes resume
 exact and two same-seed runs byte-identical.
+
+``SimConfig(async_mode=True)`` replaces the round barrier with a
+FedBuff-style buffered pipeline: dispatches stream continuously (selection
+keyed on the dispatch index), arrivals fold straight into a
+:class:`~repro.fl.buffer.BufferedAggregator`, and a commit fires whenever
+``buffer_size`` admitted updates have accumulated — late (straggling)
+updates arrive *stale* and are folded with their staleness weight instead
+of being dropped.  The same determinism discipline applies, and the
+mid-window buffer state rides the secure-storage checkpoint, so kill/resume
+reproduces the uninterrupted run bit-for-bit.
 """
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import math
@@ -62,7 +73,8 @@ import numpy as np
 
 from ..core.policy import NoProtection, ProtectionPolicy
 from ..fl.admission import AdmissionConfig, AdmissionController, ReputationTracker
-from ..fl.config import ShardingConfig
+from ..fl.buffer import BufferedAggregator
+from ..fl.config import BufferConfig, ShardingConfig
 from ..fl.robust import RULES
 from ..fl.sharding import make_aggregation_tree, shard_of
 from ..fl.transport import ClientUpdate, ModelDownload
@@ -84,7 +96,7 @@ from .network import NetworkModel
 
 __all__ = ["SimConfig", "FLSimulator", "REPORT_SCHEMA_VERSION"]
 
-REPORT_SCHEMA_VERSION = 3
+REPORT_SCHEMA_VERSION = 4
 
 # Independent derivation streams off (seed, stream, ...); values are
 # arbitrary distinct constants.
@@ -94,6 +106,7 @@ _STREAM_UPDATE = 13
 _STREAM_SHARD_TRAITS = 14
 _STREAM_TEACHER = 15
 _STREAM_EVAL = 16
+_STREAM_ASYNC_SELECT = 17
 
 _EVAL_SAMPLES = 256
 
@@ -165,6 +178,19 @@ class SimConfig:
         along a leading client axis.  Per-client results are
         bitwise-identical to the sequential eager loop for every batch
         size.
+    async_mode / buffer_size / staleness / staleness_exponent / concurrency:
+        The FedBuff-style asynchronous pipeline.  ``async_mode`` replaces
+        the round barrier with a stream of dispatches: up to
+        ``concurrency`` clients (default: the over-provisioned ``asked``
+        count) are in flight at any instant, each trained against the
+        global model version current at its dispatch, and the server
+        commits whenever ``buffer_size`` (default: ``cohort``) admitted
+        updates have been folded.  ``rounds`` then counts *commits*.  A
+        late update is folded with weight
+        :meth:`~repro.fl.config.BufferConfig.weight` of its staleness
+        (``staleness`` picks the family, ``staleness_exponent`` the
+        polynomial decay) instead of being dropped.  ``compile`` is a
+        sync-only execution knob and is rejected in async mode.
     """
 
     num_clients: int
@@ -193,6 +219,11 @@ class SimConfig:
     clip: bool = False
     compile: bool = False
     client_batch: int = 1
+    async_mode: bool = False
+    buffer_size: Optional[int] = None
+    staleness: str = "constant"
+    staleness_exponent: float = 0.5
+    concurrency: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_clients <= 0:
@@ -242,6 +273,14 @@ class SimConfig:
             raise ValueError("client_batch must be >= 1")
         if self.client_batch > 1 and not self.compile:
             raise ValueError("client_batch > 1 requires compile=True")
+        if self.buffer_size is None:
+            object.__setattr__(self, "buffer_size", self.cohort)
+        # BufferConfig validates size/kind/exponent on construction.
+        self.buffer_config  # noqa: B018 — construction is the validation
+        if self.concurrency is not None and self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1 when set")
+        if self.async_mode and self.compile:
+            raise ValueError("compile is a sync-only knob; not valid with async_mode")
 
     @property
     def asked(self) -> int:
@@ -267,6 +306,20 @@ class SimConfig:
         """Per-side trim for ``trimmed_mean`` (explicit or derived)."""
         return self.trim if self.trim is not None else self.assumed_byzantine
 
+    @property
+    def effective_concurrency(self) -> int:
+        """Max in-flight clients in async mode (explicit or ``asked``)."""
+        return self.concurrency if self.concurrency is not None else self.asked
+
+    @property
+    def buffer_config(self) -> BufferConfig:
+        """The commit buffer the async pipeline aggregates through."""
+        return BufferConfig(
+            size=self.buffer_size,
+            staleness=self.staleness,
+            exponent=self.staleness_exponent,
+        )
+
 
 @dataclass
 class _RoundState:
@@ -284,24 +337,30 @@ class _RoundState:
     dead_shards: frozenset = frozenset()
     collected: Dict[int, int] = field(default_factory=dict)
     status: Dict[int, str] = field(default_factory=dict)
-    counts: Dict[str, int] = field(
-        default_factory=lambda: {
-            "dropouts": 0,
-            "stragglers": 0,
-            "corrupted": 0,
-            "pool_exhausted": 0,
-            "evicted": 0,
-            "retries": 0,
-            "giveups": 0,
-            "shard_down": 0,
-            "attacked": 0,
-            "admission_rejected": 0,
-            "admission_clipped": 0,
-            "quarantined": 0,
-        }
-    )
+    counts: Dict[str, int] = field(default_factory=lambda: _fresh_counts())
     done: bool = False
     aggregated_at: float = 0.0
+
+
+_COUNT_KEYS = (
+    "dropouts",
+    "stragglers",
+    "corrupted",
+    "pool_exhausted",
+    "evicted",
+    "retries",
+    "giveups",
+    "shard_down",
+    "attacked",
+    "admission_rejected",
+    "admission_clipped",
+    "quarantined",
+)
+
+
+def _fresh_counts() -> Dict[str, int]:
+    """One round's (or async commit window's) event tallies, zeroed."""
+    return {key: 0 for key in _COUNT_KEYS}
 
 
 class FLSimulator:
@@ -666,6 +725,11 @@ class FLSimulator:
     def step_round(self) -> Dict[str, object]:
         """Simulate one full round; returns its outcome record."""
         cfg = self.config
+        if cfg.async_mode:
+            raise RuntimeError(
+                "step_round is the synchronous engine; async runs advance "
+                "through step_commit"
+            )
         rnd = self.round
         registry = get_registry()
         protected = self.policy.layers_for_cycle(rnd)
@@ -901,9 +965,14 @@ class FLSimulator:
 
         update = self._make_update(rnd, index, global_weights)
         upload_t = self.network.transfer_seconds(index, update.wire_bytes())
-        duration = download_t + compute_t + upload_t
-        if fault is FaultKind.STRAGGLE:
-            duration *= cfg.straggler_factor
+        # Multiplying by the exact 1.0 a healthy client gets is a bitwise
+        # no-op, so routing the straggler slow-down through the plan keeps
+        # sync reports byte-identical while sharing one source of truth
+        # with the async engine (where the same factor produces genuinely
+        # stale arrivals instead of deadline misses).
+        duration = (download_t + compute_t + upload_t) * self.fault_plan.delay_factor(
+            rnd, index, cfg.straggler_factor
+        )
         corrupted = fault is FaultKind.CORRUPT and attempt == 0
         self.loop.schedule_at(
             start_at + duration,
@@ -1090,6 +1159,421 @@ class FLSimulator:
         state.done = True
         state.aggregated_at = self.clock.time
 
+    # -- asynchronous buffered mode (FedBuff-style) ------------------------
+    #
+    # No round barrier: up to ``effective_concurrency`` clients are in
+    # flight at once, each training against the global model *version*
+    # (commit index) current at its dispatch.  Arrivals stream straight
+    # into a BufferedAggregator; the K-th admitted fold triggers a commit,
+    # which advances the version and re-weights later arrivals by their
+    # staleness.  Determinism comes from the same discipline as the sync
+    # engine: selection is keyed on (seed, stream, dispatch_index), faults
+    # on (seed, dispatch_index, client), payloads on the dispatch's model
+    # version — so the whole run is a pure function of the seed, and the
+    # in-flight set (plain JSON descriptors) plus the buffer expansion can
+    # be checkpointed mid-window and resumed bit-for-bit.
+    #
+    # Simplifications vs sync, by design: shard aggregators are server-side
+    # accumulator lanes (no per-round shard deaths), the shard→root hop is
+    # priced into ``shard_bytes``/``aggregated_at`` without advancing the
+    # global clock (earlier-scheduled client events forbid it), and compute
+    # time is priced under the cycle-0 protected set.
+
+    def _ensure_async(self) -> None:
+        if getattr(self, "_async_ready", False):
+            return
+        cfg = self.config
+        self._async_ready = True
+        self._buffer = BufferedAggregator(
+            self.model.get_weights(),
+            cfg.buffer_config,
+            ShardingConfig(num_shards=cfg.shards, track_memory=False),
+            rule=cfg.rule,
+            trim=cfg.effective_trim,
+            num_byzantine=cfg.assumed_byzantine,
+        )
+        self._inflight: Dict[int, Dict[str, object]] = {}
+        self._dispatch_counter = 0
+        self._version_weights: Dict[int, WeightsList] = {
+            self.round: self.model.get_weights()
+        }
+        template = self.model.get_weights()
+        self._async_download_bytes = ModelDownload(
+            cycle=0, plain_weights=template
+        ).wire_bytes()
+        self._async_upload_bytes = ClientUpdate(
+            client_id="sim-0", cycle=0, num_samples=1, plain_weights=template
+        ).wire_bytes()
+        protected = self.policy.layers_for_cycle(0)
+        self._async_compute_base = self.cost_model.cycle_cost(
+            self.model, protected
+        ).total_seconds
+        self._fresh_window()
+
+    def _fresh_window(self) -> None:
+        self._window: Dict[str, object] = {
+            "counts": _fresh_counts(),
+            "updates": [],  # [dispatch, client, staleness] per admitted fold
+            "started_at": self.clock.time,
+            "dispatched": 0,
+        }
+
+    def _next_client(self, registry) -> Optional[int]:
+        """The client the next dispatch goes to (None = nobody available).
+
+        One uniform draw keyed on ``(seed, stream, dispatch)`` picks a
+        start; linear probing past busy/quarantined clients keeps the
+        draw itself a pure function of the dispatch index.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(
+            (cfg.seed, _STREAM_ASYNC_SELECT, self._dispatch_counter)
+        )
+        start = int(rng.integers(cfg.num_clients))
+        for offset in range(cfg.num_clients):
+            client = (start + offset) % cfg.num_clients
+            if client in self._inflight:
+                continue
+            if self.reputation is not None and self.reputation.is_blocked(
+                f"sim-{client}", self.round
+            ):
+                self._window["counts"]["quarantined"] += 1
+                registry.counter(
+                    "sim.quarantined",
+                    "cohort slots denied to quarantined/evicted clients",
+                ).inc()
+                continue
+            return client
+        return None
+
+    def _fill_pipeline(self, registry) -> None:
+        """Dispatch new clients until the concurrency window is full."""
+        cfg = self.config
+        if self.round >= cfg.rounds:
+            return
+        counts = self._window["counts"]
+        while len(self._inflight) < cfg.effective_concurrency:
+            client = self._next_client(registry)
+            if client is None:
+                break
+            dispatch = self._dispatch_counter
+            self._dispatch_counter += 1
+            self._window["dispatched"] += 1
+            if self.fault_plan.attack_for(client) is not None:
+                counts["attacked"] += 1
+                registry.counter(
+                    "sim.attacked", "cohort slots held by Byzantine clients"
+                ).inc()
+            fault = self.fault_plan.fault_for(dispatch, client)
+            if fault is FaultKind.FAIL_ATTESTATION:
+                counts["evicted"] += 1
+                registry.counter(
+                    "sim.attestation_failures",
+                    "cohort members evicted for failing round attestation",
+                ).inc()
+                continue
+            entry: Dict[str, object] = {
+                "client": client,
+                "dispatch": dispatch,
+                "version": self.round,
+                "attempt": 0,
+            }
+            if fault is FaultKind.DROP:
+                # Silence is only detected when the server times the
+                # dispatch out; the slot is then freed without retry.
+                entry["kind"] = "failure"
+                entry["reason"] = "drop"
+                entry["at"] = self.clock.time + cfg.deadline_seconds
+            else:
+                self._plan_attempt(entry, fault, start_at=self.clock.time)
+            self._inflight[client] = entry
+            self._schedule_async_event(entry)
+
+    def _plan_attempt(
+        self,
+        entry: Dict[str, object],
+        fault: Optional[FaultKind],
+        start_at: float,
+    ) -> None:
+        """Stamp the entry with its next event (arrival or failure)."""
+        cfg = self.config
+        client = int(entry["client"])
+        download_t = self.network.transfer_seconds(
+            client, self._async_download_bytes
+        )
+        compute_t = self._async_compute_base * float(self.speed[client])
+        if fault is FaultKind.EXHAUST_POOL and entry["attempt"] == 0:
+            entry["kind"] = "failure"
+            entry["reason"] = "pool_exhausted"
+            entry["at"] = start_at + download_t + 0.5 * compute_t
+            return
+        upload_t = self.network.transfer_seconds(client, self._async_upload_bytes)
+        delay = self.fault_plan.delay_factor(
+            int(entry["dispatch"]), client, cfg.straggler_factor
+        )
+        if delay != 1.0:
+            entry["straggled"] = True
+        entry["kind"] = "arrival"
+        entry["corrupted"] = bool(
+            fault is FaultKind.CORRUPT and entry["attempt"] == 0
+        )
+        entry["at"] = start_at + (download_t + compute_t + upload_t) * delay
+
+    def _schedule_async_event(self, entry: Dict[str, object]) -> None:
+        self.loop.schedule_at(
+            float(entry["at"]), lambda: self._on_async_event(entry)
+        )
+
+    def _on_async_event(self, entry: Dict[str, object]) -> None:
+        # Stale-event guard: an entry is retired by its own event only, but
+        # resume re-schedules from descriptors, so be defensive.
+        if self._inflight.get(int(entry["client"])) is not entry:
+            return
+        registry = get_registry()
+        if entry["kind"] == "failure":
+            self._async_failure(entry, str(entry.get("reason")), registry)
+        else:
+            self._async_arrival(entry, registry)
+        self._save_checkpoint()
+
+    def _async_failure(
+        self, entry: Dict[str, object], reason: str, registry
+    ) -> None:
+        counts = self._window["counts"]
+        if reason == "drop":
+            counts["dropouts"] += 1
+            registry.counter(
+                "sim.dropouts", "cohort members that went silent mid-round"
+            ).inc()
+            self._release(entry, registry)
+            return
+        if reason == "pool_exhausted":
+            counts["pool_exhausted"] += 1
+            registry.counter(
+                "sim.pool_exhaustions",
+                "local training aborts from secure-pool exhaustion",
+            ).inc()
+        elif reason == "corrupted":
+            counts["corrupted"] += 1
+            registry.counter(
+                "sim.corruptions", "updates rejected for failing integrity checks"
+            ).inc()
+        if entry["attempt"] < self.config.max_retries:
+            counts["retries"] += 1
+            registry.counter(
+                "fl.retry.attempts", "client round attempts retried"
+            ).inc()
+            backoff = self.config.retry_backoff_seconds * (2 ** int(entry["attempt"]))
+            entry["attempt"] = int(entry["attempt"]) + 1
+            entry.pop("reason", None)
+            # Transient faults only hit the first attempt; the retry keeps
+            # the dispatch's model version (its payload is unchanged).
+            self._plan_attempt(entry, None, start_at=self.clock.time + backoff)
+            self._schedule_async_event(entry)
+            return
+        counts["giveups"] += 1
+        registry.counter(
+            "fl.retry.giveups", "clients abandoned after exhausting retries"
+        ).inc()
+        self._release(entry, registry)
+
+    def _release(self, entry: Dict[str, object], registry) -> None:
+        self._inflight.pop(int(entry["client"]), None)
+        self._fill_pipeline(registry)
+
+    def _async_arrival(self, entry: Dict[str, object], registry) -> None:
+        cfg = self.config
+        if entry.get("corrupted"):
+            entry["corrupted"] = False
+            self._async_failure(entry, "corrupted", registry)
+            return
+        client = int(entry["client"])
+        dispatch = int(entry["dispatch"])
+        version = int(entry["version"])
+        counts = self._window["counts"]
+        update = self._make_update(dispatch, client, self._version_weights[version])
+        weights = update.plain_weights
+        if self.admission is not None:
+            # The production gate, against the model version the client
+            # trained from.  As in sync, a rejected update is not retried —
+            # the payload is a pure function of (seed, dispatch, client) —
+            # and the strike lands on the *current* commit index, so
+            # quarantine windows are expressed in commits.
+            decision = self.admission.check(
+                update.client_id,
+                weights,
+                reference=self._version_weights[version],
+            )
+            if not decision.admitted:
+                self.reputation.record_rejection(update.client_id, self.round)
+                counts["admission_rejected"] += 1
+                registry.counter(
+                    "sim.admission.rejected",
+                    "arrived updates refused by admission control",
+                ).inc()
+                self._release(entry, registry)
+                return
+            self.reputation.record_admission(update.client_id)
+            if decision.clipped:
+                counts["admission_clipped"] += 1
+            weights = decision.weights
+        if entry.get("straggled"):
+            counts["stragglers"] += 1
+            registry.counter(
+                "sim.stragglers",
+                "cohort members that missed the round deadline",
+            ).inc()
+        staleness = self.round - version
+        shard = shard_of(self._buffer.pending, cfg.buffer_size, cfg.shards)
+        self._buffer.fold(
+            shard,
+            weights,
+            update.num_samples,
+            staleness=staleness,
+            sort_key=dispatch,
+            flat=(
+                update.flat_weights
+                if weights is update.plain_weights
+                else None
+            ),
+        )
+        self._window["updates"].append([dispatch, client, staleness])
+        self._inflight.pop(client, None)
+        if self._buffer.ready:
+            self._commit(registry)
+        self._fill_pipeline(registry)
+
+    def _commit(self, registry, degraded: bool = False) -> None:
+        """Close the buffer window: aggregate, advance the model version."""
+        cfg = self.config
+        window = self._window
+        rnd = self.round
+        committed_at = self.clock.time
+        with get_tracer().span(
+            "sim.commit", cycle=rnd, folds=self._buffer.pending, rule=cfg.rule
+        ) as span:
+            registry.counter(
+                "fl.aggregate.rule", "rounds aggregated, labelled per rule"
+            ).inc(rule=cfg.rule)
+            shard_bytes = 0
+            settle_at = committed_at
+            if self.shard_network is not None:
+                # Price the shard→root hop; the commit settles when the
+                # slowest partial lands (without rewinding pending client
+                # events, so the global clock is left alone).
+                for partial in self._buffer.partials():
+                    size = partial.wire_bytes()
+                    shard_bytes += size
+                    registry.counter(
+                        "sim.shard.bytes", "bytes shards sent to the root"
+                    ).inc(size)
+                    settle_at = max(
+                        settle_at,
+                        committed_at
+                        + self.shard_network.transfer_seconds(
+                            partial.shard_id, size
+                        ),
+                    )
+            folds = self._buffer.pending
+            new_global = self._buffer.commit()
+            self.model.set_weights(new_global)
+            peak = self._buffer.peak_bytes
+            self.aggregator_peak_bytes = max(self.aggregator_peak_bytes, peak)
+            accuracy = self.accuracy()
+            registry.gauge(
+                "sim.accuracy",
+                "global-model accuracy on the teacher-labelled eval set",
+            ).set(accuracy)
+            span.set_attribute("collected", folds)
+            span.set_attribute("degraded", degraded)
+            span.set_attribute("accuracy", accuracy)
+        registry.counter("sim.rounds", "simulated FL rounds").inc()
+        registry.counter(
+            "sim.clients.selected", "cohort slots asked across all rounds"
+        ).inc(int(window["dispatched"]))
+        registry.counter(
+            "sim.clients.collected", "client updates aggregated across all rounds"
+        ).inc(folds)
+        registry.histogram(
+            "sim.round.virtual_seconds", "simulated wall time per round"
+        ).observe(settle_at - float(window["started_at"]))
+
+        updates = sorted(window["updates"])
+        stale_values = [int(u[2]) for u in updates]
+        histogram: Dict[str, int] = {}
+        for value in stale_values:
+            histogram[str(value)] = histogram.get(str(value), 0) + 1
+        outcome: Dict[str, object] = {
+            "round": rnd,
+            "asked": int(window["dispatched"]),
+            "collected": sorted({int(u[1]) for u in updates}),
+            "updates": updates,
+            "degraded": bool(degraded),
+            "started_at": float(window["started_at"]),
+            "aggregated_at": settle_at,
+            "virtual_seconds": settle_at - float(window["started_at"]),
+            "shards": cfg.shards,
+            "dead_shards": [],
+            "shard_bytes": int(shard_bytes),
+            "aggregator_peak_bytes": int(peak),
+            "rule": cfg.rule,
+            "accuracy": accuracy,
+            "buffer_size": cfg.buffer_size,
+            "staleness": histogram,
+            "staleness_max": max(stale_values, default=0),
+            "staleness_mean": (
+                sum(stale_values) / len(stale_values) if stale_values else 0.0
+            ),
+            **window["counts"],
+        }
+        self.history.append(outcome)
+        self.round += 1
+        self._version_weights[self.round] = self.model.get_weights()
+        self._prune_versions()
+        self._fresh_window()
+
+    def _prune_versions(self) -> None:
+        """Keep only model versions an in-flight dispatch still trains from.
+
+        This is the flat-memory invariant of the async engine: resident
+        versions are bounded by the concurrency window, never by the
+        number of commits or the fleet size.
+        """
+        live = {int(e["version"]) for e in self._inflight.values()}
+        live.add(self.round)
+        self._version_weights = {
+            version: weights
+            for version, weights in self._version_weights.items()
+            if version in live
+        }
+
+    def step_commit(self) -> Dict[str, object]:
+        """Advance the async pipeline until the next commit; return it."""
+        cfg = self.config
+        if not cfg.async_mode:
+            raise RuntimeError("step_commit requires SimConfig(async_mode=True)")
+        registry = get_registry()
+        first = not getattr(self, "_async_ready", False)
+        self._ensure_async()
+        target = self.round + 1
+        self._fill_pipeline(registry)
+        if first:
+            self._save_checkpoint()
+        while self.round < target:
+            if self.loop.step():
+                continue
+            if self._buffer.pending > 0:
+                # Nothing left in flight but a partial window remains
+                # (e.g. the whole fleet quarantined): commit what we have,
+                # flagged degraded, rather than stalling forever.
+                self._commit(registry, degraded=True)
+                self._save_checkpoint()
+                break
+            raise RuntimeError(
+                "async pipeline stalled: no events pending and empty buffer"
+            )
+        return self.history[-1]
+
     # -- checkpoint / resume ----------------------------------------------
     def _save_checkpoint(self) -> None:
         """Persist round cursor + weights + history through secure storage.
@@ -1113,6 +1597,8 @@ class FLSimulator:
                 else None
             ),
         }
+        if self.config.async_mode and getattr(self, "_async_ready", False):
+            meta["async"] = self._async_state()
         blob = (
             json.dumps(meta, sort_keys=True).encode()
             + b"\x00"
@@ -1136,16 +1622,77 @@ class FLSimulator:
         if self.reputation is not None and meta.get("reputation"):
             self.reputation.load_state(meta["reputation"])
         self.clock.advance_to(float(meta["virtual_time"]))
+        if self.config.async_mode and meta.get("async"):
+            self._restore_async(meta["async"])
         self.resumed_from = self.round
         get_registry().counter(
             "sim.resumes", "simulations resumed from a secure-storage checkpoint"
         ).inc()
 
+    def _async_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the mid-window async pipeline.
+
+        Everything needed to resume *between events*: the dispatch cursor,
+        the in-flight descriptors (plain dicts — their payloads are pure
+        functions of ``(seed, dispatch, client)`` plus a stored model
+        version, so events are rebuilt, not serialised), the referenced
+        model versions, the open commit window's tallies, and the buffer's
+        expansion state.
+        """
+        return {
+            "dispatch": self._dispatch_counter,
+            "inflight": sorted(
+                (dict(entry) for entry in self._inflight.values()),
+                key=lambda e: int(e["dispatch"]),
+            ),
+            "versions": {
+                str(version): base64.b64encode(weights_to_bytes(weights)).decode(
+                    "ascii"
+                )
+                for version, weights in sorted(self._version_weights.items())
+            },
+            "buffer": self._buffer.state_dict(),
+            "window": {
+                "counts": dict(self._window["counts"]),
+                "updates": [list(u) for u in self._window["updates"]],
+                "started_at": float(self._window["started_at"]),
+                "dispatched": int(self._window["dispatched"]),
+            },
+        }
+
+    def _restore_async(self, state: Dict[str, object]) -> None:
+        """Rebuild the async pipeline from :meth:`_async_state` bits."""
+        self._ensure_async()
+        self._dispatch_counter = int(state["dispatch"])
+        self._version_weights = {
+            int(version): weights_from_bytes(base64.b64decode(blob))
+            for version, blob in state["versions"].items()
+        }
+        self._buffer.load_state(state["buffer"])
+        window = state["window"]
+        self._window = {
+            "counts": dict(window["counts"]),
+            "updates": [list(u) for u in window["updates"]],
+            "started_at": float(window["started_at"]),
+            "dispatched": int(window["dispatched"]),
+        }
+        self._inflight = {}
+        # Deterministic re-scheduling: pending events sorted by (time,
+        # dispatch) reproduce the original queue order (ties on distinct
+        # continuous durations do not occur in practice).
+        for entry in sorted(
+            (dict(e) for e in state["inflight"]),
+            key=lambda e: (float(e["at"]), int(e["dispatch"])),
+        ):
+            self._inflight[int(entry["client"])] = entry
+            self._schedule_async_event(entry)
+
     # -- whole runs --------------------------------------------------------
     def run(self) -> Dict[str, object]:
-        """Run (or finish) all configured rounds and return the report."""
+        """Run (or finish) all configured rounds/commits; return the report."""
+        step = self.step_commit if self.config.async_mode else self.step_round
         while self.round < self.config.rounds:
-            self.step_round()
+            step()
         return self.report()
 
     def weights_digest(self) -> str:
@@ -1156,29 +1703,28 @@ class FLSimulator:
 
     def report(self) -> Dict[str, object]:
         """JSON-ready, byte-reproducible summary of the whole run."""
-        count_keys = (
-            "dropouts",
-            "stragglers",
-            "corrupted",
-            "pool_exhausted",
-            "evicted",
-            "retries",
-            "giveups",
-            "shard_down",
-            "attacked",
-            "admission_rejected",
-            "admission_clipped",
-            "quarantined",
-        )
         totals: Dict[str, object] = {
             key: sum(int(outcome.get(key, 0)) for outcome in self.history)
-            for key in count_keys
+            for key in _COUNT_KEYS
         }
         totals["rounds"] = len(self.history)
         totals["degraded"] = sum(1 for o in self.history if o["degraded"])
         totals["collected"] = sum(len(o["collected"]) for o in self.history)
         totals["asked"] = sum(int(o["asked"]) for o in self.history)
         totals["shard_bytes"] = sum(int(o["shard_bytes"]) for o in self.history)
+        if self.config.async_mode:
+            # Commit-level aggregates: updates folded (a client can land in
+            # several windows) and the merged staleness histogram.
+            totals["commits"] = len(self.history)
+            totals["updates"] = sum(len(o["updates"]) for o in self.history)
+            staleness: Dict[str, int] = {}
+            for outcome in self.history:
+                for bucket, count in outcome["staleness"].items():
+                    staleness[bucket] = staleness.get(bucket, 0) + int(count)
+            totals["staleness"] = staleness
+            totals["staleness_max"] = max(
+                (int(o["staleness_max"]) for o in self.history), default=0
+            )
         config = asdict(self.config)
         # Execution knobs, not deployment semantics: a compiled/batched run
         # must report the same bytes as the eager loop it reproduces.
@@ -1186,6 +1732,7 @@ class FLSimulator:
             config.pop(knob, None)
         return {
             "schema": REPORT_SCHEMA_VERSION,
+            "mode": "async" if self.config.async_mode else "sync",
             "config": config,
             "fault_plan": self.fault_plan.describe(),
             "rounds": self.history,

@@ -279,6 +279,23 @@ class FaultPlan:
             strength=self.attack_strength,
         )
 
+    def delay_factor(
+        self, round_index: int, client_index: int, straggler_factor: float
+    ) -> float:
+        """Slow-down multiplier this client's attempt experiences.
+
+        ``straggler_factor`` when ``(round, client)`` realises
+        :attr:`FaultKind.STRAGGLE`, else exactly ``1.0``.  The sync engine
+        uses it against the round deadline (the straggler misses and is
+        dropped); the async engine uses the *same* factor but has no
+        deadline — the slow update arrives late, is genuinely stale
+        (staleness > 0 if commits advanced meanwhile), and is folded in
+        with its staleness weight instead of being discarded.
+        """
+        if self.fault_for(round_index, client_index) is FaultKind.STRAGGLE:
+            return float(straggler_factor)
+        return 1.0
+
     def inject_shard(
         self, round_index: int, shard_index: int, down: bool = True
     ) -> "FaultPlan":

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 
@@ -42,3 +45,87 @@ def image_batch(rng):
 @pytest.fixture
 def small_dataset():
     return synthetic_cifar(num_samples=64, num_classes=5, seed=3)
+
+
+# --- simulator-report helpers (shared by the CLI, byzantine and async
+# simulator suites, which all compare serialised reports byte-for-byte) ---
+
+
+@pytest.fixture
+def report_bytes():
+    """Canonical serialisation of a simulate report, for byte comparisons."""
+
+    def encode(report):
+        return json.dumps(report, sort_keys=True).encode()
+
+    return encode
+
+
+@pytest.fixture
+def simulate_cli(tmp_path):
+    """Run ``repro simulate`` over the suite's base fleet, return the bytes.
+
+    ``extra`` flags are appended after the base flags, so repeating a flag
+    (e.g. ``--seed``) overrides the base value — argparse keeps the last.
+    """
+    from repro.cli import main
+
+    def run(name, *extra):
+        out = tmp_path / name
+        argv = [
+            "simulate",
+            "--clients", "80",
+            "--rounds", "3",
+            "--seed", "7",
+            "--dropout", "0.2",
+            "--straggler", "0.1",
+            "--out", str(out),
+            *extra,
+        ]
+        assert main(argv) == 0
+        return out.read_bytes()
+
+    return run
+
+
+@pytest.fixture
+def sim_factory():
+    """Build an ``FLSimulator`` under a fresh ``VirtualClock`` registry.
+
+    Yields the simulator inside a context manager so tests that kill and
+    resume a coordinator can open two independent metric registries.  The
+    ``FaultPlan`` is derived from the config's byzantine settings, exactly
+    as the CLI wires it; pass ``rates=FaultRates(...)`` for infrastructure
+    faults.
+    """
+    from repro import obs
+    from repro.obs import VirtualClock
+    from repro.sim import FLSimulator, FaultPlan, FaultRates, SimConfig
+
+    @contextmanager
+    def build(storage=None, rates=None, **settings):
+        config = SimConfig(**settings)
+        plan = FaultPlan(
+            rates or FaultRates(),
+            seed=config.seed,
+            byzantine=config.byzantine,
+            attack=config.attack,
+            attack_strength=config.attack_strength,
+        )
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            yield FLSimulator(
+                config, fault_plan=plan, storage=storage, clock=ctx.clock
+            )
+
+    return build
+
+
+@pytest.fixture
+def sim_runner(sim_factory):
+    """Run one in-process simulation to completion and return its report."""
+
+    def run(storage=None, rates=None, **settings):
+        with sim_factory(storage=storage, rates=rates, **settings) as sim:
+            return sim.run()
+
+    return run

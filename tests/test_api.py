@@ -21,6 +21,7 @@ class TestSurface:
             "ServerConfig",
             "RoundConfig",
             "ShardingConfig",
+            "BufferConfig",
             "AdmissionConfig",
             "AdmissionController",
             "ReputationConfig",

@@ -1,4 +1,8 @@
-"""The ``repro simulate`` command and the trace traffic section."""
+"""The ``repro simulate`` command and the trace traffic section.
+
+The base fleet (80 clients, 3 rounds, seed 7, dropout/straggler faults)
+comes from the shared ``simulate_cli`` fixture in ``conftest.py``.
+"""
 
 from __future__ import annotations
 
@@ -7,25 +11,9 @@ import json
 from repro.cli import main
 
 
-def run_simulate(tmp_path, name, *extra):
-    out = tmp_path / name
-    argv = [
-        "simulate",
-        "--clients", "80",
-        "--rounds", "3",
-        "--seed", "7",
-        "--dropout", "0.2",
-        "--straggler", "0.1",
-        "--out", str(out),
-        *extra,
-    ]
-    assert main(argv) == 0
-    return out.read_bytes()
-
-
 class TestSimulateCommand:
-    def test_report_shape(self, tmp_path, capsys):
-        payload = json.loads(run_simulate(tmp_path, "report.json"))
+    def test_report_shape(self, simulate_cli, capsys):
+        payload = json.loads(simulate_cli("report.json"))
         assert payload["command"] == "simulate"
         assert payload["config"]["num_clients"] == 80
         assert len(payload["rounds"]) == 3
@@ -34,41 +22,31 @@ class TestSimulateCommand:
         assert len(payload["weights_sha256"]) == 64
         assert "sim.rounds" in payload["metrics"]["counters"]
 
-    def test_same_seed_byte_identical(self, tmp_path):
-        first = run_simulate(tmp_path, "a.json")
-        second = run_simulate(tmp_path, "b.json")
+    def test_same_seed_byte_identical(self, simulate_cli):
+        first = simulate_cli("a.json")
+        second = simulate_cli("b.json")
         assert first == second
 
-    def test_different_seed_differs(self, tmp_path):
-        first = run_simulate(tmp_path, "a.json")
-        out = tmp_path / "c.json"
-        assert main([
-            "simulate", "--clients", "80", "--rounds", "3", "--seed", "8",
-            "--dropout", "0.2", "--straggler", "0.1", "--out", str(out),
-        ]) == 0
-        assert first != out.read_bytes()
+    def test_different_seed_differs(self, simulate_cli):
+        first = simulate_cli("a.json")
+        # the repeated --seed overrides the base value (argparse keeps last)
+        assert first != simulate_cli("c.json", "--seed", "8")
 
     def test_prints_to_stdout_without_out(self, capsys):
         assert main(["simulate", "--clients", "20", "--rounds", "1"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["command"] == "simulate"
 
-    def test_kill_and_resume_across_invocations(self, tmp_path):
+    def test_kill_and_resume_across_invocations(self, simulate_cli, tmp_path):
         """A killed server restarted over --state-dir finishes with weights
         bitwise-identical to the uninterrupted run."""
         state = tmp_path / "state"
-        uninterrupted = json.loads(run_simulate(tmp_path, "full.json"))
+        uninterrupted = json.loads(simulate_cli("full.json"))
         # "killed" run: only the first 2 of 3 rounds happen
-        partial = tmp_path / "partial.json"
-        assert main([
-            "simulate", "--clients", "80", "--rounds", "2", "--seed", "7",
-            "--dropout", "0.2", "--straggler", "0.1",
-            "--state-dir", str(state), "--out", str(partial),
-        ]) == 0
-        resumed_bytes = run_simulate(
-            tmp_path, "resumed.json", "--state-dir", str(state)
+        simulate_cli("partial.json", "--rounds", "2", "--state-dir", str(state))
+        resumed = json.loads(
+            simulate_cli("resumed.json", "--state-dir", str(state))
         )
-        resumed = json.loads(resumed_bytes)
         assert resumed["resumed_from_round"] == 2
         assert resumed["weights_sha256"] == uninterrupted["weights_sha256"]
         assert resumed["rounds"] == uninterrupted["rounds"]
@@ -88,10 +66,8 @@ class TestByzantineFlags:
         "--update-scale", "0.01",
     ]
 
-    def test_flags_thread_into_the_report(self, tmp_path):
-        payload = json.loads(
-            run_simulate(tmp_path, "byz.json", *self.BYZANTINE)
-        )
+    def test_flags_thread_into_the_report(self, simulate_cli):
+        payload = json.loads(simulate_cli("byz.json", *self.BYZANTINE))
         assert payload["rule"] == "trimmed_mean"
         assert payload["config"]["byzantine"] == 0.3
         assert payload["config"]["attack"] == "scale"
@@ -100,22 +76,20 @@ class TestByzantineFlags:
         assert payload["totals"]["admission_rejected"] > 0
         assert "final_accuracy" in payload
 
-    def test_byzantine_run_byte_identical(self, tmp_path):
-        first = run_simulate(tmp_path, "byz-a.json", *self.BYZANTINE)
-        second = run_simulate(tmp_path, "byz-b.json", *self.BYZANTINE)
+    def test_byzantine_run_byte_identical(self, simulate_cli):
+        first = simulate_cli("byz-a.json", *self.BYZANTINE)
+        second = simulate_cli("byz-b.json", *self.BYZANTINE)
         assert first == second
 
-    def test_rule_changes_the_weights(self, tmp_path):
+    def test_rule_changes_the_weights(self, simulate_cli):
         base = ["--byzantine", "0.3", "--attack", "sign_flip"]
-        fedavg = json.loads(run_simulate(tmp_path, "r-fedavg.json", *base))
-        krum = json.loads(
-            run_simulate(tmp_path, "r-krum.json", *base, "--rule", "krum")
-        )
+        fedavg = json.loads(simulate_cli("r-fedavg.json", *base))
+        krum = json.loads(simulate_cli("r-krum.json", *base, "--rule", "krum"))
         assert fedavg["weights_sha256"] != krum["weights_sha256"]
 
-    def test_clip_admits_instead_of_rejecting(self, tmp_path):
+    def test_clip_admits_instead_of_rejecting(self, simulate_cli):
         payload = json.loads(
-            run_simulate(tmp_path, "clip.json", *self.BYZANTINE, "--clip")
+            simulate_cli("clip.json", *self.BYZANTINE, "--clip")
         )
         assert payload["totals"]["admission_rejected"] == 0
         assert payload["totals"]["admission_clipped"] > 0

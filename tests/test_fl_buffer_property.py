@@ -1,0 +1,156 @@
+"""Property-based tests: the buffered commit is exact and order-free.
+
+Three claims, randomised over update values spanning many orders of
+magnitude, shard topologies, and arrival orders:
+
+1. With constant staleness weights and ``K == cohort``, one async commit
+   is **bitwise identical** to the sync :func:`~repro.fl.aggregation.fedavg`
+   round over the same updates — the equivalence the simulator's
+   sync-vs-async determinism tests lean on.
+2. A commit is a pure function of the folded multiset: arrival order and
+   shard routing cannot change a single bit, for the exact weighted fold
+   and for the robust rules alike.
+3. The staleness-weighted fold matches a per-coordinate :func:`math.fsum`
+   reference over the rounded products ``(w_i * n_i) * x_i`` — the
+   accumulator introduces no rounding beyond the one final division.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fl import (
+    BufferConfig,
+    BufferedAggregator,
+    ShardingConfig,
+    fedavg,
+    shard_of,
+)
+
+pytestmark = [pytest.mark.property, getattr(pytest.mark, "async")]
+
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.load_profile("ci")
+
+
+def make_updates(seed, num_clients, size, magnitude):
+    rng = np.random.default_rng(seed)
+    scales = 10.0 ** rng.integers(-magnitude, magnitude + 1, size=num_clients)
+    updates = [
+        [{"w": scales[i] * rng.normal(size=size), "b": rng.normal(size=2)}]
+        for i in range(num_clients)
+    ]
+    counts = [int(c) for c in rng.integers(1, 50, size=num_clients)]
+    return updates, counts
+
+
+def assert_weights_equal(left, right):
+    for a, b in zip(left, right):
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_clients=st.integers(1, 24),
+    num_shards=st.integers(1, 32),
+    size=st.integers(1, 17),
+    magnitude=st.integers(0, 6),
+)
+def test_full_buffer_commit_is_bitwise_fedavg(
+    seed, num_clients, num_shards, size, magnitude
+):
+    updates, counts = make_updates(seed, num_clients, size, magnitude)
+    buffer = BufferedAggregator(
+        updates[0],
+        BufferConfig(size=num_clients, staleness="constant"),
+        ShardingConfig(num_shards=num_shards, track_memory=False),
+    )
+    for position, (update, count) in enumerate(zip(updates, counts)):
+        shard = shard_of(position, num_clients, num_shards)
+        buffer.fold(shard, update, count, staleness=0, sort_key=position)
+    assert_weights_equal(buffer.commit(), fedavg(updates, counts))
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_clients=st.integers(2, 16),
+    shards_a=st.integers(1, 8),
+    shards_b=st.integers(1, 8),
+    size=st.integers(1, 16),
+    rule=st.sampled_from(["fedavg", "median", "trimmed_mean", "krum"]),
+)
+def test_commit_invariant_to_arrival_order_and_routing(
+    seed, num_clients, shards_a, shards_b, size, rule
+):
+    updates, counts = make_updates(seed, num_clients, size, 4)
+    rng = np.random.default_rng(seed ^ 0xBEEF)
+    stalenesses = [int(s) for s in rng.integers(0, 6, size=num_clients)]
+
+    def build(num_shards):
+        return BufferedAggregator(
+            updates[0],
+            BufferConfig(
+                size=num_clients, staleness="polynomial", exponent=0.5
+            ),
+            ShardingConfig(num_shards=num_shards, track_memory=False),
+            rule=rule,
+        )
+
+    one = build(shards_a)
+    for position in range(num_clients):
+        one.fold(
+            int(rng.integers(0, shards_a)),
+            updates[position],
+            counts[position],
+            staleness=stalenesses[position],
+            sort_key=position,
+        )
+    other = build(shards_b)
+    for position in rng.permutation(num_clients):
+        other.fold(
+            int(rng.integers(0, shards_b)),
+            updates[position],
+            counts[position],
+            staleness=stalenesses[position],
+            sort_key=int(position),
+        )
+    assert_weights_equal(one.commit(), other.commit())
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_clients=st.integers(1, 20),
+    size=st.integers(1, 12),
+    magnitude=st.integers(0, 6),
+    exponent=st.floats(0.0, 3.0),
+)
+def test_weighted_fold_matches_fsum_reference(
+    seed, num_clients, size, magnitude, exponent
+):
+    rng = np.random.default_rng(seed)
+    scales = 10.0 ** rng.integers(-magnitude, magnitude + 1, size=num_clients)
+    vectors = [scales[i] * rng.normal(size=size) for i in range(num_clients)]
+    counts = [int(c) for c in rng.integers(1, 50, size=num_clients)]
+    stalenesses = [int(s) for s in rng.integers(0, 8, size=num_clients)]
+    config = BufferConfig(
+        size=num_clients, staleness="polynomial", exponent=exponent
+    )
+    buffer = BufferedAggregator([{"w": vectors[0]}], config)
+    for i, vector in enumerate(vectors):
+        buffer.fold(
+            0, [{"w": vector}], counts[i], staleness=stalenesses[i]
+        )
+    committed = buffer.commit()[0]["w"]
+    contributions = [
+        config.weight(stalenesses[i]) * float(counts[i])
+        for i in range(num_clients)
+    ]
+    denominator = math.fsum(contributions)
+    for j in range(size):
+        numerator = math.fsum(
+            contributions[i] * vectors[i][j] for i in range(num_clients)
+        )
+        assert committed[j] == numerator / denominator

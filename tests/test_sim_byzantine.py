@@ -4,25 +4,18 @@ Holds the PR's headline acceptance test: at seed 0 with 30% of the fleet
 sign-flipping, plain FedAvg visibly degrades while ``median`` and
 ``krum`` stay within 2 accuracy points of the attack-free run — the same
 sweep ``benchmarks/bench_robust.py`` writes to ``BENCH_robust.json``.
+
+Simulator construction and report serialisation come from the shared
+``sim_runner`` / ``sim_factory`` / ``report_bytes`` fixtures in
+``conftest.py``.
 """
 
 from __future__ import annotations
 
-import json
-
 import numpy as np
 import pytest
 
-from repro import obs
-from repro.obs import VirtualClock
-from repro.sim import (
-    AttackKind,
-    FLSimulator,
-    FaultPlan,
-    FaultRates,
-    SimConfig,
-    apply_attack,
-)
+from repro.sim import AttackKind, FaultPlan, FaultRates, apply_attack
 from repro.tee.storage import InMemoryBackend, SecureStorage
 
 SSK = b"\x07" * 32
@@ -35,26 +28,8 @@ SWEEP = dict(
 )
 
 
-def run_sim(storage=None, sim=None, **overrides):
-    settings = dict(SWEEP)
-    settings.update(overrides)
-    config = SimConfig(**settings)
-    plan = FaultPlan(
-        FaultRates(),
-        seed=config.seed,
-        byzantine=config.byzantine,
-        attack=config.attack,
-        attack_strength=config.attack_strength,
-    )
-    with obs.fresh(clock=VirtualClock()) as ctx:
-        simulator = FLSimulator(
-            config, fault_plan=plan, storage=storage, clock=ctx.clock
-        )
-        return simulator.run()
-
-
-def report_bytes(report):
-    return json.dumps(report, sort_keys=True).encode()
+def run_sim(sim_runner, storage=None, **overrides):
+    return sim_runner(storage=storage, **dict(SWEEP, **overrides))
 
 
 class TestAttackKinds:
@@ -133,21 +108,25 @@ class TestFaultPlanAttackers:
 class TestAcceptance:
     """The PR's headline numbers, pinned at seed 0."""
 
-    def test_fedavg_degrades_but_median_and_krum_hold(self):
+    def test_fedavg_degrades_but_median_and_krum_hold(self, sim_runner):
         baseline = {
-            rule: run_sim(rule=rule, byzantine=0.0)["final_accuracy"]
+            rule: run_sim(sim_runner, rule=rule, byzantine=0.0)[
+                "final_accuracy"
+            ]
             for rule in ("fedavg", "median", "krum")
         }
         attacked = {
-            rule: run_sim(rule=rule, byzantine=0.3)["final_accuracy"]
+            rule: run_sim(sim_runner, rule=rule, byzantine=0.3)[
+                "final_accuracy"
+            ]
             for rule in ("fedavg", "median", "krum")
         }
         assert baseline["fedavg"] - attacked["fedavg"] > 0.05
         for rule in ("median", "krum"):
             assert baseline[rule] - attacked[rule] <= 0.02
 
-    def test_attacked_updates_are_counted(self):
-        report = run_sim(rule="median", byzantine=0.3, rounds=5)
+    def test_attacked_updates_are_counted(self, sim_runner):
+        report = run_sim(sim_runner, rule="median", byzantine=0.3, rounds=5)
         assert report["totals"]["attacked"] > 0
         assert report["rule"] == "median"
         for round_report in report["rounds"]:
@@ -155,7 +134,9 @@ class TestAcceptance:
 
 
 class TestByzantineDeterminism:
-    def test_same_seed_same_bytes_with_quarantine_events(self):
+    def test_same_seed_same_bytes_with_quarantine_events(
+        self, sim_runner, report_bytes
+    ):
         settings = dict(
             rule="trimmed_mean",
             byzantine=0.3,
@@ -163,48 +144,32 @@ class TestByzantineDeterminism:
             max_norm=6.0,
             rounds=10,
         )
-        reports = [run_sim(**settings) for _ in range(2)]
+        reports = [run_sim(sim_runner, **settings) for _ in range(2)]
         assert report_bytes(reports[0]) == report_bytes(reports[1])
         # The run must actually exercise the ledger, not just agree on
         # empty reports.
         assert reports[0]["totals"]["admission_rejected"] > 0
         assert reports[0]["totals"]["quarantined"] > 0
 
-    def test_resume_reproduces_quarantine_state(self):
+    def test_resume_reproduces_quarantine_state(
+        self, sim_runner, sim_factory, report_bytes
+    ):
         settings = dict(
+            SWEEP,
             rule="trimmed_mean",
             byzantine=0.3,
             attack="scale",
             max_norm=6.0,
             rounds=10,
         )
-        uninterrupted = run_sim(**settings)
+        uninterrupted = sim_runner(**settings)
 
         storage = SecureStorage(InMemoryBackend(), ssk=SSK)
-        config = SimConfig(**dict(SWEEP, **settings))
-        plan_kwargs = dict(
-            seed=config.seed,
-            byzantine=config.byzantine,
-            attack=config.attack,
-            attack_strength=config.attack_strength,
-        )
-        with obs.fresh(clock=VirtualClock()) as ctx:
-            killed = FLSimulator(
-                config,
-                fault_plan=FaultPlan(FaultRates(), **plan_kwargs),
-                storage=storage,
-                clock=ctx.clock,
-            )
+        with sim_factory(storage=storage, **settings) as killed:
             for _ in range(4):
                 killed.step_round()
             # coordinator dies; reputation ledger lives in the checkpoint
-        with obs.fresh(clock=VirtualClock()) as ctx:
-            resumed_sim = FLSimulator(
-                config,
-                fault_plan=FaultPlan(FaultRates(), **plan_kwargs),
-                storage=storage,
-                clock=ctx.clock,
-            )
+        with sim_factory(storage=storage, **settings) as resumed_sim:
             assert resumed_sim.resumed_from == 4
             resumed = resumed_sim.run()
 
@@ -213,17 +178,20 @@ class TestByzantineDeterminism:
         uninterrupted.pop("resumed_from_round")
         assert report_bytes(resumed) == report_bytes(uninterrupted)
 
-    def test_different_rules_different_weights_under_attack(self):
+    def test_different_rules_different_weights_under_attack(self, sim_runner):
         digests = {
-            rule: run_sim(rule=rule, byzantine=0.3, rounds=5)["weights_sha256"]
+            rule: run_sim(sim_runner, rule=rule, byzantine=0.3, rounds=5)[
+                "weights_sha256"
+            ]
             for rule in ("fedavg", "median", "krum")
         }
         assert len(set(digests.values())) == 3
 
 
 class TestQuarantineInTheLoop:
-    def test_quarantined_clients_sit_out_selection(self):
+    def test_quarantined_clients_sit_out_selection(self, sim_runner):
         report = run_sim(
+            sim_runner,
             rule="fedavg",
             byzantine=0.3,
             attack="scale",
@@ -236,8 +204,9 @@ class TestQuarantineInTheLoop:
         rejected = [r["admission_rejected"] for r in report["rounds"]]
         assert sum(rejected[5:]) < sum(rejected[:5])
 
-    def test_admission_clip_admits_rescaled_updates(self):
+    def test_admission_clip_admits_rescaled_updates(self, sim_runner):
         clipped = run_sim(
+            sim_runner,
             rule="fedavg",
             byzantine=0.2,
             attack="scale",
