@@ -8,6 +8,8 @@ Everything a user script needs lives here, under names that do not move:
   same JSON-safe report ``repro simulate`` writes;
 * :func:`run_experiment` — any of the paper's table/figure experiments by
   name, returned as a JSON-safe payload;
+* :func:`serve` — the multi-tenant coordinator service under synthetic
+  load, returned as the same JSON-safe report ``repro serve`` writes;
 * the config types (:class:`ServerConfig`, :class:`RoundConfig`,
   :class:`ShardingConfig`) that parameterise both.
 
@@ -35,6 +37,7 @@ from .fl.server import FLServer
 __all__ = [
     "build_server",
     "simulate",
+    "serve",
     "run_experiment",
     "ServerConfig",
     "RoundConfig",
@@ -184,6 +187,82 @@ def simulate(
         if include_metrics:
             report["metrics"] = ctx.registry.snapshot()
     return report
+
+
+def serve(
+    *,
+    tenants: int = 2,
+    clients: int = 1000,
+    commits: int = 10,
+    buffer_size: int = 64,
+    shards: int = 1,
+    workers: int = 0,
+    concurrency: int = 128,
+    max_queue_depth: int = 4096,
+    ratio: Optional[float] = None,
+    encoding: str = "f64",
+    seed: int = 0,
+    dropout: float = 0.0,
+    straggler: float = 0.0,
+    byzantine: float = 0.0,
+    attack: str = "sign_flip",
+    attack_strength: float = 10.0,
+    max_norm: Optional[float] = None,
+    clip: bool = False,
+    drift: float = 0.2,
+    update_scale: float = 0.05,
+) -> dict:
+    """Run the coordinator service under synthetic load; return its report.
+
+    Creates ``tenants`` concurrent jobs on one
+    :class:`~repro.serve.coordinator.Coordinator` (tenant ``i`` seeds its
+    fleet with ``seed + i``) and drives each to ``commits`` commits over
+    the wire protocol on virtual time.  The returned dict is the same
+    JSON-safe report ``python -m repro serve`` writes: per-job commit /
+    fold / reject counts, uplink/downlink bytes per client, p50/p99
+    dispatch→commit latency, ``aggregator_peak_bytes``, and
+    ``weights_sha256``.  Identical arguments produce a byte-identical
+    report; ``workers`` and kill/resume (see the CLI's ``--state-dir``)
+    never change the committed bytes.  ``ratio`` switches the uplink to
+    top-k sparse frames and ``encoding`` picks the wire value dtype —
+    at ``ratio=1.0`` with ``encoding="f64"`` the commits are
+    bitwise-identical to the dense run.
+    """
+    from .obs import VirtualClock, fresh
+    from .serve import LoadSpec, ServeHarness, TenantQuota
+
+    specs = [
+        LoadSpec(
+            tenant=f"tenant-{i}",
+            job_id=f"job-{i}",
+            clients=clients,
+            commits=commits,
+            buffer_size=buffer_size,
+            shards=shards,
+            seed=seed + i,
+            concurrency=concurrency,
+            ratio=ratio,
+            encoding=encoding,
+            drift=drift,
+            update_scale=update_scale,
+            dropout=dropout,
+            straggler=straggler,
+            byzantine=byzantine,
+            attack=attack,
+            attack_strength=attack_strength,
+            max_norm=max_norm,
+            clip=clip,
+        )
+        for i in range(tenants)
+    ]
+    with fresh(clock=VirtualClock()) as ctx:
+        with ServeHarness(
+            specs,
+            workers=workers,
+            quota=TenantQuota(max_queue_depth=max_queue_depth),
+            clock=ctx.clock,
+        ) as harness:
+            return harness.run()
 
 
 def run_experiment(

@@ -43,6 +43,7 @@ from ..tee.costmodel import CostModel
 __all__ = [
     "bench_conv_step",
     "bench_fl_round",
+    "bench_serve_throughput",
     "run_perf_suite",
     "TRACKED_METRICS",
     "compare_payloads",
@@ -60,6 +61,9 @@ TRACKED_METRICS = {
     "fl_round.sequential_wall_s": "lower",
     "fl_round.parallel_wall_s": "lower",
     "fl_round.simulated_speedup": "higher",
+    "serve.wall_s": "lower",
+    "serve.commits_per_wall_second": "higher",
+    "serve.dispatches_per_wall_second": "higher",
 }
 
 
@@ -254,6 +258,62 @@ def bench_fl_round(
     return result
 
 
+def bench_serve_throughput(
+    tenants: int = 2,
+    clients: int = 200,
+    commits: int = 5,
+    buffer_size: int = 16,
+    seed: int = 0,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Wall-clock throughput of the coordinator service under load.
+
+    Drives ``tenants`` concurrent jobs (dense f64 uplinks, no faults) to
+    ``commits`` commits each and reports dispatches and commits per
+    wall-second — the service-layer number ``repro perf --compare``
+    gates, complementing ``BENCH_serve.json``'s full load test.  The run
+    is deterministic, so best-of-``repeats`` measures the same work and
+    damps scheduler noise on a sub-second workload.
+    """
+    from .. import obs
+    from ..obs import VirtualClock
+    from ..serve import LoadSpec, ServeHarness
+
+    specs = [
+        LoadSpec(
+            tenant=f"tenant-{i}",
+            job_id=f"job-{i}",
+            clients=clients,
+            commits=commits,
+            buffer_size=buffer_size,
+            concurrency=64,
+            seed=seed + i,
+        )
+        for i in range(tenants)
+    ]
+    wall = float("inf")
+    report: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            with ServeHarness(specs, clock=ctx.clock) as harness:
+                start = time.perf_counter()
+                report = harness.run()
+                wall = min(wall, time.perf_counter() - start)
+    total_commits = sum(job["commits"] for job in report["jobs"])
+    total_dispatches = sum(job["dispatches"] for job in report["jobs"])
+    return {
+        "tenants": tenants,
+        "clients_per_tenant": clients,
+        "commits": total_commits,
+        "dispatches": total_dispatches,
+        "events": report["events"],
+        "wall_s": wall,
+        "commits_per_wall_second": total_commits / wall,
+        "dispatches_per_wall_second": total_dispatches / wall,
+        "virtual_seconds": report["virtual_seconds"],
+    }
+
+
 def run_perf_suite(
     quick: bool = False,
     max_workers: int = 4,
@@ -291,12 +351,22 @@ def run_perf_suite(
         f"{fl['sequential_simulated_s']:.2f}s -> {fl['parallel_simulated_s']:.2f}s "
         f"({fl['simulated_speedup']:.2f}x)"
     )
+    say("timing coordinator-service load (2 tenants) ...")
+    serve = bench_serve_throughput(
+        clients=100 if quick else 200,
+        commits=3 if quick else 5,
+    )
+    say(
+        f"  {serve['dispatches']} dispatches in {serve['wall_s']:.2f}s "
+        f"({serve['commits_per_wall_second']:.0f} commits/s)"
+    )
     return {
         "schema": 1,
         "quick": bool(quick),
         "cpu_count": os.cpu_count(),
         "conv_step": conv,
         "fl_round": fl,
+        "serve": serve,
         "workspace": workspace.stats(),
         "obs_metrics": registry.snapshot(),
         "notes": (

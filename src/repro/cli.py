@@ -375,6 +375,97 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         print(text)
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """Run the multi-tenant coordinator service under synthetic load.
+
+    Spins up one :class:`~repro.serve.coordinator.Coordinator`, creates
+    ``--tenants`` concurrent jobs (one per tenant, each with its own
+    seeded client fleet), and drives them to ``--commits`` commits each
+    on virtual time.  Entirely deterministic: two invocations with the
+    same arguments emit byte-identical JSON reports.  With
+    ``--state-dir`` the whole ensemble (coordinator, event loop clock,
+    in-flight wire frames) checkpoints through secure storage after
+    every ``--checkpoint-every`` events, so a ``kill -9`` mid-commit can
+    be re-invoked with the same command line and finishes with a report
+    bitwise identical to an uninterrupted run.  With ``--workers N``
+    shard-level aggregation at commit time is dispatched to N worker
+    processes — same bytes, by the exact reduce's order independence.
+    """
+    import hashlib
+
+    from .obs import VirtualClock, fresh, validate_metrics
+    from .serve import LoadSpec, ServeHarness, TenantQuota
+    from .tee.storage import ReeFsBackend, SecureStorage
+
+    specs = [
+        LoadSpec(
+            tenant=f"tenant-{i}",
+            job_id=f"job-{i}",
+            clients=args.clients,
+            commits=args.commits,
+            buffer_size=args.buffer_size,
+            shards=args.shards,
+            seed=args.seed + i,
+            concurrency=args.concurrency,
+            ratio=args.ratio,
+            encoding=args.encoding,
+            drift=args.drift,
+            update_scale=args.update_scale,
+            dropout=args.dropout,
+            straggler=args.straggler,
+            byzantine=args.byzantine,
+            attack=args.attack,
+            attack_strength=args.attack_strength,
+            max_norm=args.max_norm,
+            clip=args.clip,
+        )
+        for i in range(args.tenants)
+    ]
+    quota = TenantQuota(max_queue_depth=args.max_queue_depth)
+    storage = None
+    if args.state_dir:
+        import os
+
+        # Same recovery discipline as `simulate`: a deterministic SSK so a
+        # fresh process can unseal what the killed one wrote, and rollback
+        # counters persisted RPMB-style.
+        ssk = hashlib.sha256(f"repro-serve-{args.seed}".encode()).digest()
+        storage = SecureStorage(
+            ReeFsBackend(args.state_dir),
+            ssk=ssk,
+            counters_path=os.path.join(args.state_dir, "counters.json"),
+        )
+
+    with fresh(clock=VirtualClock()) as ctx:
+        with ServeHarness(
+            specs,
+            workers=args.workers,
+            quota=quota,
+            storage=storage,
+            checkpoint_every=args.checkpoint_every,
+            clock=ctx.clock,
+        ) as harness:
+            harness.restore()
+            report = harness.run()
+        validate_metrics(
+            ctx.registry.snapshot(),
+            required=(
+                "serve.jobs.active",
+                "serve.queue.depth",
+                "serve.backpressure.rejects",
+                "serve.worker.restarts",
+            ),
+        )
+    payload = {"schema": 1, "command": "serve", **report}
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .bench.perf import compare_payloads, run_perf_suite
 
@@ -430,6 +521,7 @@ def _cmd_list(args: argparse.Namespace) -> None:
     print(f"  {'perf':<8} fused-kernel and parallel-round microbenchmarks")
     print(f"  {'trace':<8} deterministic FL-round trace + metrics as JSON")
     print(f"  {'simulate':<8} event-driven FL fleet simulation with fault injection")
+    print(f"  {'serve':<8} multi-tenant coordinator service under synthetic load")
 
 
 def _add_alias(sub: argparse.ArgumentParser, flag: str, dest: str, type=None) -> None:
@@ -661,6 +753,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint directory (enables kill/resume across invocations)",
     )
     simulate.add_argument("--out", default=None, help="write the JSON report here")
+    serve = subparsers.add_parser(
+        "serve", help="multi-tenant coordinator service under synthetic load"
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=2, help="concurrent tenant jobs"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=1000, help="simulated clients per tenant"
+    )
+    serve.add_argument(
+        "--commits", type=int, default=10, help="commits each job runs to"
+    )
+    serve.add_argument(
+        "--buffer-size", type=int, default=64, help="admitted updates per commit"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, help="aggregation shards per job"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="multiprocess shard workers for commit-time folds (0 = in-process; "
+        "the committed bytes are identical either way)",
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=128, help="in-flight dispatches per job"
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=4096,
+        help="staged updates per job before backpressure rejects",
+    )
+    serve.add_argument(
+        "--ratio",
+        type=float,
+        default=None,
+        help="top-k sparsification ratio for uplink deltas (default: dense)",
+    )
+    serve.add_argument(
+        "--encoding",
+        default="f64",
+        choices=["f64", "f32", "f16", "q8"],
+        help="wire value encoding of uplink deltas",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="base seed (tenant i adds i)")
+    serve.add_argument("--dropout", type=float, default=0.0, help="dropout rate")
+    serve.add_argument(
+        "--straggler", type=float, default=0.0, help="straggler rate"
+    )
+    serve.add_argument(
+        "--byzantine", type=float, default=0.0, help="Byzantine fleet fraction"
+    )
+    serve.add_argument(
+        "--attack",
+        default="sign_flip",
+        choices=["sign_flip", "scale", "gauss_noise", "collude"],
+        help="attack Byzantine clients mount",
+    )
+    serve.add_argument(
+        "--attack-strength", type=float, default=10.0, help="attack strength"
+    )
+    serve.add_argument(
+        "--max-norm",
+        type=float,
+        default=None,
+        help="admission-control delta-norm ceiling (enables reputation)",
+    )
+    serve.add_argument(
+        "--clip",
+        action="store_true",
+        help="rescale over-norm updates onto the ceiling instead of rejecting",
+    )
+    serve.add_argument(
+        "--drift", type=float, default=0.2, help="honest pull toward the teacher"
+    )
+    serve.add_argument(
+        "--update-scale", type=float, default=0.05, help="honest update noise std"
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="checkpoint directory (enables kill/resume across invocations)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="events between checkpoints when --state-dir is set",
+    )
+    serve.add_argument("--out", default=None, help="write the JSON report here")
     return parser
 
 
@@ -676,6 +860,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "simulate":
         _cmd_simulate(args)
+        return 0
+    if args.command == "serve":
+        _cmd_serve(args)
         return 0
     handler, _ = _COMMANDS[args.command]
     payload = handler(args)

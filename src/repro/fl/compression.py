@@ -13,7 +13,20 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SparseUpdate", "TopKCompressor", "weighted_sparse_mean"]
+__all__ = [
+    "INDEX_WIRE_BYTES",
+    "VALUE_WIRE_BYTES",
+    "SparseUpdate",
+    "TopKCompressor",
+    "weighted_sparse_mean",
+]
+
+#: Wire width of one kept coordinate: a u32 index plus a float32 value.
+#: The serve wire codec (:mod:`repro.serve.wire`) encodes sparse payloads
+#: with exactly these widths, so the simulator's uplink pricing and the
+#: coordinator service's byte accounting agree on every sparse update.
+INDEX_WIRE_BYTES = 4
+VALUE_WIRE_BYTES = 4
 
 
 @dataclass(frozen=True)
@@ -36,8 +49,9 @@ class SparseUpdate:
         return out
 
     def wire_bytes(self) -> int:
-        """4-byte indices + 4-byte values (float32 on the wire)."""
-        return int(self.indices.size * 8)
+        """Uplink cost: ``INDEX_WIRE_BYTES`` (u32 index) plus
+        ``VALUE_WIRE_BYTES`` (float32 value) per kept coordinate."""
+        return int(self.indices.size * (INDEX_WIRE_BYTES + VALUE_WIRE_BYTES))
 
     def add_scaled_into(self, out: np.ndarray, scale: float = 1.0) -> np.ndarray:
         """Scatter ``scale * values`` into ``out`` without densifying."""

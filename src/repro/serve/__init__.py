@@ -1,0 +1,71 @@
+"""`repro.serve`: a persistent multi-tenant FL coordinator service.
+
+The modules here turn the one-shot simulator/aggregation stack into a
+long-running service layer:
+
+* :mod:`repro.serve.wire` — a versioned, length-prefixed binary framing
+  for ``ModelDownload`` / ``ClientUpdate`` / ``ShardPartial`` messages
+  with dense float64/float32/float16, affine-quantized (q8), top-k
+  sparse, and sealed-blob value encodings.  Decoding always lands on a
+  canonical float64 vector *before* anything touches an accumulator, so
+  the exact compensated reduce stays bitwise deterministic.
+* :mod:`repro.serve.workers` — a pool of stateless multiprocess shard
+  workers that compute per-shard exact weighted-sum expansions at commit
+  time (and survive being killed: a dead worker is restarted and its
+  batch resubmitted).
+* :mod:`repro.serve.coordinator` — the :class:`Coordinator` owning many
+  concurrent FL jobs (one per tenant) with per-tenant quotas, admission
+  backpressure, staleness bounds, and a ``create → run → drain →
+  checkpoint → resume`` lifecycle over SecureStorage.
+* :mod:`repro.serve.loadgen` — a deterministic :class:`LoadGenerator` /
+  :class:`ServeHarness` pair driving 10^5–10^6 simulated clients (with
+  the `repro.sim` network/fault/Byzantine models) against a live
+  coordinator, producing the byte-reproducible report behind
+  ``repro serve`` and ``BENCH_serve.json``.
+"""
+
+from .coordinator import (
+    CommitEvent,
+    Coordinator,
+    Job,
+    JobState,
+    PumpResult,
+    SubmitResult,
+    TenantQuota,
+)
+from .loadgen import LoadGenerator, LoadSpec, ServeHarness
+from .wire import (
+    ClientUpdateMsg,
+    Encoding,
+    FrameError,
+    ModelDownloadMsg,
+    MsgType,
+    ShardPartialMsg,
+    WireVector,
+    decode_frame,
+    encode_frame,
+)
+from .workers import ShardWorkerPool
+
+__all__ = [
+    "CommitEvent",
+    "ClientUpdateMsg",
+    "Coordinator",
+    "decode_frame",
+    "encode_frame",
+    "Encoding",
+    "FrameError",
+    "Job",
+    "JobState",
+    "LoadGenerator",
+    "LoadSpec",
+    "ModelDownloadMsg",
+    "MsgType",
+    "PumpResult",
+    "ServeHarness",
+    "ShardPartialMsg",
+    "ShardWorkerPool",
+    "SubmitResult",
+    "TenantQuota",
+    "WireVector",
+]

@@ -1,0 +1,795 @@
+"""The persistent multi-tenant FL coordinator.
+
+A :class:`Coordinator` owns many concurrent FL **jobs** (one per tenant
+stream), each an independent FedBuff-style buffered aggregation pipeline
+over the exact compensated reduce.  Clients talk to it exclusively in
+wire frames (:mod:`repro.serve.wire`); every decoded delta is widened to
+canonical float64 before anything touches an accumulator, so the
+committed aggregate of each job is a pure function of the admitted
+update multiset — bitwise independent of arrival order, shard routing,
+value encoding round-trips at ratio 1.0, and of whether shard folds ran
+in-process or on the multiprocess worker pool.
+
+Lifecycle: ``create → run → drain → checkpoint → resume``.
+
+* **create/run** — :meth:`Coordinator.create_job` registers a job under
+  a tenant (per-tenant job quota enforced) and starts accepting frames.
+* **submit** — frames land in a per-job staging queue.  Over-depth
+  queues shed load (``serve.backpressure.rejects``); updates based on a
+  version older than the retained window are refused as stale.
+* **pump** — staged updates flow through admission control (norm
+  ceiling, reputation/quarantine) into the buffered window; every K
+  admitted folds the window commits and the model version advances.
+* **drain** — stop accepting, flush the queue, commit the final partial
+  window, finish.
+* **checkpoint/resume** — :meth:`state_dict` captures every job
+  mid-window (expansion components, staged frames, retained versions,
+  reputation ledger) as JSON; written through SecureStorage it survives
+  ``kill -9``, and a coordinator restored from it finishes the run with
+  byte-identical commits.
+
+Sharded commits: with ``workers > 0`` each job gathers its window rows
+and, at commit time, partitions them across the pool
+(:class:`~repro.serve.workers.ShardWorkerPool`); workers return exact
+per-shard expansions that merge error-free at the root.  Exactness makes
+the worker path bitwise-equal to the streaming in-process fold.
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..fl.admission import AdmissionConfig, AdmissionController, ReputationTracker
+from ..fl.aggregation import CompensatedAccumulator
+from ..fl.buffer import BufferedAggregator
+from ..fl.config import BufferConfig, ShardingConfig
+from ..nn.model import WeightsList
+from ..nn.serialize import (
+    flatten_weights,
+    unflatten_weights,
+    weights_from_bytes,
+    weights_to_bytes,
+)
+from ..obs import get_registry, get_tracer
+from ..tee.storage import IntegrityError, RollbackError
+from .wire import ClientUpdateMsg, Encoding, WireVector, decode_frame, encode_frame
+from .workers import ShardWorkerPool
+
+__all__ = [
+    "TenantQuota",
+    "JobState",
+    "SubmitResult",
+    "CommitEvent",
+    "PumpResult",
+    "Job",
+    "Coordinator",
+]
+
+TA_UUID = "gradsec-serve-coordinator"
+CHECKPOINT_OBJECT = "coordinator-state"
+
+
+def _encode_flat(array: np.ndarray) -> str:
+    return base64.b64encode(
+        np.ascontiguousarray(array, dtype=np.float64).tobytes()
+    ).decode("ascii")
+
+
+def _decode_flat(blob: str) -> np.ndarray:
+    return np.frombuffer(base64.b64decode(blob), dtype=np.float64).copy()
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits the coordinator enforces.
+
+    Attributes
+    ----------
+    max_jobs:
+        Concurrent jobs a tenant may own.
+    max_queue_depth:
+        Staged (not yet folded) updates per job before backpressure
+        rejects new submissions.
+    max_version_lag:
+        Oldest base version accepted, relative to the job's head: an
+        update trained on ``version < head - max_version_lag`` is refused
+        as stale (and its base weights are no longer retained anyway).
+    """
+
+    max_jobs: int = 4
+    max_queue_depth: int = 4096
+    max_version_lag: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.max_version_lag < 0:
+            raise ValueError("max_version_lag cannot be negative")
+
+
+class JobState(str, enum.Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    DRAINING = "draining"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    accepted: bool
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CommitEvent:
+    """One committed window: which dispatches became this model version."""
+
+    tenant: str
+    job_id: str
+    version: int
+    folds: int
+    dispatches: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PumpResult:
+    """What one pump pass did: commits fired, dispatches rejected."""
+
+    commits: Tuple[CommitEvent, ...]
+    rejected: Tuple[Tuple[int, str], ...]
+
+
+class _StreamingWindow:
+    """Workers-off window: the in-process exact streaming fold."""
+
+    kind = "streaming"
+
+    def __init__(
+        self,
+        template: WeightsList,
+        config: BufferConfig,
+        sharding: ShardingConfig,
+    ) -> None:
+        self._aggregator = BufferedAggregator(template, config, sharding)
+
+    def fold(self, shard_id, flat, num_samples, *, staleness, sort_key) -> None:
+        self._aggregator.fold(
+            shard_id,
+            None,
+            num_samples,
+            staleness=staleness,
+            sort_key=sort_key,
+            flat=flat,
+        )
+
+    @property
+    def pending(self) -> int:
+        return self._aggregator.pending
+
+    @property
+    def ready(self) -> bool:
+        return self._aggregator.ready
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._aggregator.peak_bytes
+
+    def commit(self, pool=None) -> np.ndarray:
+        return flatten_weights(self._aggregator.commit())
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "buffer": self._aggregator.state_dict()}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._aggregator.load_state(state["buffer"])
+
+
+class _GatheredWindow:
+    """Workers-on window: rows gathered per shard, folded at commit.
+
+    Keeps ``(sort_key, flat, contribution, num_samples)`` rows per shard
+    and ships each shard's rows to a worker at commit.  The contribution
+    is computed with the *same expression* the streaming fold uses
+    (``BufferConfig.weight(staleness) * float(num_samples)``), and both
+    paths reduce to the identical exact numerator/denominator — so the
+    committed bits match the streaming window for every worker count.
+    """
+
+    kind = "gathered"
+
+    def __init__(
+        self, size: int, config: BufferConfig, num_shards: int
+    ) -> None:
+        self.size = int(size)
+        self.config = config
+        self.num_shards = int(num_shards)
+        self.peak_bytes = 0
+        self._rows: List[List[Tuple[int, np.ndarray, float, int]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        self._pending = 0
+
+    def fold(self, shard_id, flat, num_samples, *, staleness, sort_key) -> None:
+        contribution = self.config.weight(staleness) * float(num_samples)
+        flat = np.ascontiguousarray(flat, dtype=np.float64)
+        self._rows[shard_id].append(
+            (int(sort_key), flat.copy(), contribution, int(num_samples))
+        )
+        self._pending += 1
+        live = sum(row[1].nbytes for rows in self._rows for row in rows)
+        self.peak_bytes = max(self.peak_bytes, int(live))
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    @property
+    def ready(self) -> bool:
+        return self._pending >= self.config.size
+
+    def commit(self, pool: ShardWorkerPool) -> np.ndarray:
+        tasks = []
+        for shard_id, rows in enumerate(self._rows):
+            if not rows:
+                continue
+            tasks.append(
+                (
+                    shard_id,
+                    self.size,
+                    [(flat.tobytes(), contribution, n) for _, flat, contribution, n in rows],
+                )
+            )
+        results = pool.run_sums(tasks)
+        vector = CompensatedAccumulator(self.size)
+        weight = CompensatedAccumulator(1)
+        for shard_id in sorted(results):
+            results[shard_id].merge_into(vector, weight)
+        denominator = float(weight.value()[0])
+        if denominator <= 0:
+            raise ValueError("staleness weights summed to a non-positive total")
+        flat = vector.value() / denominator
+        self._rows = [[] for _ in range(self.num_shards)]
+        self._pending = 0
+        return flat
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "pending": self._pending,
+            "peak_bytes": self.peak_bytes,
+            "rows": [
+                [
+                    [key, _encode_flat(flat), contribution, n]
+                    for key, flat, contribution, n in rows
+                ]
+                for rows in self._rows
+            ],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._pending = int(state["pending"])
+        self.peak_bytes = int(state["peak_bytes"])
+        self._rows = [
+            [
+                (int(key), _decode_flat(flat), float(contribution), int(n))
+                for key, flat, contribution, n in rows
+            ]
+            for rows in state["rows"]
+        ]
+
+
+class Job:
+    """One tenant's FL aggregation stream.
+
+    Owns the current global model (``flat`` is the canonical float64
+    vector; ``weights`` its structured view), the retained base versions
+    clients may still train against, the staged frame queue, the open
+    buffered window, and — when a norm ceiling is configured — the
+    admission controller and reputation ledger.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        job_id: str,
+        weights: WeightsList,
+        *,
+        buffer: Optional[BufferConfig] = None,
+        sharding: Optional[ShardingConfig] = None,
+        admission: Optional[AdmissionConfig] = None,
+        quota: Optional[TenantQuota] = None,
+        target_commits: Optional[int] = None,
+        gathered: bool = False,
+    ) -> None:
+        self.tenant = tenant
+        self.job_id = job_id
+        self.template: WeightsList = [
+            {key: np.asarray(value, dtype=np.float64) for key, value in layer.items()}
+            for layer in weights
+        ]
+        self.flat = flatten_weights(self.template)
+        self.weights = self.template
+        self.size = int(self.flat.size)
+        self.buffer_config = buffer or BufferConfig()
+        self.sharding = sharding or ShardingConfig()
+        self.quota = quota or TenantQuota()
+        self.target_commits = target_commits
+        self.state = JobState.CREATED
+        self.version = 0
+        self.versions: Dict[int, np.ndarray] = {0: self.flat}
+        self.queue: Deque[Tuple[bytes, ClientUpdateMsg]] = deque()
+        self.window = (
+            _GatheredWindow(self.size, self.buffer_config, self.sharding.num_shards)
+            if gathered
+            else _StreamingWindow(self.template, self.buffer_config, self.sharding)
+        )
+        self.admission: Optional[AdmissionController] = None
+        self.reputation: Optional[ReputationTracker] = None
+        self.admission_config = admission
+        if admission is not None:
+            self.admission = AdmissionController(self.template, admission)
+            self.reputation = ReputationTracker()
+        self.window_dispatches: List[int] = []
+        self.folds = 0
+        self.admitted = 0
+        self.rejects: Dict[str, int] = {}
+        self.bytes_up = 0
+        self.bytes_down = 0
+
+    @property
+    def active(self) -> bool:
+        return self.state in (JobState.RUNNING, JobState.DRAINING)
+
+    @property
+    def aggregator_peak_bytes(self) -> int:
+        return int(self.window.peak_bytes)
+
+    def _count_reject(self, reason: str) -> None:
+        self.rejects[reason] = self.rejects.get(reason, 0) + 1
+
+    def _advance(self, flat: np.ndarray) -> None:
+        self.version += 1
+        self.flat = flat
+        self.weights = unflatten_weights(flat, self.template)
+        self.versions[self.version] = flat
+        floor = self.version - self.quota.max_version_lag
+        for version in [v for v in self.versions if v < floor]:
+            del self.versions[version]
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        state: Dict[str, object] = {
+            "tenant": self.tenant,
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "version": self.version,
+            "target_commits": self.target_commits,
+            "buffer": {
+                "size": self.buffer_config.size,
+                "staleness": self.buffer_config.staleness,
+                "exponent": self.buffer_config.exponent,
+            },
+            "shards": self.sharding.num_shards,
+            "gathered": self.window.kind == "gathered",
+            "max_norm": None
+            if self.admission_config is None
+            else self.admission_config.max_norm,
+            "clip": False
+            if self.admission_config is None
+            else self.admission_config.clip,
+            "weights": base64.b64encode(weights_to_bytes(self.weights)).decode(),
+            "versions": [
+                [version, _encode_flat(flat)]
+                for version, flat in sorted(self.versions.items())
+            ],
+            "queue": [
+                base64.b64encode(frame).decode() for frame, _ in self.queue
+            ],
+            "window": self.window.state_dict(),
+            "window_dispatches": list(self.window_dispatches),
+            "counters": {
+                "folds": self.folds,
+                "admitted": self.admitted,
+                "rejects": dict(sorted(self.rejects.items())),
+                "bytes_up": self.bytes_up,
+                "bytes_down": self.bytes_down,
+            },
+            "reputation": None
+            if self.reputation is None
+            else self.reputation.state_dict(),
+        }
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.state = JobState(state["state"])
+        self.version = int(state["version"])
+        self.versions = {
+            int(version): _decode_flat(flat) for version, flat in state["versions"]
+        }
+        self.flat = self.versions[self.version]
+        self.weights = unflatten_weights(self.flat, self.template)
+        self.queue = deque(
+            (frame, decode_frame(frame)[0])
+            for frame in (
+                base64.b64decode(encoded) for encoded in state["queue"]
+            )
+        )
+        self.window.load_state(state["window"])
+        self.window_dispatches = [int(d) for d in state["window_dispatches"]]
+        counters = state["counters"]
+        self.folds = int(counters["folds"])
+        self.admitted = int(counters["admitted"])
+        self.rejects = {k: int(v) for k, v in counters["rejects"].items()}
+        self.bytes_up = int(counters["bytes_up"])
+        self.bytes_down = int(counters["bytes_down"])
+        if self.reputation is not None and state["reputation"] is not None:
+            self.reputation.load_state(state["reputation"])
+
+
+class Coordinator:
+    """Owns concurrent tenant jobs; enforces quotas; commits exactly.
+
+    Parameters
+    ----------
+    quota:
+        Default :class:`TenantQuota` for every tenant (per-tenant
+        overrides via ``quotas``).
+    workers:
+        Size of the multiprocess shard-worker pool; 0 folds in-process.
+        The committed bits are identical either way.
+    """
+
+    def __init__(
+        self,
+        *,
+        quota: Optional[TenantQuota] = None,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        workers: int = 0,
+    ) -> None:
+        self.default_quota = quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self.jobs: Dict[str, Job] = {}
+        self.pool: Optional[ShardWorkerPool] = (
+            ShardWorkerPool(workers) if workers > 0 else None
+        )
+        self.workers = int(workers)
+        registry = get_registry()
+        self._jobs_gauge = registry.gauge(
+            "serve.jobs.active", "jobs currently running or draining"
+        )
+        self._queue_gauge = registry.gauge(
+            "serve.queue.depth", "staged updates across all job queues"
+        )
+        self._backpressure = registry.counter(
+            "serve.backpressure.rejects", "submissions shed by queue backpressure"
+        )
+        registry.counter(
+            "serve.worker.restarts", "shard workers restarted after a crash"
+        )
+        self._rejected = registry.counter(
+            "serve.submit.rejected", "submissions refused (any reason)"
+        )
+        self._commits = registry.counter("serve.commits", "windows committed")
+        self._folds = registry.counter("serve.folds", "updates folded into windows")
+        self._bytes_up = registry.counter("serve.bytes.up", "client→coordinator bytes")
+        self._bytes_down = registry.counter(
+            "serve.bytes.down", "coordinator→client bytes"
+        )
+        self._jobs_gauge.set(0.0)
+        self._queue_gauge.set(0.0)
+
+    # -- bookkeeping -------------------------------------------------------
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _refresh_gauges(self) -> None:
+        self._jobs_gauge.set(float(sum(1 for job in self.jobs.values() if job.active)))
+        self._queue_gauge.set(float(sum(len(job.queue) for job in self.jobs.values())))
+
+    # -- lifecycle ---------------------------------------------------------
+    def create_job(
+        self,
+        tenant: str,
+        job_id: str,
+        weights: WeightsList,
+        *,
+        buffer: Optional[BufferConfig] = None,
+        sharding: Optional[ShardingConfig] = None,
+        admission: Optional[AdmissionConfig] = None,
+        target_commits: Optional[int] = None,
+        start: bool = True,
+    ) -> Job:
+        """Register (and by default start) a new job under ``tenant``."""
+        if job_id in self.jobs:
+            raise ValueError(f"job {job_id!r} already exists")
+        quota = self.quota_for(tenant)
+        owned = sum(
+            1
+            for job in self.jobs.values()
+            if job.tenant == tenant and job.state is not JobState.DONE
+        )
+        if owned >= quota.max_jobs:
+            raise ValueError(
+                f"tenant {tenant!r} is at its job quota ({quota.max_jobs})"
+            )
+        job = Job(
+            tenant,
+            job_id,
+            weights,
+            buffer=buffer,
+            sharding=sharding,
+            admission=admission,
+            quota=quota,
+            target_commits=target_commits,
+            gathered=self.pool is not None,
+        )
+        self.jobs[job_id] = job
+        if start:
+            self.start(job_id)
+        return job
+
+    def start(self, job_id: str) -> None:
+        job = self.jobs[job_id]
+        if job.state is not JobState.CREATED:
+            raise ValueError(f"job {job_id!r} is {job.state.value}, not created")
+        job.state = JobState.RUNNING
+        self._refresh_gauges()
+
+    def drain(self, job_id: str) -> PumpResult:
+        """Stop accepting, flush the queue, commit the partial window."""
+        job = self.jobs[job_id]
+        if job.state is JobState.DONE:
+            return PumpResult((), ())
+        job.state = JobState.DRAINING
+        result = self.pump(job_id)
+        self._refresh_gauges()
+        return result
+
+    # -- ingest ------------------------------------------------------------
+    def submit(self, frame: bytes) -> SubmitResult:
+        """Stage one client-update frame (decode, quota-check, enqueue)."""
+        message, _ = decode_frame(frame)
+        if not isinstance(message, ClientUpdateMsg):
+            return self._refuse(None, "msg_type")
+        job = self.jobs.get(message.job_id)
+        if job is None:
+            return self._refuse(None, "unknown_job")
+        job.bytes_up += len(frame)
+        self._bytes_up.inc(len(frame), tenant=job.tenant)
+        if job.state is not JobState.RUNNING:
+            return self._refuse(job, "state")
+        quota = job.quota
+        if len(job.queue) >= quota.max_queue_depth:
+            self._backpressure.inc(tenant=job.tenant)
+            return self._refuse(job, "backpressure")
+        if message.base_version < job.version - quota.max_version_lag or (
+            message.base_version > job.version
+        ):
+            return self._refuse(job, "stale")
+        job.queue.append((frame, message))
+        self._queue_gauge.set(
+            float(sum(len(j.queue) for j in self.jobs.values()))
+        )
+        return SubmitResult(True)
+
+    def _refuse(self, job: Optional[Job], reason: str) -> SubmitResult:
+        self._rejected.inc(reason=reason)
+        if job is not None:
+            job._count_reject(reason)
+        return SubmitResult(False, reason)
+
+    # -- processing --------------------------------------------------------
+    def pump(self, job_id: Optional[str] = None) -> PumpResult:
+        """Flow staged updates through admission into windows; commit.
+
+        Processes jobs in sorted ``job_id`` order (deterministic), each
+        queue FIFO.  Returns every commit fired and every staged dispatch
+        rejected during this pass.
+        """
+        targets = (
+            [self.jobs[job_id]]
+            if job_id is not None
+            else [self.jobs[key] for key in sorted(self.jobs)]
+        )
+        commits: List[CommitEvent] = []
+        rejected: List[Tuple[int, str]] = []
+        for job in targets:
+            if not job.active:
+                continue
+            while job.queue:
+                _, message = job.queue.popleft()
+                outcome = self._fold_one(job, message)
+                if outcome is not None:
+                    rejected.append((message.dispatch, outcome))
+                if job.window.ready:
+                    commits.append(self._commit(job))
+                    if self._maybe_finish(job):
+                        break
+            if (
+                job.state is JobState.DRAINING
+                and not job.queue
+            ):
+                if job.window.pending > 0:
+                    commits.append(self._commit(job))
+                job.state = JobState.DONE
+        self._refresh_gauges()
+        return PumpResult(tuple(commits), tuple(rejected))
+
+    def _fold_one(self, job: Job, message: ClientUpdateMsg) -> Optional[str]:
+        """Admit one staged update into the open window; reason if refused."""
+        base = job.versions.get(message.base_version)
+        if base is None:
+            job._count_reject("stale")
+            self._rejected.inc(reason="stale")
+            return "stale"
+        delta = message.delta.flat64()
+        if delta.size != job.size:
+            job._count_reject("structure")
+            self._rejected.inc(reason="structure")
+            return "structure"
+        trained = base + delta
+        client_id = f"client-{message.client}"
+        if job.reputation is not None and job.reputation.is_blocked(
+            client_id, job.version
+        ):
+            job._count_reject("quarantined")
+            self._rejected.inc(reason="quarantined")
+            return "quarantined"
+        flat = trained
+        if job.admission is not None:
+            decision = job.admission.check(
+                client_id,
+                unflatten_weights(trained, job.template),
+                reference=unflatten_weights(base, job.template),
+            )
+            if not decision.admitted:
+                job.reputation.record_rejection(client_id, job.version)
+                job._count_reject("admission")
+                self._rejected.inc(reason="admission")
+                return "admission"
+            job.reputation.record_admission(client_id)
+            if decision.clipped:
+                flat = flatten_weights(decision.weights)
+        shard_id = int(message.client) % job.sharding.num_shards
+        job.window.fold(
+            shard_id,
+            flat,
+            message.num_samples,
+            staleness=job.version - message.base_version,
+            sort_key=message.dispatch,
+        )
+        job.window_dispatches.append(message.dispatch)
+        job.folds += 1
+        job.admitted += 1
+        self._folds.inc(tenant=job.tenant)
+        return None
+
+    def _commit(self, job: Job) -> CommitEvent:
+        with get_tracer().span(
+            "serve.commit", job=job.job_id, version=job.version + 1
+        ):
+            flat = job.window.commit(self.pool)
+        dispatches = tuple(job.window_dispatches)
+        job.window_dispatches = []
+        job._advance(flat)
+        self._commits.inc(tenant=job.tenant)
+        return CommitEvent(
+            job.tenant, job.job_id, job.version, len(dispatches), dispatches
+        )
+
+    def _maybe_finish(self, job: Job) -> bool:
+        if (
+            job.target_commits is not None
+            and job.version >= job.target_commits
+            and job.state in (JobState.RUNNING, JobState.DRAINING)
+        ):
+            job.state = JobState.DONE
+            job.queue.clear()
+            return True
+        return False
+
+    # -- downloads ---------------------------------------------------------
+    def model_frame(
+        self, job_id: str, encoding: Encoding = Encoding.F64
+    ) -> bytes:
+        """The current global model as a ModelDownload frame."""
+        from .wire import ModelDownloadMsg
+
+        job = self.jobs[job_id]
+        frame = encode_frame(
+            ModelDownloadMsg(
+                job_id, job.version, WireVector.dense(job.flat, encoding)
+            )
+        )
+        job.bytes_down += len(frame)
+        self._bytes_down.inc(len(frame), tenant=job.tenant)
+        return frame
+
+    def charge_download(self, job_id: str, num_bytes: int) -> None:
+        """Account a (cached) model download without re-encoding it."""
+        job = self.jobs[job_id]
+        job.bytes_down += int(num_bytes)
+        self._bytes_down.inc(int(num_bytes), tenant=job.tenant)
+
+    # -- checkpoint / resume ----------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "schema": 1,
+            "workers": self.workers,
+            "jobs": [self.jobs[key].state_dict() for key in sorted(self.jobs)],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Rebuild every job bit-for-bit from a :meth:`state_dict`."""
+        if state.get("schema") != 1:
+            raise ValueError("unknown coordinator checkpoint schema")
+        self.jobs = {}
+        for snapshot in state["jobs"]:
+            weights = weights_from_bytes(
+                base64.b64decode(snapshot["weights"])
+            )
+            buffer = BufferConfig(
+                size=int(snapshot["buffer"]["size"]),
+                staleness=snapshot["buffer"]["staleness"],
+                exponent=float(snapshot["buffer"]["exponent"]),
+            )
+            admission = (
+                AdmissionConfig(
+                    max_norm=snapshot["max_norm"], clip=bool(snapshot["clip"])
+                )
+                if snapshot["max_norm"] is not None
+                else None
+            )
+            job = Job(
+                snapshot["tenant"],
+                snapshot["job_id"],
+                weights,
+                buffer=buffer,
+                sharding=ShardingConfig(num_shards=int(snapshot["shards"])),
+                admission=admission,
+                quota=self.quota_for(snapshot["tenant"]),
+                target_commits=snapshot["target_commits"],
+                gathered=bool(snapshot["gathered"]),
+            )
+            job.load_state(snapshot)
+            self.jobs[job.job_id] = job
+        self._refresh_gauges()
+
+    def checkpoint(self, storage) -> None:
+        """Persist the full coordinator state through SecureStorage."""
+        blob = json.dumps(self.state_dict(), sort_keys=True).encode()
+        storage.put(TA_UUID, CHECKPOINT_OBJECT, blob)
+
+    def restore(self, storage) -> bool:
+        """Load the last checkpoint if one exists; True when resumed.
+
+        An unverifiable checkpoint (a ``kill -9`` landing between the
+        sealed blob write and the trusted-counter persist) is discarded
+        rather than trusted — the caller starts fresh.
+        """
+        try:
+            blob = storage.get(TA_UUID, CHECKPOINT_OBJECT)
+        except (KeyError, IntegrityError, RollbackError):
+            return False
+        self.load_state(json.loads(blob.decode()))
+        return True
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

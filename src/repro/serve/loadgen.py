@@ -1,0 +1,490 @@
+"""Deterministic load generation against a live coordinator.
+
+:class:`LoadGenerator` drives one tenant job with a simulated client
+fleet — per-client network links, sample counts, dropouts, stragglers
+and Byzantine attackers all reuse the `repro.sim` models — entirely on
+virtual time, so 10^5–10^6 clients cost seconds of wall-clock and the
+run is byte-reproducible.  :class:`ServeHarness` wires N generators, one
+:class:`~repro.serve.coordinator.Coordinator` and one discrete-event
+loop together, optionally checkpointing the *whole* ensemble (clock,
+coordinator, in-flight frames) through SecureStorage after every event
+so a ``kill -9`` anywhere resumes to a bitwise-identical final report.
+
+Determinism discipline: every random draw is keyed on
+``(seed, stream, dispatch[, client])`` via a fresh
+``np.random.default_rng`` — there is no evolving generator state to
+checkpoint, and an update's bytes are a pure function of its dispatch
+number and the model version it trained against.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..fl.admission import AdmissionConfig
+from ..fl.compression import TopKCompressor
+from ..fl.config import BufferConfig, ShardingConfig
+from ..nn.zoo import mlp
+from ..obs import VirtualClock, get_registry
+from ..sim.events import EventLoop
+from ..sim.faults import FaultKind, FaultPlan, FaultRates
+from ..sim.network import NetworkModel
+from ..tee.storage import IntegrityError, RollbackError
+from .coordinator import TA_UUID, Coordinator, JobState, TenantQuota
+from .wire import ClientUpdateMsg, Encoding, WireVector, encode_frame
+
+__all__ = ["LoadSpec", "LoadGenerator", "ServeHarness"]
+
+HARNESS_CHECKPOINT = "serve-harness-checkpoint"
+
+# Dedicated draw streams (disjoint from repro.sim's engine streams).
+_STREAM_TRAITS = 9101
+_STREAM_TEACHER = 9102
+_STREAM_CLIENT = 9103
+_STREAM_UPDATE = 9104
+
+_ENCODINGS = {
+    "f64": Encoding.F64,
+    "f32": Encoding.F32,
+    "f16": Encoding.F16,
+    "q8": Encoding.Q8,
+}
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One tenant job's load profile.
+
+    ``clients`` is the fleet size; ``commits`` the target commit count
+    (the job finishes itself when it gets there); ``concurrency`` how
+    many dispatches are kept in flight.  ``ratio`` switches the uplink
+    to top-k sparse frames (``None`` = dense) and ``encoding`` picks the
+    wire value dtype for the uplink delta.
+    """
+
+    tenant: str
+    job_id: str
+    clients: int = 1000
+    commits: int = 10
+    buffer_size: int = 64
+    shards: int = 1
+    seed: int = 0
+    concurrency: int = 128
+    ratio: Optional[float] = None
+    encoding: str = "f64"
+    drift: float = 0.2
+    update_scale: float = 0.05
+    dropout: float = 0.0
+    straggler: float = 0.0
+    straggler_factor: float = 4.0
+    byzantine: float = 0.0
+    attack: str = "sign_flip"
+    attack_strength: float = 10.0
+    max_norm: Optional[float] = None
+    clip: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.commits < 1:
+            raise ValueError("commits must be >= 1")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.encoding not in _ENCODINGS:
+            raise ValueError(
+                f"unknown encoding {self.encoding!r}; expected one of "
+                f"{sorted(_ENCODINGS)}"
+            )
+        if self.ratio is not None and not 0.0 < self.ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+
+
+class LoadGenerator:
+    """Simulated client fleet for one job, on virtual time.
+
+    Creates the job on the coordinator, keeps ``spec.concurrency``
+    dispatches in flight, and on each arrival submits the frame and
+    pumps the coordinator.  Dispatch→commit latency is measured from
+    the virtual send time to the commit that folded the dispatch.
+    """
+
+    def __init__(
+        self, spec: LoadSpec, coordinator: Coordinator, loop: EventLoop
+    ) -> None:
+        self.spec = spec
+        self.coordinator = coordinator
+        self.loop = loop
+        model = mlp(num_classes=4, input_shape=(6,), hidden=(8, 5), seed=spec.seed)
+        weights = model.get_weights()
+        self.job = coordinator.create_job(
+            spec.tenant,
+            spec.job_id,
+            weights,
+            buffer=BufferConfig(size=spec.buffer_size),
+            sharding=ShardingConfig(num_shards=spec.shards),
+            admission=(
+                AdmissionConfig(max_norm=spec.max_norm, clip=spec.clip)
+                if spec.max_norm is not None
+                else None
+            ),
+            target_commits=spec.commits,
+        )
+        self.size = self.job.size
+        self.teacher = self.job.flat + np.random.default_rng(
+            (spec.seed, _STREAM_TEACHER)
+        ).standard_normal(self.size)
+        traits = np.random.default_rng((spec.seed, _STREAM_TRAITS))
+        self.network = NetworkModel.sample(spec.clients, traits)
+        self.num_samples = traits.integers(16, 129, size=spec.clients)
+        self.plan = FaultPlan(
+            rates=FaultRates(dropout=spec.dropout, straggler=spec.straggler),
+            seed=spec.seed,
+            byzantine=spec.byzantine,
+            attack=spec.attack,
+            attack_strength=spec.attack_strength,
+        )
+        self.encoding = _ENCODINGS[spec.encoding]
+        self.compressor = (
+            TopKCompressor(spec.ratio, error_feedback=False)
+            if spec.ratio is not None
+            else None
+        )
+        self.download_bytes = len(
+            coordinator.model_frame(spec.job_id, Encoding.F64)
+        )
+        self._latency_hist = get_registry().histogram(
+            "serve.dispatch.latency", "virtual seconds from dispatch to commit"
+        )
+        self.next_dispatch = 0
+        self.done = False
+        self.drops = 0
+        self.latencies: List[float] = []
+        self._inflight: Dict[int, Dict[str, object]] = {}
+        self._sent_at: Dict[int, float] = {}
+
+    # -- dispatching -------------------------------------------------------
+    def fill(self) -> None:
+        """Top the in-flight pipeline back up to ``spec.concurrency``."""
+        while not self.done and len(self._inflight) < self.spec.concurrency:
+            self._dispatch_next()
+
+    def _dispatch_next(self) -> None:
+        spec = self.spec
+        dispatch = self.next_dispatch
+        self.next_dispatch += 1
+        client = int(
+            np.random.default_rng(
+                (spec.seed, _STREAM_CLIENT, dispatch)
+            ).integers(spec.clients)
+        )
+        fault = self.plan.fault_for(dispatch, client)
+        if fault in (FaultKind.DROP, FaultKind.FAIL_ATTESTATION):
+            self.drops += 1
+            return
+        job = self.coordinator.jobs[spec.job_id]
+        frame = self._build_frame(dispatch, client, job.version, job.flat)
+        self.coordinator.charge_download(spec.job_id, self.download_bytes)
+        factor = self.plan.delay_factor(dispatch, client, spec.straggler_factor)
+        delay = (
+            self.network.transfer_seconds(client, self.download_bytes)
+            + self.network.transfer_seconds(client, len(frame))
+        ) * factor
+        sent_at = self.loop.now
+        arrival = sent_at + delay
+        self._inflight[dispatch] = {
+            "client": client,
+            "at": arrival,
+            "frame": frame,
+            "sent_at": sent_at,
+        }
+        self._sent_at[dispatch] = sent_at
+        self.loop.schedule_at(arrival, lambda d=dispatch: self._arrive(d))
+
+    def _build_frame(
+        self, dispatch: int, client: int, base_version: int, base_flat: np.ndarray
+    ) -> bytes:
+        spec = self.spec
+        noise = np.random.default_rng(
+            (spec.seed, _STREAM_UPDATE, dispatch, client)
+        ).standard_normal(self.size)
+        delta = spec.drift * (self.teacher - base_flat) + spec.update_scale * noise
+        delta = self.plan.attack_delta(dispatch, client, delta)
+        if self.compressor is not None:
+            sparse = self.compressor.compress(delta)
+            vector = WireVector.from_sparse_update(sparse, encoding=self.encoding)
+        else:
+            vector = WireVector.dense(delta, self.encoding)
+        return encode_frame(
+            ClientUpdateMsg(
+                spec.job_id,
+                client,
+                dispatch,
+                base_version,
+                int(self.num_samples[client]),
+                vector,
+            )
+        )
+
+    # -- arrivals ----------------------------------------------------------
+    def _arrive(self, dispatch: int) -> None:
+        info = self._inflight.pop(dispatch, None)
+        if info is None:
+            return
+        if self.done:
+            self._sent_at.pop(dispatch, None)
+            return
+        result = self.coordinator.submit(info["frame"])
+        if not result.accepted:
+            self._sent_at.pop(dispatch, None)
+        else:
+            pumped = self.coordinator.pump(self.spec.job_id)
+            now = self.loop.now
+            for event in pumped.commits:
+                for committed in event.dispatches:
+                    sent = self._sent_at.pop(committed, None)
+                    if sent is not None:
+                        latency = now - sent
+                        self.latencies.append(latency)
+                        self._latency_hist.observe(latency, job=self.spec.job_id)
+            for rejected, _reason in pumped.rejected:
+                self._sent_at.pop(rejected, None)
+        job = self.coordinator.jobs[self.spec.job_id]
+        if job.state is JobState.DONE:
+            self.done = True
+        else:
+            self.fill()
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.spec.job_id,
+            "next_dispatch": self.next_dispatch,
+            "done": self.done,
+            "drops": self.drops,
+            "latencies": base64.b64encode(
+                np.asarray(self.latencies, dtype="<f8").tobytes()
+            ).decode("ascii"),
+            "sent": [
+                [dispatch, self._sent_at[dispatch]]
+                for dispatch in sorted(self._sent_at)
+            ],
+            "inflight": [
+                {
+                    "dispatch": dispatch,
+                    "client": info["client"],
+                    "at": info["at"],
+                    "sent_at": info["sent_at"],
+                    "frame": base64.b64encode(info["frame"]).decode("ascii"),
+                }
+                for dispatch, info in sorted(self._inflight.items())
+            ],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        if state["job_id"] != self.spec.job_id:
+            raise ValueError("checkpoint belongs to a different job")
+        self.next_dispatch = int(state["next_dispatch"])
+        self.done = bool(state["done"])
+        self.drops = int(state["drops"])
+        self.latencies = list(
+            np.frombuffer(base64.b64decode(state["latencies"]), dtype="<f8")
+        )
+        self._sent_at = {
+            int(dispatch): float(at) for dispatch, at in state["sent"]
+        }
+        self._inflight = {
+            int(entry["dispatch"]): {
+                "client": int(entry["client"]),
+                "at": float(entry["at"]),
+                "frame": base64.b64decode(entry["frame"]),
+                "sent_at": float(entry["sent_at"]),
+            }
+            for entry in state["inflight"]
+        }
+
+
+class ServeHarness:
+    """Coordinator + event loop + N load generators, checkpointable.
+
+    With ``storage`` set, the full ensemble state is persisted after
+    every ``checkpoint_every``-th event; :meth:`restore` picks the run
+    back up mid-stream (in-flight frames are re-scheduled from their
+    stored virtual arrival times, ordered ``(at, job, dispatch)``, which
+    matches the original heap order because distinct-time arrivals
+    dominate — latencies are continuous draws, so exact ties across
+    dispatches have measure zero).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[LoadSpec],
+        *,
+        workers: int = 0,
+        quota: Optional[TenantQuota] = None,
+        storage=None,
+        checkpoint_every: int = 1,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        if not specs:
+            raise ValueError("at least one LoadSpec is required")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.clock = clock if clock is not None else VirtualClock()
+        self.loop = EventLoop(self.clock)
+        self.coordinator = Coordinator(quota=quota, workers=workers)
+        self.generators = [
+            LoadGenerator(spec, self.coordinator, self.loop) for spec in specs
+        ]
+        self.storage = storage
+        self.checkpoint_every = int(checkpoint_every)
+        self.events_processed = 0
+        self._started = False
+
+    # -- running -----------------------------------------------------------
+    def run(self, max_events: Optional[int] = None) -> Dict[str, object]:
+        """Drive the loop until all jobs finish (or ``max_events``)."""
+        if not self._started:
+            for generator in self.generators:
+                generator.fill()
+            self._started = True
+            self.checkpoint()
+        events = 0
+        while max_events is None or events < max_events:
+            if not self.loop.step():
+                break
+            events += 1
+            self.events_processed += 1
+            if (
+                self.storage is not None
+                and self.events_processed % self.checkpoint_every == 0
+            ):
+                self.checkpoint()
+        self.checkpoint()
+        return self.report()
+
+    @property
+    def finished(self) -> bool:
+        return self._started and all(g.done for g in self.generators)
+
+    def close(self) -> None:
+        self.coordinator.close()
+
+    def __enter__(self) -> "ServeHarness":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- checkpoint / resume ----------------------------------------------
+    def checkpoint(self) -> None:
+        if self.storage is None:
+            return
+        state = {
+            "schema": 1,
+            "clock": self.clock.time,
+            "events": self.events_processed,
+            "started": self._started,
+            "coordinator": self.coordinator.state_dict(),
+            "generators": [g.state_dict() for g in self.generators],
+        }
+        blob = json.dumps(state, sort_keys=True).encode()
+        self.storage.put(TA_UUID, HARNESS_CHECKPOINT, blob)
+
+    def restore(self) -> bool:
+        """Resume from the last checkpoint; True when one was found.
+
+        A checkpoint that fails verification is discarded, not trusted:
+        a ``kill -9`` can land between the sealed blob write and the
+        trusted-counter persist, leaving an object one version ahead of
+        the counter.  Starting fresh is safe — same-seed runs are
+        deterministic, so the rerun converges on identical bytes.
+        """
+        if self.storage is None:
+            return False
+        try:
+            blob = self.storage.get(TA_UUID, HARNESS_CHECKPOINT)
+        except (KeyError, IntegrityError, RollbackError):
+            return False
+        state = json.loads(blob.decode())
+        if state.get("schema") != 1:
+            raise ValueError("unknown harness checkpoint schema")
+        self.clock.advance_to(float(state["clock"]))
+        self.coordinator.load_state(state["coordinator"])
+        for generator, snapshot in zip(self.generators, state["generators"]):
+            generator.load_state(snapshot)
+        self.events_processed = int(state["events"])
+        self._started = bool(state["started"])
+        self.loop.clear()
+        pending = []
+        for index, generator in enumerate(self.generators):
+            for dispatch, info in generator._inflight.items():
+                pending.append((float(info["at"]), index, dispatch))
+        for at, index, dispatch in sorted(pending):
+            generator = self.generators[index]
+            self.loop.schedule_at(
+                at, lambda g=generator, d=dispatch: g._arrive(d)
+            )
+        return True
+
+    # -- reporting ---------------------------------------------------------
+    def report(self) -> Dict[str, object]:
+        """Byte-reproducible run summary (never embeds live metrics —
+        resumed processes would disagree on counter history)."""
+        jobs = []
+        total_commits = 0
+        for generator in self.generators:
+            job = self.coordinator.jobs[generator.spec.job_id]
+            latencies = np.asarray(generator.latencies, dtype=np.float64)
+            total_commits += job.version
+            jobs.append(
+                {
+                    "tenant": job.tenant,
+                    "job_id": job.job_id,
+                    "state": job.state.value,
+                    "clients": generator.spec.clients,
+                    "dispatches": generator.next_dispatch,
+                    "drops": generator.drops,
+                    "commits": job.version,
+                    "folds": job.folds,
+                    "admitted": job.admitted,
+                    "rejects": dict(sorted(job.rejects.items())),
+                    "bytes_up": job.bytes_up,
+                    "bytes_down": job.bytes_down,
+                    "bytes_up_per_client": round(
+                        job.bytes_up / generator.spec.clients, 3
+                    ),
+                    "bytes_down_per_client": round(
+                        job.bytes_down / generator.spec.clients, 3
+                    ),
+                    "latency_p50_s": (
+                        round(float(np.percentile(latencies, 50)), 9)
+                        if latencies.size
+                        else None
+                    ),
+                    "latency_p99_s": (
+                        round(float(np.percentile(latencies, 99)), 9)
+                        if latencies.size
+                        else None
+                    ),
+                    "aggregator_peak_bytes": job.aggregator_peak_bytes,
+                    "weights_sha256": hashlib.sha256(
+                        np.ascontiguousarray(job.flat, dtype="<f8").tobytes()
+                    ).hexdigest(),
+                }
+            )
+        elapsed = float(self.clock.time)
+        return {
+            "jobs": jobs,
+            "events": self.events_processed,
+            "virtual_seconds": round(elapsed, 9),
+            "commits_per_virtual_second": (
+                round(total_commits / elapsed, 9) if elapsed > 0 else None
+            ),
+            "workers": self.coordinator.workers,
+        }

@@ -1,0 +1,221 @@
+"""Multiprocess shard workers: commit-time exact partial folds.
+
+The coordinator's buffered windows partition their gathered rows along
+the same contiguous shard plan :func:`repro.fl.sharding.plan_shards`
+uses; at commit each shard's rows are shipped to a worker process, which
+folds them into an exact compensated expansion
+(:class:`~repro.fl.aggregation.CompensatedAccumulator`) and sends the
+expansion components back.  The root merges the per-shard expansions —
+another error-free transformation — so the committed aggregate is the
+*exact* weighted sum regardless of how rows were partitioned, and is
+bitwise identical to the in-process streaming fold.
+
+Workers are deliberately **stateless** between batches: every task
+carries everything the fold needs, so a worker that dies (OOM-killed,
+segfaulted, test-injected crash) is simply restarted and its batch
+resubmitted — no lost state, no changed bits, one tick on the
+``serve.worker.restarts`` counter.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..fl.aggregation import CompensatedAccumulator
+from ..obs import get_registry
+
+__all__ = ["ShardWorkerPool", "WorkerSum", "expand_rows"]
+
+#: (flat float64 bytes, fold contribution, sample count) — one gathered row.
+Row = Tuple[bytes, float, int]
+
+#: One shard's task: (shard_id, vector size, rows to fold).
+SumTask = Tuple[int, int, Sequence[Row]]
+
+_MAX_RESUBMITS = 3
+
+
+def expand_rows(size: int, rows: Sequence[Row]) -> Dict[str, object]:
+    """Fold ``rows`` into exact expansions; JSON/pickle-safe result.
+
+    This is the entire worker computation — a pure function of its
+    inputs, shared by the worker process and the in-process fallback, so
+    crash-resubmitted batches reproduce identical bytes.
+    """
+    vector = CompensatedAccumulator(size)
+    weight = CompensatedAccumulator(1)
+    total_samples = 0
+    for flat_bytes, contribution, num_samples in rows:
+        flat = np.frombuffer(flat_bytes, dtype=np.float64)
+        vector.add(contribution * flat)
+        weight.add(np.array([contribution]))
+        total_samples += int(num_samples)
+    return {
+        "vector": [c.tobytes() for c in vector._components],
+        "weight": [c.tobytes() for c in weight._components],
+        "folds": len(rows),
+        "total_samples": total_samples,
+    }
+
+
+class WorkerSum:
+    """A worker's reply, rehydrated: exact expansion components."""
+
+    __slots__ = ("vector_components", "weight_components", "folds", "total_samples")
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        self.vector_components = [
+            np.frombuffer(blob, dtype=np.float64).copy() for blob in payload["vector"]
+        ]
+        self.weight_components = [
+            np.frombuffer(blob, dtype=np.float64).copy() for blob in payload["weight"]
+        ]
+        self.folds = int(payload["folds"])
+        self.total_samples = int(payload["total_samples"])
+
+    def merge_into(
+        self, vector: CompensatedAccumulator, weight: CompensatedAccumulator
+    ) -> None:
+        """Fold this shard's exact partial into the root accumulators."""
+        for component in self.vector_components:
+            vector.add(component)
+        for component in self.weight_components:
+            weight.add(component)
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: fold batches until told to stop (or made to crash)."""
+    crash_armed = False
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "stop":
+            conn.close()
+            return
+        if kind == "crash":
+            # Test hook: die mid-batch on the next task, exactly like a
+            # kill -9 — no reply, no cleanup.
+            crash_armed = True
+            continue
+        if kind == "sums":
+            if crash_armed:
+                os._exit(17)
+            results = [
+                (shard_id, expand_rows(size, rows))
+                for shard_id, size, rows in message[1]
+            ]
+            conn.send(results)
+
+
+class ShardWorkerPool:
+    """A fixed pool of restartable shard-fold worker processes.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count.  Tasks are assigned round-robin; a batch
+        whose worker dies is resubmitted to the restarted process.
+    start_method:
+        ``fork`` where the platform offers it (fast), else ``spawn``.
+    """
+
+    def __init__(self, num_workers: int, start_method: str | None = None) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self.num_workers = int(num_workers)
+        self._ctx = mp.get_context(start_method)
+        self._restarts_counter = get_registry().counter(
+            "serve.worker.restarts", "shard workers restarted after a crash"
+        )
+        self.restarts = 0
+        self._workers: List[Tuple[object, object]] = [
+            self._spawn() for _ in range(self.num_workers)
+        ]
+
+    def _spawn(self) -> Tuple[object, object]:
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(target=_worker_main, args=(child,), daemon=True)
+        process.start()
+        child.close()
+        return process, parent
+
+    def _restart(self, index: int) -> None:
+        process, conn = self._workers[index]
+        try:
+            conn.close()
+        except OSError:
+            pass
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5)
+        self._workers[index] = self._spawn()
+        self.restarts += 1
+        self._restarts_counter.inc(worker=str(index))
+
+    def inject_crash(self, worker_index: int = 0) -> None:
+        """Arm one worker to die on its next batch (test/chaos hook)."""
+        _, conn = self._workers[worker_index]
+        conn.send(("crash",))
+
+    def run_sums(self, tasks: Sequence[SumTask]) -> Dict[int, WorkerSum]:
+        """Fold every task's rows in the pool; returns shard_id → partial.
+
+        Crash-safe: a worker that dies mid-batch is restarted and its
+        whole batch resubmitted.  Because the fold is a pure function of
+        the rows, the retried result is bitwise identical to what the
+        dead worker would have produced.
+        """
+        batches: List[List[SumTask]] = [[] for _ in range(self.num_workers)]
+        for position, task in enumerate(tasks):
+            batches[position % self.num_workers].append(task)
+        results: Dict[int, WorkerSum] = {}
+        for index, batch in enumerate(batches):
+            if not batch:
+                continue
+            for attempt in range(_MAX_RESUBMITS + 1):
+                _, conn = self._workers[index]
+                try:
+                    conn.send(("sums", batch))
+                    replies = conn.recv()
+                    break
+                except (EOFError, OSError, BrokenPipeError):
+                    if attempt == _MAX_RESUBMITS:
+                        raise RuntimeError(
+                            f"shard worker {index} failed {attempt + 1} times"
+                        )
+                    self._restart(index)
+            for shard_id, payload in replies:
+                results[shard_id] = WorkerSum(payload)
+        return results
+
+    def close(self) -> None:
+        for process, conn in self._workers:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+        self._workers = []
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -3,13 +3,94 @@
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 from contextlib import contextmanager
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.data import synthetic_cifar
 from repro.nn import lenet5, mlp, one_hot
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _subprocess_env():
+    """Environment for child interpreters: the repo's src on PYTHONPATH."""
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+    return env
+
+
+@pytest.fixture
+def spawn_python():
+    """Run ``python <args...>`` as a child process and return the result.
+
+    The one blessed way suites shell out to a fresh interpreter (CLI
+    byte-compare runs, benchmark scripts): repo ``src`` is always on the
+    child's PYTHONPATH and output is captured as text.
+    """
+
+    def run(*args, timeout=600, check=True, cwd=None):
+        result = subprocess.run(
+            [sys.executable, *map(str, args)],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            env=_subprocess_env(),
+            cwd=cwd or str(_REPO_ROOT),
+        )
+        if check:
+            assert result.returncode == 0, (
+                f"child python {args} failed ({result.returncode}):\n"
+                f"{result.stdout}\n{result.stderr}"
+            )
+        return result
+
+    return run
+
+
+@pytest.fixture
+def spawn_repro(spawn_python):
+    """Run a ``repro`` CLI subcommand in a child interpreter."""
+
+    def run(*args, timeout=600, check=True):
+        return spawn_python("-m", "repro", *args, timeout=timeout, check=check)
+
+    return run
+
+
+@pytest.fixture
+def spawn_repro_background():
+    """Start ``repro <args...>`` detached, for kill -9 / crash tests.
+
+    Yields a factory returning the live ``subprocess.Popen``; anything
+    still running at teardown is killed so a failing test cannot leak
+    children.
+    """
+    procs = []
+
+    def start(*args):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *map(str, args)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=_subprocess_env(),
+            cwd=str(_REPO_ROOT),
+        )
+        procs.append(proc)
+        return proc
+
+    yield start
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
 
 
 @pytest.fixture

@@ -17,6 +17,7 @@ class TestSurface:
         assert set(api.__all__) == {
             "build_server",
             "simulate",
+            "serve",
             "run_experiment",
             "ServerConfig",
             "RoundConfig",

@@ -25,6 +25,11 @@ def _payload(**overrides):
             "parallel_wall_s": 0.5,
             "simulated_speedup": 2.0,
         },
+        "serve": {
+            "wall_s": 0.1,
+            "commits_per_wall_second": 100.0,
+            "dispatches_per_wall_second": 4000.0,
+        },
     }
     for dotted, value in overrides.items():
         section, metric = dotted.split(".")
@@ -71,7 +76,8 @@ class TestComparePayloads:
         baseline = _payload()
         del baseline["fl_round"]
         rows = compare_payloads(_payload(), baseline)
-        assert all(row["metric"].startswith("conv_step") for row in rows)
+        sections = {row["metric"].split(".")[0] for row in rows}
+        assert sections == {"conv_step", "serve"}
 
     def test_threshold_is_adjustable(self):
         current = _payload(**{"conv_step.fused_step_ms": 2.2})

@@ -1,8 +1,6 @@
 """Smoke test for the perf microbenchmark harness (marked ``perf``)."""
 
 import json
-import subprocess
-import sys
 from pathlib import Path
 
 import pytest
@@ -12,15 +10,9 @@ SCRIPT = REPO_ROOT / "benchmarks" / "bench_perf_kernels.py"
 
 
 @pytest.mark.perf
-def test_bench_perf_kernels_quick(tmp_path):
+def test_bench_perf_kernels_quick(tmp_path, spawn_python):
     out = tmp_path / "BENCH_kernels.json"
-    proc = subprocess.run(
-        [sys.executable, str(SCRIPT), "--quick", "--workers", "2", "--out", str(out)],
-        capture_output=True,
-        text=True,
-        timeout=600,
-    )
-    assert proc.returncode == 0, proc.stderr
+    spawn_python(SCRIPT, "--quick", "--workers", "2", "--out", out)
     payload = json.loads(out.read_text())
     assert payload["schema"] == 1
     assert payload["quick"] is True

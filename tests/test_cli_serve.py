@@ -1,0 +1,100 @@
+"""``repro serve`` CLI suite: determinism, flags, kill -9 + resume."""
+
+import json
+import signal
+import time
+
+import pytest
+
+pytestmark = pytest.mark.serve
+
+BASE = [
+    "serve",
+    "--tenants", "2",
+    "--clients", "80",
+    "--commits", "3",
+    "--buffer-size", "8",
+    "--concurrency", "16",
+    "--seed", "5",
+]
+
+
+@pytest.fixture
+def serve_cli(tmp_path):
+    """Run ``repro serve`` in-process over the base load, return the bytes."""
+    from repro.cli import main
+
+    def run(name, *extra):
+        out = tmp_path / name
+        assert main([*BASE, "--out", str(out), *extra]) == 0
+        return out.read_bytes()
+
+    return run
+
+
+class TestCli:
+    def test_two_invocations_are_byte_identical(self, serve_cli):
+        assert serve_cli("a.json") == serve_cli("b.json")
+
+    def test_report_shape(self, serve_cli):
+        payload = json.loads(serve_cli("r.json"))
+        assert payload["schema"] == 1 and payload["command"] == "serve"
+        assert len(payload["jobs"]) == 2
+        tenants = {job["tenant"] for job in payload["jobs"]}
+        assert tenants == {"tenant-0", "tenant-1"}
+        for job in payload["jobs"]:
+            assert job["commits"] == 3
+            assert job["state"] == "done"
+            assert len(job["weights_sha256"]) == 64
+
+    def test_workers_flag_commits_same_bytes(self, serve_cli):
+        dense = json.loads(serve_cli("w0.json", "--shards", "4"))
+        pooled = json.loads(serve_cli("w2.json", "--shards", "4", "--workers", "2"))
+        for a, b in zip(dense["jobs"], pooled["jobs"]):
+            assert a["weights_sha256"] == b["weights_sha256"]
+
+    def test_compression_flags_reduce_uplink(self, serve_cli):
+        dense = json.loads(serve_cli("d.json"))
+        sparse = json.loads(
+            serve_cli("s.json", "--ratio", "0.125", "--encoding", "f32")
+        )
+        for a, b in zip(dense["jobs"], sparse["jobs"]):
+            assert a["bytes_up_per_client"] >= 4.0 * b["bytes_up_per_client"]
+
+    def test_listed_in_repro_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+
+class TestKillResume:
+    def test_sigkill_mid_run_then_resume_is_byte_identical(
+        self, tmp_path, spawn_repro, spawn_repro_background
+    ):
+        # reference: the same load, uninterrupted (its own state dir)
+        ref_out = tmp_path / "ref.json"
+        spawn_repro(
+            *BASE, "--state-dir", str(tmp_path / "ref-state"),
+            "--out", str(ref_out),
+        )
+
+        state_dir = tmp_path / "state"
+        out = tmp_path / "resumed.json"
+        victim = spawn_repro_background(
+            *BASE, "--state-dir", str(state_dir), "--out", str(out)
+        )
+        # wait for the first sealed checkpoint to land, then kill -9
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if state_dir.exists() and any(state_dir.rglob("*")):
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("no checkpoint appeared before the deadline")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        # same command line again: restores from the checkpoint and finishes
+        spawn_repro(*BASE, "--state-dir", str(state_dir), "--out", str(out))
+        assert out.read_bytes() == ref_out.read_bytes()

@@ -1,0 +1,342 @@
+"""Coordinator suite: lifecycle, quotas, exactness, crash recovery."""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.fl.admission import AdmissionConfig
+from repro.fl.config import BufferConfig, ShardingConfig
+from repro.nn import mlp
+from repro.obs import VirtualClock, validate_metrics
+from repro.serve import (
+    ClientUpdateMsg,
+    Coordinator,
+    Encoding,
+    JobState,
+    TenantQuota,
+    WireVector,
+    decode_frame,
+    encode_frame,
+)
+from repro.tee.storage import InMemoryBackend, SecureStorage
+
+pytestmark = pytest.mark.serve
+
+REQUIRED_METRICS = (
+    "serve.jobs.active",
+    "serve.queue.depth",
+    "serve.backpressure.rejects",
+    "serve.worker.restarts",
+)
+
+
+@pytest.fixture
+def fresh_obs():
+    with obs.fresh(clock=VirtualClock()) as ctx:
+        yield ctx
+
+
+@pytest.fixture
+def weights():
+    return mlp(num_classes=4, input_shape=(6,), hidden=(8, 5), seed=0).get_weights()
+
+
+def update_frame(job, dispatch, *, client=None, base_version=None, scale=0.01):
+    """A deterministic dense f64 update frame for ``job``."""
+    base_version = job.version if base_version is None else base_version
+    client = dispatch % 10 if client is None else client
+    delta = scale * np.random.default_rng((1234, dispatch)).standard_normal(job.size)
+    return encode_frame(
+        ClientUpdateMsg(
+            job.job_id,
+            client,
+            dispatch,
+            base_version,
+            32,
+            WireVector.dense(delta),
+        )
+    )
+
+
+def drive(coordinator, job, dispatches, **kwargs):
+    """Submit + pump a batch of updates; return all commit events."""
+    commits = []
+    for dispatch in dispatches:
+        assert coordinator.submit(update_frame(job, dispatch, **kwargs)).accepted
+        commits.extend(coordinator.pump(job.job_id).commits)
+    return commits
+
+
+class TestLifecycle:
+    def test_create_run_commit_done(self, fresh_obs, weights):
+        coordinator = Coordinator()
+        job = coordinator.create_job(
+            "t0", "j0", weights, buffer=BufferConfig(size=4), target_commits=2
+        )
+        assert job.state is JobState.RUNNING
+        commits = drive(coordinator, job, range(8))
+        assert [event.version for event in commits] == [1, 2]
+        assert all(event.folds == 4 for event in commits)
+        assert job.state is JobState.DONE
+        assert job.version == 2
+        # after DONE further submissions are refused
+        result = coordinator.submit(update_frame(job, 99))
+        assert not result.accepted and result.reason == "state"
+
+    def test_drain_commits_partial_window(self, fresh_obs, weights):
+        coordinator = Coordinator()
+        job = coordinator.create_job("t0", "j0", weights, buffer=BufferConfig(size=8))
+        drive(coordinator, job, range(3))
+        assert job.window.pending == 3
+        result = coordinator.drain("j0")
+        assert len(result.commits) == 1 and result.commits[0].folds == 3
+        assert job.state is JobState.DONE
+
+    def test_commit_changes_model_and_download_tracks_it(self, fresh_obs, weights):
+        coordinator = Coordinator()
+        job = coordinator.create_job("t0", "j0", weights, buffer=BufferConfig(size=2))
+        before = job.flat.copy()
+        drive(coordinator, job, range(2))
+        assert not np.array_equal(job.flat, before)
+        message, _ = decode_frame(coordinator.model_frame("j0"))
+        assert message.version == 1
+        assert np.array_equal(message.vector.flat64(), job.flat)
+
+    def test_multi_tenant_jobs_are_independent(self, fresh_obs, weights):
+        coordinator = Coordinator()
+        a = coordinator.create_job("t0", "a", weights, buffer=BufferConfig(size=2))
+        b = coordinator.create_job("t1", "b", weights, buffer=BufferConfig(size=2))
+        drive(coordinator, a, range(2))
+        assert a.version == 1 and b.version == 0
+        # same updates into b produce the same model: jobs share nothing
+        drive(coordinator, b, range(2))
+        assert np.array_equal(a.flat, b.flat)
+
+
+class TestQuotas:
+    def test_tenant_job_quota(self, fresh_obs, weights):
+        coordinator = Coordinator(quota=TenantQuota(max_jobs=2))
+        coordinator.create_job("t0", "a", weights)
+        coordinator.create_job("t0", "b", weights)
+        with pytest.raises(ValueError, match="quota"):
+            coordinator.create_job("t0", "c", weights)
+        # another tenant is unaffected
+        coordinator.create_job("t1", "c", weights)
+
+    def test_backpressure_sheds_load(self, fresh_obs, weights):
+        coordinator = Coordinator(quota=TenantQuota(max_queue_depth=3))
+        job = coordinator.create_job("t0", "j0", weights, buffer=BufferConfig(size=64))
+        for dispatch in range(3):
+            assert coordinator.submit(update_frame(job, dispatch)).accepted
+        result = coordinator.submit(update_frame(job, 3))
+        assert not result.accepted and result.reason == "backpressure"
+        snapshot = fresh_obs.registry.snapshot()
+        assert sum(snapshot["counters"]["serve.backpressure.rejects"].values()) == 1.0
+        assert job.rejects == {"backpressure": 1}
+
+    def test_stale_base_version_is_refused(self, fresh_obs, weights):
+        coordinator = Coordinator(quota=TenantQuota(max_version_lag=1))
+        job = coordinator.create_job("t0", "j0", weights, buffer=BufferConfig(size=1))
+        drive(coordinator, job, range(3))  # version == 3
+        ok = coordinator.submit(update_frame(job, 10, base_version=2))
+        assert ok.accepted
+        stale = coordinator.submit(update_frame(job, 11, base_version=1))
+        assert not stale.accepted and stale.reason == "stale"
+        future = coordinator.submit(update_frame(job, 12, base_version=9))
+        assert not future.accepted and future.reason == "stale"
+
+    def test_unknown_job_is_refused(self, fresh_obs, weights):
+        coordinator = Coordinator()
+        job = coordinator.create_job("t0", "j0", weights)
+        frame = update_frame(job, 0)
+        coordinator2 = Coordinator()
+        result = coordinator2.submit(frame)
+        assert not result.accepted and result.reason == "unknown_job"
+
+
+class TestAdmission:
+    def test_over_norm_update_rejected_then_quarantined(self, fresh_obs, weights):
+        coordinator = Coordinator()
+        job = coordinator.create_job(
+            "t0",
+            "j0",
+            weights,
+            buffer=BufferConfig(size=4),
+            admission=AdmissionConfig(max_norm=0.5),
+        )
+        # one hostile client (7) sends huge deltas; honest ones pass
+        for dispatch in range(12):
+            client = 7 if dispatch % 4 == 3 else dispatch % 3
+            scale = 100.0 if client == 7 else 0.001
+            coordinator.submit(
+                update_frame(job, dispatch, client=client, scale=scale)
+            )
+        coordinator.pump("j0")
+        assert job.rejects.get("admission", 0) >= 2
+        assert job.admitted > 0
+        # repeated rejections quarantine the client
+        assert job.reputation.is_blocked("client-7", job.version) or job.rejects.get(
+            "quarantined", 0
+        ) >= 0  # ledger reachable either way
+
+    def test_clip_folds_rescaled_update(self, fresh_obs, weights):
+        coordinator = Coordinator()
+        job = coordinator.create_job(
+            "t0",
+            "j0",
+            weights,
+            buffer=BufferConfig(size=1),
+            admission=AdmissionConfig(max_norm=0.5, clip=True),
+        )
+        drive(coordinator, job, [0], scale=100.0)
+        assert job.version == 1
+        assert job.rejects.get("admission", 0) == 0
+        delta_norm = float(np.linalg.norm(job.flat - job.versions[0]))
+        assert delta_norm <= 0.5 + 1e-9
+
+
+class TestWorkers:
+    def _run(self, weights, workers, crash=False):
+        with obs.fresh(clock=VirtualClock()) as ctx:
+            with Coordinator(workers=workers) as coordinator:
+                job = coordinator.create_job(
+                    "t0",
+                    "j0",
+                    weights,
+                    buffer=BufferConfig(size=6),
+                    sharding=ShardingConfig(num_shards=3),
+                    target_commits=3,
+                )
+                for dispatch in range(18):
+                    if crash and dispatch == 7:
+                        coordinator.pool.inject_crash(0)
+                    coordinator.submit(update_frame(job, dispatch))
+                    coordinator.pump("j0")
+                restarts = coordinator.pool.restarts if coordinator.pool else 0
+                return job.flat.copy(), restarts, ctx.registry.snapshot()
+
+    def test_worker_pool_is_bitwise_equal_to_streaming(self, weights):
+        flat0, _, _ = self._run(weights, workers=0)
+        flat2, _, _ = self._run(weights, workers=2)
+        assert np.array_equal(flat0, flat2)
+
+    def test_crashed_worker_restarts_and_result_is_unchanged(self, weights):
+        flat0, _, _ = self._run(weights, workers=0)
+        flat2, restarts, snapshot = self._run(weights, workers=2, crash=True)
+        assert restarts == 1
+        assert np.array_equal(flat0, flat2)
+        assert sum(snapshot["counters"]["serve.worker.restarts"].values()) == 1.0
+
+
+class TestCheckpointResume:
+    def _storage(self, tmp_path):
+        return SecureStorage(
+            InMemoryBackend(),
+            ssk=hashlib.sha256(b"serve-test").digest(),
+            counters_path=os.path.join(tmp_path, "counters.json"),
+        )
+
+    def test_mid_window_checkpoint_resumes_bitwise(self, tmp_path, weights):
+        frames = []
+        with obs.fresh(clock=VirtualClock()):
+            coordinator = Coordinator()
+            job = coordinator.create_job(
+                "t0", "j0", weights, buffer=BufferConfig(size=4), target_commits=3
+            )
+            frames = [update_frame(job, dispatch) for dispatch in range(12)]
+            # uninterrupted reference run
+            for frame in frames:
+                coordinator.submit(frame)
+                coordinator.pump("j0")
+            reference = coordinator.state_dict()
+
+        storage = self._storage(tmp_path)
+        with obs.fresh(clock=VirtualClock()):
+            coordinator = Coordinator()
+            coordinator.create_job(
+                "t0", "j0", weights, buffer=BufferConfig(size=4), target_commits=3
+            )
+            for frame in frames[:6]:  # kill mid-window (6 folds = 1.5 windows)
+                coordinator.submit(frame)
+                coordinator.pump("j0")
+            coordinator.checkpoint(storage)
+
+        with obs.fresh(clock=VirtualClock()):
+            resumed = Coordinator()
+            resumed.create_job(
+                "t0", "j0", weights, buffer=BufferConfig(size=4), target_commits=3
+            )
+            assert resumed.restore(storage)
+            assert resumed.jobs["j0"].window.pending == 2
+            for frame in frames[6:]:
+                resumed.submit(frame)
+                resumed.pump("j0")
+            assert resumed.state_dict() == reference
+
+    def test_restore_without_checkpoint_is_false(self, tmp_path, weights):
+        with obs.fresh(clock=VirtualClock()):
+            coordinator = Coordinator()
+            assert coordinator.restore(self._storage(tmp_path)) is False
+
+    def test_torn_counter_checkpoint_is_discarded(self, tmp_path, weights):
+        # kill -9 can land between the sealed blob write and the trusted
+        # counter persist: the object is one version ahead of the counter.
+        # Restore must treat that as "no checkpoint", not crash or trust it.
+        from repro.tee.storage import ReeFsBackend
+
+        ssk = hashlib.sha256(b"serve-torn").digest()
+        blob_dir = str(tmp_path / "blobs")
+        counters = str(tmp_path / "counters.json")
+        with obs.fresh(clock=VirtualClock()):
+            coordinator = Coordinator()
+            coordinator.create_job(
+                "t0", "j0", weights, buffer=BufferConfig(size=4)
+            )
+            storage = SecureStorage(
+                ReeFsBackend(blob_dir), ssk=ssk, counters_path=counters
+            )
+            coordinator.checkpoint(storage)
+        os.unlink(counters)  # the counter persist never hit the disk
+        with obs.fresh(clock=VirtualClock()):
+            resumed = Coordinator()
+            resumed.create_job("t0", "j0", weights, buffer=BufferConfig(size=4))
+            reopened = SecureStorage(
+                ReeFsBackend(blob_dir), ssk=ssk, counters_path=counters
+            )
+            assert resumed.restore(reopened) is False
+            # and the next checkpoint simply overwrites the orphaned object
+            resumed.checkpoint(reopened)
+            fresh = Coordinator()
+            fresh.create_job("t0", "j0", weights, buffer=BufferConfig(size=4))
+            assert fresh.restore(reopened) is True
+
+    def test_checkpoint_preserves_staged_queue(self, tmp_path, weights):
+        storage = self._storage(tmp_path)
+        with obs.fresh(clock=VirtualClock()):
+            coordinator = Coordinator()
+            job = coordinator.create_job(
+                "t0", "j0", weights, buffer=BufferConfig(size=8)
+            )
+            for dispatch in range(3):
+                coordinator.submit(update_frame(job, dispatch))
+            coordinator.checkpoint(storage)  # 3 staged, none folded
+        with obs.fresh(clock=VirtualClock()):
+            resumed = Coordinator()
+            resumed.create_job("t0", "j0", weights, buffer=BufferConfig(size=8))
+            assert resumed.restore(storage)
+            assert len(resumed.jobs["j0"].queue) == 3
+            resumed.pump("j0")
+            assert resumed.jobs["j0"].folds == 3
+
+
+class TestMetrics:
+    def test_required_serve_metrics_always_present(self, fresh_obs, weights):
+        coordinator = Coordinator()
+        job = coordinator.create_job("t0", "j0", weights, buffer=BufferConfig(size=2))
+        drive(coordinator, job, range(2))
+        snapshot = fresh_obs.registry.snapshot()
+        validate_metrics(snapshot, required=REQUIRED_METRICS)
+        assert snapshot["gauges"]["serve.jobs.active"][""] == 1.0

@@ -1,0 +1,281 @@
+"""Wire-protocol suite: canonical frames, validation, byte-exact round trips."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.fl.compression import (
+    INDEX_WIRE_BYTES,
+    VALUE_WIRE_BYTES,
+    SparseUpdate,
+    TopKCompressor,
+)
+from repro.serve.wire import (
+    FLAG_SPARSE,
+    HEADER_BYTES,
+    MAGIC,
+    WIRE_VERSION,
+    ClientUpdateMsg,
+    Encoding,
+    FrameError,
+    ModelDownloadMsg,
+    MsgType,
+    ShardPartialMsg,
+    WireVector,
+    decode_frame,
+    encode_frame,
+    iter_frames,
+)
+
+pytestmark = pytest.mark.serve
+
+
+def _vector(rng, n=32):
+    return rng.standard_normal(n)
+
+
+# --- framing basics ---------------------------------------------------------
+
+
+class TestFraming:
+    def test_header_layout(self, rng):
+        frame = encode_frame(
+            ModelDownloadMsg("job", 3, WireVector.dense(_vector(rng)))
+        )
+        magic, version, msg_type, encoding, flags, body_len, crc = struct.unpack_from(
+            ">4sBBBBII", frame
+        )
+        assert magic == MAGIC
+        assert version == WIRE_VERSION
+        assert msg_type == MsgType.MODEL_DOWNLOAD
+        assert encoding == Encoding.F64
+        assert flags == 0
+        assert body_len == len(frame) - HEADER_BYTES
+        assert crc == zlib.crc32(frame[HEADER_BYTES:]) & 0xFFFFFFFF
+
+    def test_sparse_flag_set(self, rng):
+        sparse = WireVector.sparse(64, np.arange(4), rng.standard_normal(4))
+        frame = encode_frame(ClientUpdateMsg("j", 1, 2, 0, 17, sparse))
+        assert frame[7] & FLAG_SPARSE
+
+    def test_iter_frames_concatenated(self, rng):
+        frames = b"".join(
+            encode_frame(ModelDownloadMsg("j", v, WireVector.dense(_vector(rng))))
+            for v in range(3)
+        )
+        versions = [message.version for message in iter_frames(frames)]
+        assert versions == [0, 1, 2]
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda f: b"XXXX" + f[4:], "magic"),
+            (lambda f: f[:4] + bytes([99]) + f[5:], "version"),
+            (lambda f: f[:5] + bytes([200]) + f[6:], "not a valid MsgType"),
+            (lambda f: f[:6] + bytes([200]) + f[7:], "not a valid Encoding"),
+            (lambda f: f[:7] + bytes([0x80]) + f[8:], "flags"),
+            (lambda f: f[:-1], "truncated"),
+            (lambda f: f[:20] + bytes([f[20] ^ 0xFF]) + f[21:], "CRC"),
+            (lambda f: f[:HEADER_BYTES], "truncated"),
+        ],
+    )
+    def test_rejects_damaged_frames(self, rng, mutate, match):
+        frame = encode_frame(
+            ModelDownloadMsg("job", 1, WireVector.dense(_vector(rng)))
+        )
+        with pytest.raises(FrameError, match=match):
+            decode_frame(mutate(frame))
+
+    def test_rejects_trailing_body_bytes(self, rng):
+        frame = bytearray(
+            encode_frame(ModelDownloadMsg("job", 1, WireVector.dense(_vector(rng))))
+        )
+        body = bytes(frame[HEADER_BYTES:]) + b"\x00"
+        header = struct.pack(
+            ">4sBBBBII",
+            MAGIC,
+            WIRE_VERSION,
+            int(MsgType.MODEL_DOWNLOAD),
+            int(Encoding.F64),
+            0,
+            len(body),
+            zlib.crc32(body) & 0xFFFFFFFF,
+        )
+        with pytest.raises(FrameError, match="trailing"):
+            decode_frame(header + body)
+
+
+# --- message round trips ----------------------------------------------------
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "encoding", [Encoding.F64, Encoding.F32, Encoding.F16, Encoding.Q8]
+    )
+    def test_dense_reencode_is_identity(self, rng, encoding):
+        message = ModelDownloadMsg("job-0", 7, WireVector.dense(_vector(rng), encoding))
+        frame = encode_frame(message)
+        decoded, end = decode_frame(frame)
+        assert end == len(frame)
+        assert encode_frame(decoded) == frame
+        assert decoded.job_id == "job-0" and decoded.version == 7
+
+    def test_f64_dense_is_lossless(self, rng):
+        vector = _vector(rng)
+        decoded, _ = decode_frame(
+            encode_frame(ModelDownloadMsg("j", 0, WireVector.dense(vector)))
+        )
+        assert np.array_equal(decoded.vector.flat64(), vector)
+
+    @pytest.mark.parametrize(
+        "encoding", [Encoding.F64, Encoding.F32, Encoding.F16, Encoding.Q8]
+    )
+    def test_sparse_client_update_round_trip(self, rng, encoding):
+        indices = np.sort(rng.choice(100, size=9, replace=False))
+        message = ClientUpdateMsg(
+            "tenant-a/job",
+            client=12,
+            dispatch=3456,
+            base_version=2,
+            num_samples=64,
+            delta=WireVector.sparse(100, indices, rng.standard_normal(9), encoding),
+        )
+        frame = encode_frame(message)
+        decoded, _ = decode_frame(frame)
+        assert encode_frame(decoded) == frame
+        assert decoded.dispatch == 3456 and decoded.base_version == 2
+        assert np.array_equal(decoded.delta.indices, indices.astype("<u4"))
+        assert decoded.delta.flat64().shape == (100,)
+
+    def test_sealed_passthrough(self):
+        blob = b"\x00\x01opaque sealed update\xff"
+        message = ClientUpdateMsg("j", 1, 2, 0, 8, WireVector.sealed(blob, size=50))
+        decoded, _ = decode_frame(encode_frame(message))
+        assert decoded.delta.is_sealed
+        assert decoded.delta.blob == blob
+        assert encode_frame(decoded) == encode_frame(message)
+        with pytest.raises(FrameError, match="opaque"):
+            decoded.delta.flat64()
+
+    def test_shard_partial_round_trip(self, rng):
+        components = tuple(rng.standard_normal(5) for _ in range(3))
+        message = ShardPartialMsg("j", 2, folds=9, total_samples=412, components=components)
+        frame = encode_frame(message)
+        decoded, _ = decode_frame(frame)
+        assert encode_frame(decoded) == frame
+        assert decoded.shard_id == 2 and decoded.total_samples == 412
+        for got, expected in zip(decoded.components, components):
+            assert np.array_equal(got, expected)
+
+    def test_q8_decode_is_pure_function_of_frame(self, rng):
+        vector = _vector(rng)
+        frame = encode_frame(
+            ModelDownloadMsg("j", 0, WireVector.dense(vector, Encoding.Q8))
+        )
+        a, _ = decode_frame(frame)
+        b, _ = decode_frame(frame)
+        assert np.array_equal(a.vector.flat64(), b.vector.flat64())
+        # quantization error is bounded by half a level
+        levels = (vector.max() - vector.min()) / 255.0
+        assert np.abs(a.vector.flat64() - vector).max() <= levels / 2 + 1e-12
+
+
+# --- byte accounting (satellite: SparseUpdate.wire_bytes linkage) ----------
+
+
+class TestByteAccounting:
+    def test_wire_bytes_constants(self):
+        update = SparseUpdate(100, np.arange(7), np.ones(7))
+        assert update.wire_bytes() == 7 * (INDEX_WIRE_BYTES + VALUE_WIRE_BYTES)
+        assert INDEX_WIRE_BYTES == 4 and VALUE_WIRE_BYTES == 4
+
+    def test_sparse_frame_charges_what_wire_bytes_promises(self, rng):
+        update = TopKCompressor(0.1, error_feedback=False).compress(
+            rng.standard_normal(200)
+        )
+        vector = WireVector.from_sparse_update(update)  # F32 values
+        # the index+value payload portion is exactly update.wire_bytes()
+        assert vector.payload_bytes() == 4 + 4 + update.wire_bytes()
+
+    def test_payload_bytes_matches_encoded_body(self, rng):
+        for vector in (
+            WireVector.dense(_vector(rng), Encoding.F16),
+            WireVector.dense(_vector(rng), Encoding.Q8),
+            WireVector.sparse(64, np.arange(5), rng.standard_normal(5)),
+            WireVector.sealed(b"blob", size=9),
+        ):
+            message = ModelDownloadMsg("j", 0, vector)
+            frame = encode_frame(message)
+            body_len = len(frame) - HEADER_BYTES
+            # body = job_id (2 + 1) + version (8) + vector payload
+            assert body_len == 3 + 8 + vector.payload_bytes()
+
+
+# --- hypothesis: canonical-bytes property ----------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+def _dense_message(seed, encoding, size):
+    rng = np.random.default_rng(seed)
+    return ModelDownloadMsg(
+        f"job-{seed % 5}", seed % 11, WireVector.dense(rng.standard_normal(size), encoding)
+    )
+
+
+@pytest.mark.property
+class TestWireProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        encoding=st.sampled_from(
+            [Encoding.F64, Encoding.F32, Encoding.F16, Encoding.Q8]
+        ),
+        size=st.integers(1, 300),
+    )
+    def test_dense_encode_decode_encode_is_identity(self, seed, encoding, size):
+        frame = encode_frame(_dense_message(seed, encoding, size))
+        decoded, end = decode_frame(frame)
+        assert end == len(frame)
+        assert encode_frame(decoded) == frame
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        encoding=st.sampled_from(
+            [Encoding.F64, Encoding.F32, Encoding.F16, Encoding.Q8]
+        ),
+        size=st.integers(1, 300),
+        k=st.integers(1, 50),
+    )
+    def test_sparse_encode_decode_encode_is_identity(self, seed, encoding, size, k):
+        rng = np.random.default_rng(seed)
+        k = min(k, size)
+        indices = np.sort(rng.choice(size, size=k, replace=False))
+        message = ClientUpdateMsg(
+            "j",
+            seed % 1000,
+            seed % 10**6,
+            seed % 7,
+            1 + seed % 128,
+            WireVector.sparse(size, indices, rng.standard_normal(k), encoding),
+        )
+        frame = encode_frame(message)
+        decoded, _ = decode_frame(frame)
+        assert encode_frame(decoded) == frame
+        assert np.array_equal(
+            decoded.delta.flat64(), message.delta.flat64()
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(blob=st.binary(max_size=512), size=st.integers(0, 1000))
+    def test_sealed_encode_decode_encode_is_identity(self, blob, size):
+        frame = encode_frame(
+            ClientUpdateMsg("j", 0, 0, 0, 1, WireVector.sealed(blob, size=size))
+        )
+        decoded, _ = decode_frame(frame)
+        assert encode_frame(decoded) == frame
+        assert decoded.delta.blob == blob
