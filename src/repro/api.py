@@ -10,8 +10,14 @@ Everything a user script needs lives here, under names that do not move:
   name, returned as a JSON-safe payload;
 * :func:`serve` — the multi-tenant coordinator service under synthetic
   load, returned as the same JSON-safe report ``repro serve`` writes;
+* :func:`attack_suite` — the full inference-attack audit (DRIA, MIA,
+  optionally DPIA) of one protection policy on one model, returned as a
+  JSON-safe verdict table;
 * the config types (:class:`ServerConfig`, :class:`RoundConfig`,
-  :class:`ShardingConfig`) that parameterise both.
+  :class:`ShardingConfig`) that parameterise both, and the protection
+  policy surface (:class:`StaticPolicy`, :class:`DynamicPolicy`,
+  :class:`PeltaPolicy`, … with :class:`LayerRef` / :class:`BlockSelector`
+  structured addressing).
 
 The deeper modules (``repro.fl``, ``repro.sim``, ``repro.core``, …) remain
 importable, but their internals may shift between releases; this facade is
@@ -21,8 +27,20 @@ the supported surface.
 from __future__ import annotations
 
 import argparse
-from typing import Optional
+from typing import Callable, Optional, Union
 
+from .core.policy import (
+    BlockSelector,
+    DarknetzPolicy,
+    DynamicPolicy,
+    LayerRef,
+    ModelLayout,
+    NoProtection,
+    PeltaPolicy,
+    ProtectionPolicy,
+    StaticPolicy,
+    policy_from_spec,
+)
 from .fl.admission import (
     AdmissionConfig,
     AdmissionController,
@@ -39,6 +57,7 @@ __all__ = [
     "simulate",
     "serve",
     "run_experiment",
+    "attack_suite",
     "ServerConfig",
     "RoundConfig",
     "ShardingConfig",
@@ -48,6 +67,16 @@ __all__ = [
     "ReputationConfig",
     "ReputationTracker",
     "RULES",
+    "ProtectionPolicy",
+    "NoProtection",
+    "StaticPolicy",
+    "DarknetzPolicy",
+    "DynamicPolicy",
+    "PeltaPolicy",
+    "LayerRef",
+    "BlockSelector",
+    "ModelLayout",
+    "policy_from_spec",
 ]
 
 
@@ -265,6 +294,87 @@ def serve(
             return harness.run()
 
 
+def attack_suite(
+    model: Union[str, Callable, None] = None,
+    policy: Optional[ProtectionPolicy] = None,
+    *,
+    dpia: bool = False,
+    cycles: int = 24,
+    dria_threshold: float = 8.0,
+    mia_margin: float = 0.2,
+    seed: int = 0,
+    fast: bool = False,
+) -> dict:
+    """Audit one protection ``policy`` on one ``model`` with every attack.
+
+    ``model`` selects the victim architecture: ``None`` or ``"lenet5"``
+    runs the paper's LeNet-5 reference workloads; any other
+    :mod:`repro.nn.zoo` entry name (``"vit_tiny"``, ``"gpt_tiny"``,
+    ``"alexnet"``, ``"mlp"``) or a callable ``factory(num_classes, seed)``
+    audits that architecture instead.  ``policy`` defaults to
+    :class:`NoProtection` over the model's layout, and accepts any policy
+    built from structured selectors (``"block2.softmax"``,
+    :class:`BlockSelector`, …) or legacy integer indices.
+
+    Runs DRIA and MIA always, and the multi-cycle DPIA pipeline when
+    ``dpia=True``.  Returns a JSON-safe dict: per-attack ``score`` /
+    ``succeeded`` / ``criterion`` rows plus the overall ``secure`` verdict.
+    """
+    from .attacks.suite import AttackSuite
+    from . import nn as _nn
+
+    if model is None or model == "lenet5":
+        model_factory = None
+    elif isinstance(model, str):
+        try:
+            zoo_entry = getattr(_nn, model)
+        except AttributeError:
+            raise ValueError(
+                f"unknown model {model!r}; expected a repro.nn.zoo entry name "
+                "or a factory callable"
+            ) from None
+        model_factory = lambda num_classes, s: zoo_entry(  # noqa: E731
+            num_classes=num_classes, seed=s
+        )
+    elif callable(model):
+        model_factory = model
+    else:
+        raise TypeError(f"model must be a zoo name or factory, got {type(model)!r}")
+
+    if policy is None:
+        if model_factory is None:
+            policy = NoProtection(5)
+        else:
+            policy = NoProtection(model_factory(10, seed + 1).layout())
+
+    suite = AttackSuite(
+        dria_threshold=dria_threshold,
+        mia_margin=mia_margin,
+        seed=seed,
+        fast=fast,
+        model_factory=model_factory,
+    )
+    report = suite.audit(policy)
+    if dpia:
+        report.verdicts["DPIA"] = suite.audit_dpia(policy, cycles=cycles)
+
+    return {
+        "policy": report.policy_description,
+        "model": model if isinstance(model, str) else ("lenet5" if model is None else "custom"),
+        "secure": report.secure,
+        "attacks": {
+            name: {
+                "metric": verdict.result.metric,
+                "score": float(verdict.result.score),
+                "protected": sorted(verdict.result.protected),
+                "succeeded": bool(verdict.succeeded),
+                "criterion": verdict.criterion,
+            }
+            for name, verdict in report.verdicts.items()
+        },
+    }
+
+
 def run_experiment(
     name: str,
     *,
@@ -272,13 +382,17 @@ def run_experiment(
     rounds: int = 36,
     batch_size: int = 32,
     seed: int = 0,
+    **extra,
 ) -> dict:
     """Run one of the paper's experiments by CLI name, return its rows.
 
     ``name`` is any of the experiment subcommands (``table5``, ``table6``,
-    ``fig5``, ``fig6``, ``fig8``, ``summary``).  The human-readable table is
-    printed as a side effect, exactly as the CLI does; the returned dict is
-    the JSON payload ``--out`` would have written.
+    ``fig5``, ``fig6``, ``fig8``, ``summary``, ``blocks``).  The
+    human-readable table is printed as a side effect, exactly as the CLI
+    does; the returned dict is the JSON payload ``--out`` would have
+    written.  ``extra`` passes experiment-specific flags by their CLI
+    spelling with dashes as underscores — e.g.
+    ``run_experiment("blocks", model="gpt_tiny", mw_size=2)``.
     """
     from .cli import _COMMANDS
 
@@ -286,7 +400,11 @@ def run_experiment(
         known = ", ".join(sorted(_COMMANDS))
         raise ValueError(f"unknown experiment {name!r}; expected one of: {known}")
     handler, _ = _COMMANDS[name]
+    defaults = {}
+    if name == "blocks":
+        defaults = {"model": "vit_tiny", "mw_size": 1, "roles": None, "dpia": False}
     args = argparse.Namespace(
-        fast=fast, rounds=rounds, batch_size=batch_size, seed=seed, out=None
+        fast=fast, rounds=rounds, batch_size=batch_size, seed=seed, out=None,
+        **{**defaults, **extra},
     )
     return handler(args)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -80,6 +80,14 @@ class AttackSuite:
         MIA succeeds if AUC > 0.5 + margin.
     fast:
         Shrink every attack's budget (tests / CI).
+    model_factory:
+        ``None`` (default) audits the paper's LeNet-5 reference workloads.
+        Otherwise a callable ``model_factory(num_classes, seed)`` building
+        the victim architecture — e.g.
+        ``lambda num_classes, seed: vit_tiny(num_classes=num_classes, seed=seed)``
+        — so block policies for transformer models can be audited with the
+        same suite.  Synthetic data shapes follow the model's
+        ``input_shape``.
     """
 
     def __init__(
@@ -88,11 +96,20 @@ class AttackSuite:
         mia_margin: float = 0.2,
         seed: int = 0,
         fast: bool = False,
+        model_factory: Optional[Callable[[int, int], "object"]] = None,
     ) -> None:
         self.dria_threshold = float(dria_threshold)
         self.mia_margin = float(mia_margin)
         self.seed = int(seed)
         self.fast = bool(fast)
+        self.model_factory = model_factory
+
+    def _check_depth(self, policy: ProtectionPolicy, model) -> None:
+        if policy.num_layers != model.num_layers:
+            raise ValueError(
+                f"policy addresses {policy.num_layers} layers but the audited "
+                f"model '{model.name}' has {model.num_layers}"
+            )
 
     @contextmanager
     def _observed(self, attack: str, policy: ProtectionPolicy):
@@ -111,14 +128,24 @@ class AttackSuite:
             ).observe(get_clock().now() - started, attack=attack)
 
     def audit(self, policy: ProtectionPolicy) -> SecurityReport:
-        """Run DRIA and MIA against ``policy`` on reference workloads."""
+        """Run DRIA and MIA against ``policy`` on the audited workload."""
         protected = tuple(sorted(policy.layers_for_cycle(0)))
         report = SecurityReport(policy.describe())
 
-        # --- DRIA on the paper's LeNet-5 -------------------------------
+        # --- DRIA on the audited model (default: the paper's LeNet-5) ---
         iterations = 40 if self.fast else 150
-        dria_model = lenet5(num_classes=10, seed=self.seed + 1)
-        data = synthetic_cifar(num_samples=2, num_classes=10, seed=self.seed)
+        if self.model_factory is None:
+            dria_model = lenet5(num_classes=10, seed=self.seed + 1)
+            data = synthetic_cifar(num_samples=2, num_classes=10, seed=self.seed)
+        else:
+            dria_model = self.model_factory(10, self.seed + 1)
+            data = synthetic_cifar(
+                num_samples=2,
+                num_classes=10,
+                shape=dria_model.input_shape,
+                seed=self.seed,
+            )
+        self._check_depth(policy, dria_model)
         dria = DataReconstructionAttack(dria_model, iterations=iterations, seed=self.seed)
         with self._observed("DRIA", policy):
             try:
@@ -141,14 +168,25 @@ class AttackSuite:
         n = 80 if self.fast else 160
         epochs = 10  # enough memorisation for a clear unprotected signal
         classes = 10 if self.fast else 20
-        mia_data = synthetic_cifar(
-            num_samples=2 * n, num_classes=classes, noise=0.5, seed=self.seed
-        )
+        if self.model_factory is None:
+            mia_data = synthetic_cifar(
+                num_samples=2 * n, num_classes=classes, noise=0.5, seed=self.seed
+            )
+            target = lenet5(
+                num_classes=classes, seed=self.seed + 5, activation="relu", scale=0.5
+            )
+        else:
+            target = self.model_factory(classes, self.seed + 5)
+            mia_data = synthetic_cifar(
+                num_samples=2 * n,
+                num_classes=classes,
+                shape=target.input_shape,
+                noise=0.5,
+                seed=self.seed,
+            )
+        self._check_depth(policy, target)
         members = mia_data.subset(np.arange(n))
         nonmembers = mia_data.subset(np.arange(n, 2 * n))
-        target = lenet5(
-            num_classes=classes, seed=self.seed + 5, activation="relu", scale=0.5
-        )
         train_target_model(target, members, epochs=epochs)
         mia = MembershipInferenceAttack(
             target, probes_per_class=40 if self.fast else 80, seed=self.seed
@@ -168,19 +206,27 @@ class AttackSuite:
         """Run the multi-cycle DPIA pipeline against ``policy``.
 
         Separate from :meth:`audit` because it simulates an FL run
-        (seconds-to-minutes depending on ``cycles``); the policy must be
-        for a 5-layer model (the reference DPIA workload is LeNet-5).
+        (seconds-to-minutes depending on ``cycles``); the policy's depth
+        must match the DPIA workload model (the paper's reference is
+        LeNet-5; with ``model_factory`` set, the factory's binary
+        classifier — built as ``model_factory(2, 9)``).
         """
         from ..bench.experiments import dpia_experiment
 
-        if policy.num_layers != 5:
-            raise ValueError("the DPIA reference workload uses a 5-layer model")
+        if self.model_factory is None:
+            if policy.num_layers != 5:
+                raise ValueError("the DPIA reference workload uses a 5-layer model")
+            dpia_factory = None
+        else:
+            dpia_factory = lambda: self.model_factory(2, 9)  # noqa: E731
+            self._check_depth(policy, dpia_factory())
         with self._observed("DPIA", policy):
             row = dpia_experiment(
                 [(policy.describe(), policy)],
                 cycles=cycles,
                 fast=self.fast,
                 seed=self.seed,
+                model_factory=dpia_factory,
             )[0]
         result = AttackResult("DPIA", frozenset(row.protected), row.score, "AUC")
         return AttackVerdict(

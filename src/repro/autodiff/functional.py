@@ -18,6 +18,7 @@ from .tensor import Tensor, as_tensor
 __all__ = [
     "linear", "conv2d", "conv2d_composed", "set_fused_conv", "max_pool2d",
     "flatten", "softmax", "log_softmax", "cross_entropy", "mse",
+    "gelu", "layer_norm", "softmax_lastaxis", "attention_weights",
 ]
 
 # Default conv implementation: the fused single-node kernel from
@@ -160,3 +161,80 @@ def mse(prediction: Tensor, target: Tensor) -> Tensor:
     """Mean squared error over all elements."""
     diff = ops.sub(prediction, as_tensor(target))
     return ops.mean(ops.mul(diff, diff))
+
+
+# Constant of the GELU tanh approximation: sqrt(2 / pi).
+_GELU_C = 0.7978845608028654
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU activation (tanh approximation), double-backward safe.
+
+    ``0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 * x^3)))`` — the usual
+    transformer-block formulation, composed purely from primitives so DRIA
+    can differentiate through it twice.
+    """
+    x = as_tensor(x)
+    cubic = ops.add(x, ops.mul(ops.mul(ops.mul(x, x), x), 0.044715))
+    inner = ops.tanh(ops.mul(cubic, _GELU_C))
+    return ops.mul(ops.mul(x, 0.5), ops.add(inner, 1.0))
+
+
+def layer_norm(
+    x: Tensor,
+    weight: Optional[Tensor] = None,
+    bias: Optional[Tensor] = None,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Layer normalisation over the last axis.
+
+    Parameters
+    ----------
+    x: shape ``(..., D)``.
+    weight: scale of shape ``(D,)`` or None.
+    bias: shift of shape ``(D,)`` or None.
+    """
+    x = as_tensor(x)
+    axis = x.ndim - 1
+    mu = ops.mean(x, axis=axis, keepdims=True)
+    centered = ops.sub(x, mu)
+    var = ops.mean(ops.mul(centered, centered), axis=axis, keepdims=True)
+    inv = ops.pow_(ops.add(var, eps), -0.5)
+    out = ops.mul(centered, inv)
+    if weight is not None:
+        out = ops.mul(out, weight)
+    if bias is not None:
+        out = ops.add(out, bias)
+    return out
+
+
+def softmax_lastaxis(x: Tensor) -> Tensor:
+    """Softmax over the last axis of an N-D tensor (N >= 2).
+
+    Higher-rank inputs are flattened to rows so the numerically-stable 2-D
+    :func:`softmax` (and its single ``rowmax`` trace op) is reused verbatim —
+    the compiled path stays bitwise identical to eager by construction.
+    """
+    x = as_tensor(x)
+    if x.ndim == 2:
+        return softmax(x)
+    shape = x.shape
+    rows = int(np.prod(shape[:-1]))
+    flat = ops.reshape(x, (rows, shape[-1]))
+    return ops.reshape(softmax(flat), shape)
+
+
+def attention_weights(q: Tensor, k: Tensor) -> Tensor:
+    """Scaled dot-product attention weights ``softmax(q k^T / sqrt(d))``.
+
+    Parameters
+    ----------
+    q: queries, shape ``(B, T, D)``.
+    k: keys, shape ``(B, T, D)``.
+
+    Returns the row-stochastic attention matrix of shape ``(B, T, T)``.
+    """
+    q, k = as_tensor(q), as_tensor(k)
+    d = q.shape[-1]
+    scores = ops.mul(ops.bmm(q, ops.transpose(k, (0, 2, 1))), 1.0 / float(np.sqrt(d)))
+    return softmax_lastaxis(scores)

@@ -20,7 +20,7 @@ from ..graph import trace as _trace
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "pow_", "exp", "log", "sqrt",
-    "matmul", "sum_", "mean", "reshape", "transpose", "broadcast_to",
+    "matmul", "bmm", "sum_", "mean", "reshape", "transpose", "broadcast_to",
     "getitem", "pad2d", "relu", "sigmoid", "tanh", "abs_",
     "leaky_relu", "softplus", "clip",
     "im2col", "col2im", "maxpool2d", "concatenate",
@@ -214,6 +214,21 @@ def matmul(a, b) -> Tensor:
     out = _make(a.data @ b.data, (a, b), grad_fn, "matmul")
     if _trace.TAPE is not None:
         _trace.TAPE.op("matmul", (a, b), out)
+    return out
+
+
+def bmm(a, b) -> Tensor:
+    """Batched matrix product of 3-D tensors: ``(B, M, K) @ (B, K, N)``."""
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim != 3 or b.ndim != 3:
+        raise ValueError(f"bmm expects 3-D tensors, got {a.shape} @ {b.shape}")
+
+    def grad_fn(g):
+        return (bmm(g, transpose(b, (0, 2, 1))), bmm(transpose(a, (0, 2, 1)), g))
+
+    out = _make(np.matmul(a.data, b.data), (a, b), grad_fn, "bmm")
+    if _trace.TAPE is not None:
+        _trace.TAPE.op("bmm", (a, b), out)
     return out
 
 

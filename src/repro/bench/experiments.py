@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -169,6 +169,11 @@ def mia_experiment(
 # DPIA (Tables 1 & 5)
 # ----------------------------------------------------------------------
 
+def _dpia_reference_model() -> Sequential:
+    """The paper's DPIA victim/attacker model (LeNet-5 gender classifier)."""
+    return lenet5(num_classes=2, seed=9, activation="sigmoid")
+
+
 def simulate_fl_for_dpia(
     policy: ProtectionPolicy,
     cycles: int = 36,
@@ -177,18 +182,33 @@ def simulate_fl_for_dpia(
     num_samples: int = 600,
     world_seed: int = 1,
     seed: int = 0,
+    model_factory: Optional[Callable[[], Sequential]] = None,
 ):
     """Victim-side FL simulation for DPIA.
 
-    The victim trains a LeNet-5 gender classifier on LFW-like data; in each
+    The victim trains a gender classifier on LFW-like data; in each
     cycle its batch either carries the private property (all-property
     samples) or not, alternating — giving balanced ground truth.  Returns
     ``(snapshots, protected_per_cycle, truth)`` where snapshots includes the
     initial state (length ``cycles + 1``).
+
+    ``model_factory`` (a zero-argument callable returning a fresh binary
+    classifier) swaps the paper's LeNet-5 victim for another workload,
+    e.g. ``lambda: vit_tiny(num_classes=2, seed=9)``.  The synthetic LFW
+    shape follows the model's ``input_shape``.
     """
     rng = np.random.default_rng(seed)
-    data = synthetic_lfw(num_samples=num_samples, num_classes=2, seed=world_seed)
-    model = lenet5(num_classes=2, seed=9, activation="sigmoid")
+    if model_factory is None:
+        data = synthetic_lfw(num_samples=num_samples, num_classes=2, seed=world_seed)
+        model = _dpia_reference_model()
+    else:
+        model = model_factory()
+        data = synthetic_lfw(
+            num_samples=num_samples,
+            num_classes=2,
+            shape=model.input_shape,
+            seed=world_seed,
+        )
     shielded = ShieldedModel(model, policy, batch_size=batch_size)
     snapshots = [model.get_weights()]
     protected_per_cycle: List[frozenset] = []
@@ -218,15 +238,33 @@ def _dpia_auc(
     world_seed: int,
     aux_sample_seed: int,
     seed: int,
+    model_factory: Optional[Callable[[], Sequential]] = None,
 ) -> float:
     snapshots, protected_per_cycle, truth = simulate_fl_for_dpia(
-        policy, cycles=cycles, lr=lr, world_seed=world_seed, seed=seed
+        policy,
+        cycles=cycles,
+        lr=lr,
+        world_seed=world_seed,
+        seed=seed,
+        model_factory=model_factory,
     )
-    auxiliary = synthetic_lfw(
-        num_samples=400, num_classes=2, seed=world_seed, sample_seed=aux_sample_seed
+    attacker_model = (
+        _dpia_reference_model() if model_factory is None else model_factory()
     )
+    if model_factory is None:
+        auxiliary = synthetic_lfw(
+            num_samples=400, num_classes=2, seed=world_seed, sample_seed=aux_sample_seed
+        )
+    else:
+        auxiliary = synthetic_lfw(
+            num_samples=400,
+            num_classes=2,
+            shape=attacker_model.input_shape,
+            seed=world_seed,
+            sample_seed=aux_sample_seed,
+        )
     attack = PropertyInferenceAttack(
-        lenet5(num_classes=2, seed=9, activation="sigmoid"),
+        attacker_model,
         batch_size=16,
         batches_per_snapshot=batches_per_snapshot,
         seed=seed,
@@ -245,6 +283,7 @@ def dpia_experiment(
     world_seed: int = 1,
     seed: int = 0,
     fast: bool = False,
+    model_factory: Optional[Callable[[], Sequential]] = None,
 ) -> List[ExperimentRow]:
     """DPIA AUC per protection policy (Table 5's layout)."""
     if fast:
@@ -253,7 +292,8 @@ def dpia_experiment(
     rows = []
     for label, policy in policies:
         auc = _dpia_auc(
-            policy, cycles, lr, batches_per_snapshot, world_seed, 999, seed
+            policy, cycles, lr, batches_per_snapshot, world_seed, 999, seed,
+            model_factory=model_factory,
         )
         protected_union: frozenset = frozenset()
         for s in policy.all_possible_sets():

@@ -44,6 +44,7 @@ __all__ = [
     "bench_conv_step",
     "bench_fl_round",
     "bench_serve_throughput",
+    "bench_transformer_step",
     "run_perf_suite",
     "TRACKED_METRICS",
     "compare_payloads",
@@ -64,6 +65,9 @@ TRACKED_METRICS = {
     "serve.wall_s": "lower",
     "serve.commits_per_wall_second": "higher",
     "serve.dispatches_per_wall_second": "higher",
+    "transformer.eager_step_ms": "lower",
+    "transformer.compiled_step_ms": "lower",
+    "transformer.compile_speedup": "higher",
 }
 
 
@@ -258,6 +262,57 @@ def bench_fl_round(
     return result
 
 
+def bench_transformer_step(
+    steps: int = 5,
+    batch_size: int = 4,
+    num_classes: int = 10,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Per-step time of a vit_tiny train step: eager vs graph-compiled.
+
+    The transformer workload exercises the attention kernels (bmm, softmax
+    over the last axis, layernorm, GELU); the compiled path must stay ahead
+    of eager, and neither may quietly slow down.
+    """
+    from ..graph.vm import compile_model_step
+    from ..nn import vit_tiny
+
+    rng = np.random.default_rng(seed)
+    lr = 0.05
+    eager_model = vit_tiny(num_classes=num_classes, seed=seed)
+    x = rng.standard_normal((batch_size, *eager_model.input_shape))
+    y = one_hot(
+        rng.integers(0, num_classes, size=batch_size), num_classes
+    )
+
+    _train_steps(eager_model, x, y, lr=lr, steps=1)  # warmup
+    eager_s = _train_steps(eager_model, x, y, lr=lr, steps=steps)
+
+    compiled_model = vit_tiny(num_classes=num_classes, seed=seed)
+    step = compile_model_step(compiled_model, x, y)
+    vm = step.make_vm()
+
+    def one_compiled_step() -> None:
+        _, grads = step.run_step(vm, compiled_model, x, y)
+        for (li, key), g in zip(step.param_index, grads):
+            param = compiled_model.layers[li].params[key]
+            param.data = param.data - lr * g
+
+    one_compiled_step()  # warmup
+    start = time.perf_counter()
+    for _ in range(steps):
+        one_compiled_step()
+    compiled_s = time.perf_counter() - start
+
+    return {
+        "eager_step_ms": eager_s / steps * 1e3,
+        "compiled_step_ms": compiled_s / steps * 1e3,
+        "compile_speedup": eager_s / compiled_s,
+        "steps": steps,
+        "batch_size": batch_size,
+    }
+
+
 def bench_serve_throughput(
     tenants: int = 2,
     clients: int = 200,
@@ -351,6 +406,13 @@ def run_perf_suite(
         f"{fl['sequential_simulated_s']:.2f}s -> {fl['parallel_simulated_s']:.2f}s "
         f"({fl['simulated_speedup']:.2f}x)"
     )
+    say("timing vit_tiny train-step (eager vs graph-compiled) ...")
+    transformer = bench_transformer_step(steps=2 if quick else 5)
+    say(
+        f"  eager {transformer['eager_step_ms']:.1f} ms/step, "
+        f"compiled {transformer['compiled_step_ms']:.1f} ms/step "
+        f"({transformer['compile_speedup']:.2f}x)"
+    )
     say("timing coordinator-service load (2 tenants) ...")
     serve = bench_serve_throughput(
         clients=100 if quick else 200,
@@ -366,6 +428,7 @@ def run_perf_suite(
         "cpu_count": os.cpu_count(),
         "conv_step": conv,
         "fl_round": fl,
+        "transformer": transformer,
         "serve": serve,
         "workspace": workspace.stats(),
         "obs_metrics": registry.snapshot(),

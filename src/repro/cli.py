@@ -30,9 +30,30 @@ from .bench.experiments import (
 )
 from .bench.reference import TABLE5_DYNAMIC, TABLE5_STATIC, TABLE6_STATIC
 from .bench.tables import format_comparison, layers_label, print_table
-from .core import DarknetzPolicy, DynamicPolicy, NoProtection, StaticPolicy
+from .core import (
+    DarknetzPolicy,
+    DynamicPolicy,
+    NoProtection,
+    PeltaPolicy,
+    StaticPolicy,
+    policy_from_spec,
+)
 from .nn import lenet5
 from .tee import CostModel
+
+MODEL_CHOICES = ("lenet5", "alexnet", "mlp", "vit_tiny", "gpt_tiny")
+
+
+def _zoo_model(name: str, seed: int = 0, num_classes: int = 10):
+    """Build a model-zoo entry by CLI name."""
+    from . import nn as _nn
+
+    if name not in MODEL_CHOICES:
+        raise ValueError(f"unknown model {name!r}; expected one of {MODEL_CHOICES}")
+    factory = getattr(_nn, name)
+    if name == "mlp":
+        return factory(num_classes=num_classes, input_shape=(6,), seed=seed)
+    return factory(num_classes=num_classes, seed=seed)
 
 __all__ = ["main"]
 
@@ -172,6 +193,86 @@ def _cmd_summary(args: argparse.Namespace) -> Optional[dict]:
     if payload is not None:
         payload = {**payload, "command": "summary"}
     return payload
+
+
+def _cmd_blocks(args: argparse.Namespace) -> Optional[dict]:
+    """Attack sweep over transformer block-shielding policies.
+
+    Audits a transformer from the model zoo under no protection, per-block
+    static Pelta shielding, all-blocks static shielding, and a moving
+    window over block positions — reporting each attack's score next to
+    the policy's cost-model footprint, the static-vs-moving-window
+    trade-off of §8 recast with attention blocks as the protection unit.
+    """
+    from .attacks.suite import AttackSuite
+    from . import nn as _nn
+
+    entry = getattr(_nn, args.model)
+    factory = lambda num_classes, seed: entry(  # noqa: E731
+        num_classes=num_classes, seed=seed
+    )
+    model = factory(10, args.seed + 1)
+    layout = model.layout()
+    blocks = layout.block_names()
+    roles = tuple(r for r in args.roles.split(",") if r) if args.roles else None
+
+    policies = [("none", NoProtection(layout))]
+    for block in blocks:
+        policies.append(
+            (f"static {block}", PeltaPolicy(layout, blocks=[block], roles=roles))
+        )
+    policies.append(("static all-blocks", PeltaPolicy(layout, roles=roles)))
+    size = args.mw_size
+    positions = len(blocks) - size + 1
+    policies.append(
+        (
+            f"MW={size}",
+            PeltaPolicy(
+                layout,
+                roles=roles,
+                size_mw=size,
+                v_mw=(1.0 / positions,) * positions,
+                seed=args.seed + 3,
+            ),
+        )
+    )
+
+    suite = AttackSuite(seed=args.seed, fast=args.fast, model_factory=factory)
+    cost_model = CostModel(batch_size=args.batch_size)
+    results, lines = [], []
+    for label, policy in policies:
+        report = suite.audit(policy)
+        if args.dpia:
+            report.verdicts["DPIA"] = suite.audit_dpia(policy, cycles=args.rounds)
+        cost = cost_model.cycle_cost(model, policy.layers_for_cycle(0))
+        scores = {
+            name: float(verdict.result.score)
+            for name, verdict in report.verdicts.items()
+        }
+        results.append(
+            {
+                "label": label,
+                "policy": policy.describe(),
+                "protected": sorted(policy.layers_for_cycle(0)),
+                "scores": scores,
+                "secure": report.secure,
+                **_cost_dict(cost),
+            }
+        )
+        pretty = " ".join(f"{k}={v:7.3f}" for k, v in scores.items())
+        lines.append(
+            f"  {label:<20} {pretty}  {cost.tee_memory_mib:5.3f} MiB  "
+            f"{'SECURE' if report.secure else 'not secure'}"
+        )
+    print_table(f"Block shielding sweep ({args.model}, batch {args.batch_size})", lines)
+    return {
+        "command": "blocks",
+        "model": args.model,
+        "roles": list(roles or PeltaPolicy.DEFAULT_ROLES),
+        "mw_size": size,
+        "seed": args.seed,
+        "rows": results,
+    }
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -349,9 +450,23 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
             counters_path=os.path.join(args.state_dir, "counters.json"),
         )
 
+    model = _zoo_model(args.model, seed=args.seed) if args.model else None
+    policy = None
+    if args.policy:
+        from .nn import mlp
+
+        # The policy needs the layout of whatever model the simulator will
+        # run, so replicate its default when --model wasn't given.
+        target = model or mlp(
+            num_classes=4, input_shape=(6,), hidden=(8, 5), seed=args.seed
+        )
+        policy = policy_from_spec(args.policy, target.layout(), seed=args.seed)
+
     with fresh(clock=VirtualClock()) as ctx:
         simulator = FLSimulator(
             config,
+            model=model,
+            policy=policy,
             fault_plan=FaultPlan(
                 rates,
                 seed=args.seed,
@@ -511,6 +626,7 @@ _COMMANDS = {
     "fig6": (_cmd_fig6, "MIA AUC vs protected layers"),
     "fig8": (_cmd_fig8, "GradSec vs DarkneTZ comparison"),
     "summary": (_cmd_summary, "headline comparison (Table 1 flavour)"),
+    "blocks": (_cmd_blocks, "attack sweep over transformer block-shielding policies"),
 }
 
 
@@ -554,6 +670,30 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--batch-size", type=int, default=32, help="batch size")
         sub.add_argument("--seed", type=int, default=0, help="experiment seed")
         sub.add_argument("--out", default=None, help="write result rows as JSON here")
+        if name == "blocks":
+            sub.add_argument(
+                "--model",
+                default="vit_tiny",
+                choices=["vit_tiny", "gpt_tiny"],
+                help="transformer zoo entry to audit",
+            )
+            sub.add_argument(
+                "--mw-size",
+                type=int,
+                default=1,
+                help="moving-window width in blocks",
+            )
+            sub.add_argument(
+                "--roles",
+                default=None,
+                help="comma-separated sublayer roles to shield per block "
+                "(default: the Pelta set ln1,softmax,ln2)",
+            )
+            sub.add_argument(
+                "--dpia",
+                action="store_true",
+                help="also run the multi-cycle DPIA pipeline per policy",
+            )
     perf = subparsers.add_parser(
         "perf", help="fused-kernel and parallel-round microbenchmarks"
     )
@@ -607,6 +747,20 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--clients", type=int, default=100, help="fleet size")
     simulate.add_argument("--rounds", type=int, default=5, help="FL rounds")
     simulate.add_argument("--seed", type=int, default=0, help="simulation seed")
+    simulate.add_argument(
+        "--model",
+        default=None,
+        choices=list(MODEL_CHOICES),
+        help="client model architecture (default: the simulator's small MLP)",
+    )
+    simulate.add_argument(
+        "--policy",
+        default=None,
+        metavar="SPEC",
+        help="protection policy spec: none, static:SEL+SEL, darknetz:SEL, "
+        "mw:K, pelta, pelta:BLOCK, pelta-mw:K (e.g. "
+        "--model vit_tiny --policy pelta-mw:1)",
+    )
     simulate.add_argument(
         "--cohort", type=int, default=None, help="updates aggregated per round"
     )

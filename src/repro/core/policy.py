@@ -1,7 +1,9 @@
-"""Layer-protection policies.
+"""Layer-protection policies over structured layer addressing.
 
-A policy decides which layer indices (1-based, ``L1..Ln``) are shielded in
-the enclave during each FL cycle:
+A policy decides which layers are shielded in the enclave during each FL
+cycle.  The canonical addressing unit is a :class:`LayerRef` — a typed
+reference carrying the paper's 1-based index plus optional ``block``/``role``
+structure for transformer models — resolved against a :class:`ModelLayout`:
 
 * :class:`StaticPolicy` — GradSec's static mode (§7.1): a fixed set of
   layers, possibly **non-contiguous** (up to two separate slices, per the
@@ -9,31 +11,222 @@ the enclave during each FL cycle:
 * :class:`DynamicPolicy` — GradSec's dynamic mode (§7.2): a moving window
   of ``size_mw`` successive layers whose position is drawn each cycle from
   the probability vector ``V_MW``.
+* :class:`PeltaPolicy` — Pelta-style block shielding for transformers: the
+  protection unit is a structured sublayer set (by default the softmax and
+  layernorms of a block), either as a fixed set of blocks or as a moving
+  window over block positions.
 * :class:`DarknetzPolicy` — the DarkneTZ baseline: exactly one contiguous
   slice; requesting non-successive layers is a hard error, which is the
   limitation GradSec removes.
 * :class:`NoProtection` — the unprotected baseline.
+
+Policies accept layer selectors in four spellings — a :class:`LayerRef`, a
+:class:`BlockSelector`, a string (``"L2"``, ``"block2"``,
+``"block2.softmax"``), or a legacy raw integer index.  The integer path is an
+exactly-equivalent compatibility shim: it produces bitwise-identical
+``layers_for_cycle`` schedules and emits a :class:`DeprecationWarning`.
+Whatever the spelling, ``layers_for_cycle`` always returns a
+``FrozenSet[int]`` of 1-based indices, so every downstream consumer (cost
+model, leakage ledger, planner, shielded runtime) is spelling-agnostic.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 __all__ = [
     "PolicyError",
+    "LayerRef",
+    "BlockSelector",
+    "ModelLayout",
+    "flat_layout",
     "ProtectionPolicy",
     "NoProtection",
     "StaticPolicy",
     "DarknetzPolicy",
     "DynamicPolicy",
+    "PeltaPolicy",
+    "policy_from_spec",
     "contiguous_slices",
+    "structured_slices",
 ]
 
 
 class PolicyError(ValueError):
     """A protection policy was configured outside its legal envelope."""
+
+
+@dataclass(frozen=True)
+class LayerRef:
+    """Typed reference to one shieldable layer.
+
+    ``index`` is the paper's 1-based position.  Flat conv/fc layers carry
+    only a name (``"L2"``); transformer sublayers additionally carry the
+    ``block``/``role`` pair that makes them addressable as a structured
+    protection unit (``block2.softmax``).
+    """
+
+    index: int
+    name: str = ""
+    block: Optional[str] = None
+    role: Optional[str] = None
+
+    def __lt__(self, other: "LayerRef") -> bool:
+        return self.index < other.index
+
+    def __repr__(self) -> str:  # compact, address-first
+        return f"LayerRef({self.name or self.index!r}@{self.index})"
+
+
+@dataclass(frozen=True)
+class BlockSelector:
+    """Select sublayers of one named block, optionally filtered by role.
+
+    ``BlockSelector("block2")`` addresses the whole block;
+    ``BlockSelector("block2", roles=("softmax", "ln1", "ln2"))`` addresses
+    the Pelta protection unit inside it.
+    """
+
+    block: str
+    roles: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "roles", tuple(self.roles))
+
+
+# Selector spellings a policy accepts for one-or-more layers.
+Selector = Union[int, str, LayerRef, BlockSelector]
+
+
+class ModelLayout:
+    """The addressable layer structure of one model.
+
+    An ordered list of :class:`LayerRef` with consecutive 1-based indices;
+    the resolver that turns any selector spelling into concrete refs lives
+    here, so policies stay pure schedule logic.
+    """
+
+    def __init__(self, refs: Sequence[LayerRef]) -> None:
+        refs = tuple(refs)
+        if not refs:
+            raise PolicyError("a layout needs at least one layer")
+        for position, ref in enumerate(refs, start=1):
+            if ref.index != position:
+                raise PolicyError(
+                    f"layout indices must be consecutive from 1; "
+                    f"position {position} holds index {ref.index}"
+                )
+        self.refs = refs
+        self._by_name: Dict[str, LayerRef] = {}
+        self._blocks: Dict[str, List[LayerRef]] = {}
+        for ref in refs:
+            if ref.name:
+                self._by_name.setdefault(ref.name, ref)
+            if ref.block is not None:
+                self._blocks.setdefault(ref.block, []).append(ref)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.refs)
+
+    def __len__(self) -> int:
+        return len(self.refs)
+
+    def __iter__(self) -> Iterator[LayerRef]:
+        return iter(self.refs)
+
+    def ref(self, index: int) -> LayerRef:
+        """The ref at a 1-based index."""
+        if not 1 <= int(index) <= len(self.refs):
+            raise PolicyError(
+                f"layer index {index} outside 1..{len(self.refs)}"
+            )
+        return self.refs[int(index) - 1]
+
+    def blocks(self) -> Dict[str, Tuple[LayerRef, ...]]:
+        """Named blocks in model order, each a tuple of its sublayer refs."""
+        return {name: tuple(refs) for name, refs in self._blocks.items()}
+
+    def block_names(self) -> List[str]:
+        return list(self._blocks)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def of(cls, model) -> "ModelLayout":
+        """Read the layout off a :class:`repro.nn.model.Sequential`.
+
+        Layers exposing ``block``/``role`` attributes (the transformer
+        sublayers) become structured refs; everything else stays flat.
+        """
+        refs = [
+            LayerRef(
+                index=i,
+                name=layer.name or f"L{i}",
+                block=getattr(layer, "block", None),
+                role=getattr(layer, "role", None),
+            )
+            for i, layer in enumerate(model.layers, start=1)
+        ]
+        return cls(refs)
+
+    # -- resolution ------------------------------------------------------
+    def resolve(self, spec: Selector) -> Tuple[LayerRef, ...]:
+        """Resolve one selector spelling to concrete refs (in model order)."""
+        if isinstance(spec, LayerRef):
+            ref = self.ref(spec.index)
+            for attr in ("name", "block", "role"):
+                want = getattr(spec, attr)
+                if want and want != getattr(ref, attr):
+                    raise PolicyError(
+                        f"stale LayerRef: {spec!r} does not match this "
+                        f"layout's {ref!r}"
+                    )
+            return (ref,)
+        if isinstance(spec, BlockSelector):
+            if spec.block not in self._blocks:
+                raise PolicyError(
+                    f"unknown block {spec.block!r}; "
+                    f"layout has {self.block_names() or 'no blocks'}"
+                )
+            refs = self._blocks[spec.block]
+            if spec.roles:
+                picked = [r for r in refs if r.role in spec.roles]
+                missing = set(spec.roles) - {r.role for r in picked}
+                if missing:
+                    raise PolicyError(
+                        f"block {spec.block!r} has no role(s) {sorted(missing)}"
+                    )
+                return tuple(picked)
+            return tuple(refs)
+        if isinstance(spec, str):
+            if spec in self._by_name:
+                return (self._by_name[spec],)
+            if spec in self._blocks:
+                return tuple(self._blocks[spec])
+            if "." in spec:
+                block, role = spec.split(".", 1)
+                return self.resolve(BlockSelector(block, roles=(role,)))
+            raise PolicyError(
+                f"unknown layer address {spec!r}; "
+                f"expected a layer name, block name, or 'block.role'"
+            )
+        if isinstance(spec, (int, np.integer)) and not isinstance(spec, bool):
+            return (self.ref(int(spec)),)
+        raise PolicyError(f"cannot resolve layer selector {spec!r}")
+
+
+def flat_layout(num_layers: int) -> ModelLayout:
+    """The unstructured layout of an ``n``-layer model: refs ``L1..Ln``."""
+    if num_layers <= 0:
+        raise PolicyError("num_layers must be positive")
+    return ModelLayout(
+        [LayerRef(index=i, name=f"L{i}") for i in range(1, int(num_layers) + 1)]
+    )
 
 
 def contiguous_slices(layers: Sequence[int]) -> List[Tuple[int, int]]:
@@ -53,13 +246,68 @@ def contiguous_slices(layers: Sequence[int]) -> List[Tuple[int, int]]:
     return slices
 
 
-class ProtectionPolicy:
-    """Base class: maps an FL cycle number to a set of protected layers."""
+def structured_slices(refs: Sequence[LayerRef]) -> List[Tuple[LayerRef, ...]]:
+    """Group refs into protection units over the *block* structure.
 
-    def __init__(self, num_layers: int) -> None:
-        if num_layers <= 0:
-            raise PolicyError("num_layers must be positive")
-        self.num_layers = int(num_layers)
+    One unit is either (a) all selected sublayers of one named block —
+    regardless of flat adjacency, the enclave provisions a block as one
+    structured region — or (b) a maximal run of flat-adjacent block-less
+    refs.  Block boundaries always split, even when the flat indices touch:
+    two attention blocks are two units.  For fully flat layouts this reduces
+    exactly to :func:`contiguous_slices`.
+    """
+    ordered = sorted(set(refs))
+    units: List[Tuple[LayerRef, ...]] = []
+    current: List[LayerRef] = []
+    for ref in ordered:
+        if current:
+            prev = current[-1]
+            same_block = ref.block is not None and ref.block == prev.block
+            flat_run = (
+                ref.block is None
+                and prev.block is None
+                and ref.index == prev.index + 1
+            )
+            if same_block or flat_run:
+                current.append(ref)
+                continue
+            units.append(tuple(current))
+        current = [ref]
+    if current:
+        units.append(tuple(current))
+    return units
+
+
+_LEGACY_INDEX_MESSAGE = (
+    "constructing protection policies from raw integer layer indices is "
+    "deprecated; address layers with LayerRef / BlockSelector / "
+    "'name' / 'block.role' selectors instead"
+)
+
+
+class ProtectionPolicy:
+    """Base class: maps an FL cycle number to a set of protected layers.
+
+    The first constructor argument is the model's :class:`ModelLayout` (or a
+    model exposing ``.layers``, or — the legacy spelling — a bare layer
+    count, which gets the flat ``L1..Ln`` layout).
+    """
+
+    def __init__(self, layout: Union[int, ModelLayout, object]) -> None:
+        if isinstance(layout, ModelLayout):
+            self.layout = layout
+        elif isinstance(layout, (int, np.integer)) and not isinstance(layout, bool):
+            if layout <= 0:
+                raise PolicyError("num_layers must be positive")
+            self.layout = flat_layout(int(layout))
+        elif hasattr(layout, "layers"):
+            self.layout = ModelLayout.of(layout)
+        else:
+            raise PolicyError(
+                f"expected a ModelLayout, a model, or a layer count; "
+                f"got {layout!r}"
+            )
+        self.num_layers = self.layout.num_layers
 
     def layers_for_cycle(self, cycle: int) -> FrozenSet[int]:
         raise NotImplementedError
@@ -80,6 +328,18 @@ class ProtectionPolicy:
                 )
         return layer_set
 
+    def _resolve_selectors(self, layers: Sequence[Selector]) -> FrozenSet[LayerRef]:
+        """Resolve mixed selector spellings; warn once on the legacy path."""
+        refs: List[LayerRef] = []
+        legacy = False
+        for spec in layers:
+            if isinstance(spec, (int, np.integer)) and not isinstance(spec, bool):
+                legacy = True
+            refs.extend(self.layout.resolve(spec))
+        if legacy:
+            warnings.warn(_LEGACY_INDEX_MESSAGE, DeprecationWarning, stacklevel=3)
+        return frozenset(refs)
+
 
 class NoProtection(ProtectionPolicy):
     """Train fully in the normal world (the paper's baseline row)."""
@@ -99,23 +359,35 @@ class StaticPolicy(ProtectionPolicy):
 
     Parameters
     ----------
-    num_layers:
-        Depth of the model.
+    layout:
+        The model's :class:`ModelLayout` (or a model, or a layer count).
     layers:
-        1-based indices to shield every cycle.
+        Selectors for the layers to shield every cycle — refs, block
+        selectors, address strings, or legacy 1-based indices.
     max_slices:
-        Maximum number of separate contiguous runs (the paper supports "one
-        or two separate slices"); pass ``None`` to lift the restriction.
+        Maximum number of separate protection units (the paper supports
+        "one or two separate slices").  Units are counted over the *block*
+        structure (see :func:`structured_slices`): a whole attention block
+        is one unit, but two blocks are two units even when their flat
+        indices are adjacent.  Pass ``None`` to lift the restriction.
     """
 
-    def __init__(self, num_layers: int, layers: Sequence[int], max_slices: int | None = 2) -> None:
-        super().__init__(num_layers)
-        self.layers = self._check_range(layers)
+    def __init__(
+        self,
+        layout: Union[int, ModelLayout, object],
+        layers: Sequence[Selector],
+        max_slices: int | None = 2,
+    ) -> None:
+        super().__init__(layout)
+        self.layer_refs = self._resolve_selectors(layers)
+        self.layers = frozenset(ref.index for ref in self.layer_refs)
+        self.units = structured_slices(self.layer_refs)
         self.slices = contiguous_slices(self.layers)
-        if max_slices is not None and len(self.slices) > max_slices:
+        if max_slices is not None and len(self.units) > max_slices:
+            pretty = ["+".join(r.name or str(r.index) for r in u) for u in self.units]
             raise PolicyError(
                 f"static GradSec supports at most {max_slices} slices, "
-                f"got {len(self.slices)}: {self.slices}"
+                f"got {len(self.units)}: {pretty}"
             )
 
     def layers_for_cycle(self, cycle: int) -> FrozenSet[int]:
@@ -125,7 +397,8 @@ class StaticPolicy(ProtectionPolicy):
         return [self.layers]
 
     def describe(self) -> str:
-        pretty = "+".join(f"L{i}" for i in sorted(self.layers)) or "none"
+        ordered = sorted(self.layer_refs)
+        pretty = "+".join(ref.name or f"L{ref.index}" for ref in ordered) or "none"
         return f"static GradSec [{pretty}]"
 
 
@@ -137,14 +410,19 @@ class DarknetzPolicy(ProtectionPolicy):
     is exactly the capability gap Table 1 quantifies.
     """
 
-    def __init__(self, num_layers: int, layers: Sequence[int]) -> None:
-        super().__init__(num_layers)
-        self.layers = self._check_range(layers)
-        slices = contiguous_slices(self.layers)
-        if len(slices) > 1:
+    def __init__(
+        self,
+        layout: Union[int, ModelLayout, object],
+        layers: Sequence[Selector],
+    ) -> None:
+        super().__init__(layout)
+        self.layer_refs = self._resolve_selectors(layers)
+        self.layers = frozenset(ref.index for ref in self.layer_refs)
+        self.units = structured_slices(self.layer_refs)
+        if len(self.units) > 1:
             raise PolicyError(
                 "DarkneTZ can only protect successive layers; "
-                f"{sorted(self.layers)} spans {len(slices)} separate slices "
+                f"{sorted(self.layers)} spans {len(self.units)} separate slices "
                 "(use StaticPolicy for non-contiguous protection)"
             )
 
@@ -155,7 +433,8 @@ class DarknetzPolicy(ProtectionPolicy):
         return [self.layers]
 
     def describe(self) -> str:
-        pretty = "+".join(f"L{i}" for i in sorted(self.layers)) or "none"
+        ordered = sorted(self.layer_refs)
+        pretty = "+".join(ref.name or f"L{ref.index}" for ref in ordered) or "none"
         return f"DarkneTZ [{pretty}]"
 
 
@@ -164,8 +443,8 @@ class DynamicPolicy(ProtectionPolicy):
 
     Parameters
     ----------
-    num_layers:
-        Depth of the model.
+    layout:
+        The model's :class:`ModelLayout` (or a model, or a layer count).
     size_mw:
         Number of successive layers shielded each cycle.
     v_mw:
@@ -184,13 +463,14 @@ class DynamicPolicy(ProtectionPolicy):
 
     def __init__(
         self,
-        num_layers: int,
+        layout: Union[int, ModelLayout, object],
         size_mw: int,
         v_mw: Sequence[float],
         seed: int = 0,
         rng: np.random.Generator | None = None,
     ) -> None:
-        super().__init__(num_layers)
+        super().__init__(layout)
+        num_layers = self.num_layers
         if not 1 <= size_mw <= num_layers:
             raise PolicyError(f"size_mw must be in 1..{num_layers}, got {size_mw}")
         self.size_mw = int(size_mw)
@@ -237,3 +517,224 @@ class DynamicPolicy(ProtectionPolicy):
     def describe(self) -> str:
         probs = ", ".join(f"{p:.2f}" for p in self.v_mw)
         return f"dynamic GradSec [MW={self.size_mw}, V_MW=({probs})]"
+
+
+class PeltaPolicy(ProtectionPolicy):
+    """Pelta-style block shielding: the protection unit is an attention block.
+
+    Within each selected block the shielded sublayers are the ``roles``
+    (default: the Pelta set — ``ln1``, ``softmax``, ``ln2``: the layers
+    whose intermediate values drive transformer gradient inversion).
+
+    Two modes, mirroring static vs dynamic GradSec:
+
+    * **static** (``v_mw is None``): a fixed set of ``blocks`` (default:
+      every block) is shielded each cycle.
+    * **moving window** (``v_mw`` given): each cycle a window of ``size_mw``
+      consecutive blocks is drawn from the probability vector ``v_mw`` —
+      the same deterministic ``(seed, cycle)`` draw as
+      :class:`DynamicPolicy`, but over block positions instead of layer
+      positions.
+
+    Parameters
+    ----------
+    layout:
+        A :class:`ModelLayout` (or model) with named blocks.
+    blocks:
+        Block selectors for static mode: names (``"block2"``) or 1-based
+        block positions.  ``None`` selects all blocks.
+    roles:
+        Sublayer roles shielded within each selected block.
+    size_mw, v_mw, seed:
+        Moving-window mode over block positions (see above).
+    """
+
+    DEFAULT_ROLES: Tuple[str, ...] = ("ln1", "softmax", "ln2")
+
+    def __init__(
+        self,
+        layout: Union[ModelLayout, object],
+        blocks: Optional[Sequence[Union[str, int]]] = None,
+        roles: Optional[Sequence[str]] = None,
+        size_mw: Optional[int] = None,
+        v_mw: Optional[Sequence[float]] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(layout)
+        names = self.layout.block_names()
+        if not names:
+            raise PolicyError(
+                "PeltaPolicy needs a layout with named blocks; "
+                "this model has none (use StaticPolicy/DynamicPolicy)"
+            )
+        self.block_names = names
+        self.roles = tuple(roles) if roles is not None else self.DEFAULT_ROLES
+        self.seed = int(seed)
+
+        if v_mw is None:
+            if size_mw is not None:
+                raise PolicyError("size_mw without v_mw; pass both for a moving window")
+            self.size_mw = None
+            self.v_mw = None
+            chosen = names if blocks is None else [self._block_name(b) for b in blocks]
+            self.blocks = tuple(dict.fromkeys(chosen))  # dedupe, keep order
+            self._static_set = self._indices_for_blocks(self.blocks)
+        else:
+            if blocks is not None:
+                raise PolicyError("blocks and v_mw are mutually exclusive modes")
+            self.size_mw = int(size_mw) if size_mw is not None else 1
+            if not 1 <= self.size_mw <= len(names):
+                raise PolicyError(
+                    f"size_mw must be in 1..{len(names)}, got {self.size_mw}"
+                )
+            expected = len(names) - self.size_mw + 1
+            v = np.asarray(v_mw, dtype=np.float64)
+            if v.shape != (expected,):
+                raise PolicyError(
+                    f"V_MW must have {expected} entries for size_mw="
+                    f"{self.size_mw} over {len(names)} blocks, got {v.shape}"
+                )
+            if (v < 0).any() or abs(v.sum() - 1.0) > 1e-9:
+                raise PolicyError("V_MW entries must be non-negative and sum to 1")
+            self.v_mw = v
+            self.blocks = tuple(names)
+            self._static_set = None
+
+    # -- helpers ---------------------------------------------------------
+    def _block_name(self, spec: Union[str, int]) -> str:
+        if isinstance(spec, str):
+            if spec not in self.layout.blocks():
+                raise PolicyError(
+                    f"unknown block {spec!r}; layout has {self.block_names}"
+                )
+            return spec
+        position = int(spec)
+        if not 1 <= position <= len(self.block_names):
+            raise PolicyError(
+                f"block position {position} outside 1..{len(self.block_names)}"
+            )
+        return self.block_names[position - 1]
+
+    def _indices_for_blocks(self, blocks: Sequence[str]) -> FrozenSet[int]:
+        refs: List[LayerRef] = []
+        for block in blocks:
+            refs.extend(self.layout.resolve(BlockSelector(block, roles=self.roles)))
+        return frozenset(ref.index for ref in refs)
+
+    @property
+    def block_windows(self) -> List[Tuple[str, ...]]:
+        """All moving-window positions as tuples of block names."""
+        if self.v_mw is None:
+            return [self.blocks]
+        return [
+            tuple(self.block_names[start : start + self.size_mw])
+            for start in range(len(self.block_names) - self.size_mw + 1)
+        ]
+
+    def window_for_cycle(self, cycle: int) -> Tuple[str, ...]:
+        """Blocks shielded during ``cycle`` (deterministic)."""
+        if self.v_mw is None:
+            return self.blocks
+        rng = np.random.default_rng((self.seed, int(cycle)))
+        position = rng.choice(len(self.v_mw), p=self.v_mw)
+        return self.block_windows[int(position)]
+
+    # -- policy interface ------------------------------------------------
+    def layers_for_cycle(self, cycle: int) -> FrozenSet[int]:
+        if self._static_set is not None:
+            return self._static_set
+        return self._indices_for_blocks(self.window_for_cycle(cycle))
+
+    def all_possible_sets(self) -> List[FrozenSet[int]]:
+        if self._static_set is not None:
+            return [self._static_set]
+        return [
+            self._indices_for_blocks(window)
+            for window, p in zip(self.block_windows, self.v_mw)
+            if p > 0
+        ]
+
+    def expected_protection(self) -> np.ndarray:
+        """Per-layer probability of being protected in a random cycle."""
+        out = np.zeros(self.num_layers)
+        if self._static_set is not None:
+            for index in self._static_set:
+                out[index - 1] = 1.0
+            return out
+        for window, p in zip(self.block_windows, self.v_mw):
+            for index in self._indices_for_blocks(window):
+                out[index - 1] += p
+        return out
+
+    def describe(self) -> str:
+        roles = ",".join(self.roles)
+        if self._static_set is not None:
+            return f"Pelta [{'+'.join(self.blocks)}: {roles}]"
+        probs = ", ".join(f"{p:.2f}" for p in self.v_mw)
+        return f"Pelta MW [size={self.size_mw}, roles={roles}, V_MW=({probs})]"
+
+
+def policy_from_spec(spec: str, layout: Union[int, ModelLayout, object], seed: int = 0) -> ProtectionPolicy:
+    """Build a policy from a compact CLI-style spec string.
+
+    Grammar (``layout`` is a :class:`ModelLayout`, a model, or a depth)::
+
+        none                        no protection
+        static:SEL[+SEL...]         StaticPolicy over selectors (names,
+                                    blocks, block.role, or legacy indices)
+        darknetz:SEL[+SEL...]       DarknetzPolicy over selectors
+        mw:K                        DynamicPolicy, uniform window of K layers
+        pelta                       PeltaPolicy, every block, default roles
+        pelta:BLOCK[+BLOCK...]      PeltaPolicy over named blocks
+        pelta-mw:K                  PeltaPolicy moving window of K blocks
+
+    Dynamic modes draw their windows from ``seed``.
+    """
+    if not isinstance(layout, ModelLayout):
+        layout = (
+            flat_layout(layout) if isinstance(layout, int) else ModelLayout.of(layout)
+        )
+    text = str(spec).strip()
+    head, _, rest = text.partition(":")
+    selectors: List[Selector] = [
+        int(part) if part.isdigit() else part
+        for part in rest.split("+")
+        if part
+    ]
+    if head in ("", "none"):
+        return NoProtection(layout)
+    if head == "static":
+        if not selectors:
+            raise PolicyError("static policy spec needs selectors, e.g. static:L2+L5")
+        return StaticPolicy(layout, selectors, max_slices=None)
+    if head == "darknetz":
+        if not selectors:
+            raise PolicyError("darknetz policy spec needs selectors, e.g. darknetz:4")
+        return DarknetzPolicy(layout, selectors)
+    if head == "mw":
+        size = int(rest or 1)
+        positions = layout.num_layers - size + 1
+        if positions < 1:
+            raise PolicyError(
+                f"window of {size} does not fit a {layout.num_layers}-layer model"
+            )
+        return DynamicPolicy(
+            layout, size, (1.0 / positions,) * positions, seed=seed
+        )
+    if head == "pelta":
+        return PeltaPolicy(layout, blocks=selectors or None)
+    if head == "pelta-mw":
+        size = int(rest or 1)
+        positions = len(layout.block_names()) - size + 1
+        if positions < 1:
+            raise PolicyError(
+                f"block window of {size} does not fit "
+                f"{len(layout.block_names())} blocks"
+            )
+        return PeltaPolicy(
+            layout, size_mw=size, v_mw=(1.0 / positions,) * positions, seed=seed
+        )
+    raise PolicyError(
+        f"unknown policy spec {spec!r}; expected none, static:…, darknetz:…, "
+        "mw:K, pelta, pelta:…, or pelta-mw:K"
+    )

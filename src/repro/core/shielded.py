@@ -41,6 +41,17 @@ __all__ = ["GradSecTA", "ShieldedModel"]
 _FLOAT_BYTES = 4
 
 
+def _as_tuple(value):
+    """Normalise a single activation or a multi-stream tuple to a tuple.
+
+    Transformer sublayers pass residual streams between each other as
+    activation tuples; conv/fc layers pass single arrays.  Every boundary
+    crossing below is written over this normalised form, so both families
+    share one partitioned execution path.
+    """
+    return value if isinstance(value, tuple) else (value,)
+
+
 class GradSecTA(TrustedApplication):
     """The enclave side of GradSec.
 
@@ -56,7 +67,9 @@ class GradSecTA(TrustedApplication):
         self._pool = pool
         self._buffers: Dict[Tuple[int, str], ShieldedBuffer] = {}
         self._scratch: Dict[int, int] = {}  # layer index -> pool handle
-        self._forward_cache: Dict[Tuple[int, ...], Tuple[Tensor, Tensor]] = {}
+        self._forward_cache: Dict[
+            Tuple[int, ...], Tuple[Tuple[Tensor, ...], Tuple[Tensor, ...]]
+        ] = {}
         self._batch_size: Optional[int] = None
         self.register("protect", self._cmd_protect)
         self.register("provision", self._cmd_provision)
@@ -77,10 +90,14 @@ class GradSecTA(TrustedApplication):
             param.data = np.zeros_like(param.data)
 
     def _allocate_scratch(self, index: int, batch_size: int) -> None:
-        """Reserve enclave space for dW + A_{l-1} + Z_l + delta_l."""
+        """Reserve enclave space for dW + A_{l-1} + Z_l + delta_l.
+
+        Multi-stream layers charge every activation stream crossing the
+        enclave boundary (summed by ``input_elems``/``output_elems``).
+        """
         layer = self._layer(index)
-        in_elems = int(np.prod(layer.input_shape)) * batch_size
-        out_elems = int(np.prod(layer.output_shape)) * batch_size
+        in_elems = layer.input_elems() * batch_size
+        out_elems = layer.output_elems() * batch_size
         scratch_bytes = _FLOAT_BYTES * (layer.param_count + in_elems + 2 * out_elems)
         self._scratch[index] = self._pool.allocate(scratch_bytes)
 
@@ -124,28 +141,39 @@ class GradSecTA(TrustedApplication):
             self._scrub_normal_copy(index)
         self._batch_size = batch_size
 
-    def _cmd_forward_run(self, indices: Tuple[int, ...], x: np.ndarray) -> np.ndarray:
-        """Forward through a run of consecutive protected layers."""
-        in_tensor = Tensor(np.asarray(x), requires_grad=True)
-        out = in_tensor
+    def _cmd_forward_run(self, indices: Tuple[int, ...], x) -> np.ndarray:
+        """Forward through a run of consecutive protected layers.
+
+        ``x`` is one activation array or a tuple of stream arrays; the
+        return value mirrors the run's own output arity.
+        """
+        in_tensors = tuple(
+            Tensor(np.asarray(a), requires_grad=True) for a in _as_tuple(x)
+        )
+        out = in_tensors[0] if len(in_tensors) == 1 else in_tensors
         for index in indices:
             self._materialise(index)
             out = self._layer(index)(out)
         for index in indices:
             self._scrub_normal_copy(index)
-        self._forward_cache[tuple(indices)] = (in_tensor, out)
-        return out.data.copy()
+        outs = _as_tuple(out)
+        self._forward_cache[tuple(indices)] = (in_tensors, outs)
+        if len(outs) == 1:
+            return outs[0].data.copy()
+        return tuple(o.data.copy() for o in outs)
 
-    def _cmd_backward_run(
-        self, indices: Tuple[int, ...], gout: np.ndarray, lr: float
-    ) -> np.ndarray:
-        """Backward through a protected run; update weights in-enclave."""
+    def _cmd_backward_run(self, indices: Tuple[int, ...], gout, lr: float):
+        """Backward through a protected run; update weights in-enclave.
+
+        ``gout`` carries one seed per output stream; the returned input
+        gradient mirrors the run's input arity.
+        """
         cached = self._forward_cache.pop(tuple(indices), None)
         if cached is None:
             raise TEEError(
                 f"backward_run for {indices} without a preceding forward_run"
             )
-        in_tensor, out = cached
+        in_tensors, outs = cached
         # Re-materialise weights: the graph holds references to the param
         # tensors, whose data was scrubbed after forward.
         for index in indices:
@@ -156,15 +184,18 @@ class GradSecTA(TrustedApplication):
             for name in sorted(self._layer(index).params):
                 params.append(self._layer(index).params[name])
                 keys.append((index, name))
-        results = grad(out, [in_tensor] + params, grad_outputs=Tensor(np.asarray(gout)))
-        gin, param_grads = results[0], results[1:]
+        seeds = [Tensor(np.asarray(g)) for g in _as_tuple(gout)]
+        results = grad(list(outs), list(in_tensors) + params, grad_outputs=seeds)
+        gins, param_grads = results[: len(in_tensors)], results[len(in_tensors):]
         # SGD update inside the enclave (formula (1) of the paper).
         for (index, name), g in zip(keys, param_grads):
             param = self._layer(index).params[name]
             param.data = param.data - lr * g.data
         for index in indices:
             self._capture_and_scrub(index)
-        return gin.data.copy()
+        if len(gins) == 1:
+            return gins[0].data.copy()
+        return tuple(g.data.copy() for g in gins)
 
     def _cmd_export_weights(self, iopath: TrustedIOPath) -> bytes:
         """Seal the protected layers' current weights for the FL server."""
@@ -377,7 +408,9 @@ class ShieldedModel:
         runs = self._runs()
 
         # Forward: normal-world runs execute locally; protected runs via SMC.
-        activations: List[Optional[Tuple[Tensor, Tensor]]] = []
+        # ``current`` is one activation array or a tuple of stream arrays —
+        # transformer sublayers thread residual streams across boundaries.
+        activations: List[Optional[Tuple[Tuple[Tensor, ...], Tuple[Tensor, ...]]]] = []
         current = x
         for indices, is_protected in runs:
             if is_protected:
@@ -386,12 +419,19 @@ class ShieldedModel:
                 )
                 activations.append(None)
             else:
-                in_tensor = Tensor(current, requires_grad=True)
-                out = in_tensor
+                in_tensors = tuple(
+                    Tensor(a, requires_grad=True) for a in _as_tuple(current)
+                )
+                out = in_tensors[0] if len(in_tensors) == 1 else in_tensors
                 for index in indices:
                     out = self.model.layer(index)(out)
-                activations.append((in_tensor, out))
-                current = out.data
+                outs = _as_tuple(out)
+                activations.append((in_tensors, outs))
+                current = (
+                    outs[0].data
+                    if len(outs) == 1
+                    else tuple(o.data for o in outs)
+                )
 
         logits = Tensor(current, requires_grad=True)
         loss = F.cross_entropy(logits, Tensor(y_onehot))
@@ -409,7 +449,7 @@ class ShieldedModel:
                     lr=lr,
                 )
             else:
-                in_tensor, out = cached
+                in_tensors, outs = cached
                 params: List[Tensor] = []
                 keys: List[Tuple[int, str]] = []
                 for index in indices:
@@ -417,13 +457,21 @@ class ShieldedModel:
                     for name in sorted(layer.params):
                         params.append(layer.params[name])
                         keys.append((index, name))
-                results = grad(out, [in_tensor] + params, grad_outputs=Tensor(gout_data))
-                gin, param_grads = results[0], results[1:]
+                seeds = [Tensor(g) for g in _as_tuple(gout_data)]
+                results = grad(
+                    list(outs), list(in_tensors) + params, grad_outputs=seeds
+                )
+                gins = results[: len(in_tensors)]
+                param_grads = results[len(in_tensors):]
                 for (index, name), g in zip(keys, param_grads):
                     self._cycle_leakage.record_gradient(index, name, g.data)
                     param = self.model.layer(index).params[name]
                     param.data = param.data - lr * g.data
-                gout_data = gin.data
+                gout_data = (
+                    gins[0].data
+                    if len(gins) == 1
+                    else tuple(g.data for g in gins)
+                )
 
         if self.cost_model is not None:
             self._accrue_step_cost(x.shape[0])

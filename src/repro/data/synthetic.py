@@ -50,12 +50,22 @@ def class_prototypes(
     shape: Tuple[int, int, int] = (3, 32, 32),
     seed: int = 0,
 ) -> np.ndarray:
-    """Deterministic per-class prototype images in [0, 1]."""
-    c, h, w = shape
+    """Deterministic per-class prototype images in [0, 1].
+
+    ``shape`` is usually an image ``(C, H, W)``, but any rank works — a
+    transformer's ``(seq, vocab)`` grid is synthesized over an equivalent
+    channel/height/width canvas and reshaped back.
+    """
+    dims = tuple(int(d) for d in shape)
+    if len(dims) >= 2:
+        c = int(np.prod(dims[:-2])) if len(dims) > 2 else 1
+        h, w = dims[-2], dims[-1]
+    else:
+        c, h, w = 1, 1, dims[0]
     rng = np.random.default_rng(seed)
     protos = _smooth_patterns(num_classes, c, h, w, rng)
     protos = (protos - protos.min()) / (protos.max() - protos.min() + 1e-12)
-    return protos
+    return protos.reshape((num_classes,) + dims)
 
 
 def synthetic_cifar(
@@ -117,6 +127,8 @@ def synthetic_lfw(
     labels = rng.integers(0, num_classes, size=num_samples)
     properties = (rng.random(num_samples) < property_rate).astype(np.int64)
     x = protos[labels] + noise * rng.normal(size=(num_samples,) + tuple(shape))
-    x = x + property_strength * properties[:, None, None, None] * signature[None]
+    x = x + property_strength * properties.reshape(
+        (num_samples,) + (1,) * len(tuple(shape))
+    ) * signature[None]
     x = np.clip(x, 0.0, 1.0)
     return ArrayDataset(x, labels, num_classes, properties=properties, name=name)

@@ -170,6 +170,8 @@ def _build_kernel(node: Node):
         return (lambda a: np.broadcast_to(a, shape).copy()), False
     if op == "matmul":
         return (lambda a, b: a @ b), False
+    if op == "bmm":
+        return (lambda a, b: np.matmul(a, b)), False
     if op == "transpose":
         axes = tuple(p["axes"])
         return (lambda a: np.transpose(a, axes).copy()), False
@@ -490,6 +492,22 @@ class BatchedVM:
                 return np.stack(rows)
 
             return matmul, True
+        if op == "bmm":
+            a_b, b_b = in_flags
+
+            def bmm(a, b):
+                # Per-client 3-D products through the same np.matmul call the
+                # eager loop makes — a 4-D stacked matmul is not guaranteed
+                # bit-identical to it, a per-client loop is.
+                if a_b and b_b:
+                    rows = [np.matmul(a[i], b[i]) for i in range(a.shape[0])]
+                elif a_b:
+                    rows = [np.matmul(a[i], b) for i in range(a.shape[0])]
+                else:
+                    rows = [np.matmul(a, b[i]) for i in range(b.shape[0])]
+                return np.stack(rows)
+
+            return bmm, True
         raise GraphUnsupported(f"op {op!r} has no batched lifting rule")
 
     def run(self, inputs: Sequence[np.ndarray]) -> List[Any]:

@@ -5,6 +5,16 @@ Provides the layers, models, losses and optimisers that the GradSec core
 enclave.
 """
 
+from .attention import (
+    AttentionOutput,
+    AttentionSoftmax,
+    LayerNorm,
+    MLPBlock,
+    MeanPoolHead,
+    PatchEmbed,
+    QKVProjection,
+    TokenEmbed,
+)
 from .layers import ACTIVATIONS, Conv2D, Dense, Dropout, Flatten, Layer, MaxPool2D, SimpleRNN
 from .losses import CategoricalCrossEntropy, MeanSquaredError, one_hot
 from .model import Sequential
@@ -17,14 +27,16 @@ from .serialize import (
     weights_from_bytes,
     weights_to_bytes,
 )
-from .zoo import alexnet, lenet5, mlp
+from .zoo import alexnet, gpt_tiny, lenet5, mlp, vit_tiny
 
 __all__ = [
     "Layer", "Conv2D", "Dense", "Dropout", "MaxPool2D", "Flatten", "SimpleRNN",
     "ACTIVATIONS", "Sequential",
+    "PatchEmbed", "TokenEmbed", "LayerNorm", "QKVProjection",
+    "AttentionSoftmax", "AttentionOutput", "MLPBlock", "MeanPoolHead",
     "CategoricalCrossEntropy", "MeanSquaredError", "one_hot",
     "Optimizer", "SGD", "Adam",
     "weights_to_bytes", "weights_from_bytes", "save_weights", "load_weights",
     "flatten_weights", "unflatten_weights",
-    "lenet5", "alexnet", "mlp",
+    "lenet5", "alexnet", "mlp", "vit_tiny", "gpt_tiny",
 ]

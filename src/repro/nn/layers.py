@@ -50,6 +50,11 @@ class Layer:
         self.input_shape: Optional[Tuple[int, ...]] = None
         self.output_shape: Optional[Tuple[int, ...]] = None
         self.params: Dict[str, Tensor] = {}
+        # Structured-policy metadata: transformer sublayers set these so
+        # ``ModelLayout.of`` can address them as ``block.role``; conv/fc
+        # layers leave them None and stay flat-addressed.
+        self.block: Optional[str] = None
+        self.role: Optional[str] = None
 
     # -- lifecycle ------------------------------------------------------
     def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
@@ -104,17 +109,38 @@ class Layer:
         """Approximate forward-pass multiply-accumulate FLOPs per sample."""
         raise NotImplementedError
 
+    @staticmethod
+    def _signature_shapes(signature) -> Tuple[Tuple[int, ...], ...]:
+        """Normalise a shape-or-tuple-of-shapes signature to a shape tuple.
+
+        Single-tensor layers keep plain per-sample shapes like ``(3, 32, 32)``;
+        transformer sublayers that pass residual streams between each other
+        declare nested signatures like ``((T, D), (T, D))``.
+        """
+        if signature and isinstance(signature[0], (tuple, list)):
+            return tuple(tuple(s) for s in signature)
+        return (tuple(signature),)
+
+    def input_elems(self) -> int:
+        """Per-sample element count summed across all input streams."""
+        return int(sum(np.prod(s) for s in self._signature_shapes(self.input_shape)))
+
+    def output_elems(self) -> int:
+        """Per-sample element count summed across all output streams."""
+        return int(sum(np.prod(s) for s in self._signature_shapes(self.output_shape)))
+
     def tee_memory_bytes(self, batch_size: int) -> int:
         """Secure-memory footprint when this layer is shielded.
 
         Accounts for ``W + dW + A_{l-1} + Z_l + delta_l`` in float32, which
         reproduces the paper's per-layer TEE memory numbers (Table 6) from
-        shapes alone.
+        shapes alone.  Multi-stream layers charge the summed element count of
+        every activation stream crossing the enclave boundary.
         """
         if not self.built:
             raise RuntimeError(f"layer {self.name!r} not built")
-        in_elems = int(np.prod(self.input_shape)) * batch_size
-        out_elems = int(np.prod(self.output_shape)) * batch_size
+        in_elems = self.input_elems() * batch_size
+        out_elems = self.output_elems() * batch_size
         weights = self.param_count
         return _FLOAT_BYTES * (2 * weights + in_elems + 2 * out_elems)
 

@@ -76,6 +76,17 @@ class Sequential:
             raise IndexError(f"layer index {index} outside 1..{len(self.layers)}")
         return self.layers[index - 1]
 
+    def layout(self):
+        """Structured addressing view of this model's layers.
+
+        Returns the :class:`repro.core.policy.ModelLayout` that lets
+        protection policies address layers by name, block, or
+        ``block.role`` selector instead of a raw 1-based index.
+        """
+        from ..core.policy import ModelLayout
+
+        return ModelLayout.of(self)
+
     def summary(self) -> str:
         """Table-4-style architecture description."""
         rows = [f"{self.name} (input {self.input_shape})"]

@@ -13,12 +13,22 @@ split), which is all the protection policies care about.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
-from .layers import Conv2D, Dense
+from .attention import (
+    AttentionOutput,
+    AttentionSoftmax,
+    LayerNorm,
+    MLPBlock,
+    MeanPoolHead,
+    PatchEmbed,
+    QKVProjection,
+    TokenEmbed,
+)
+from .layers import Conv2D, Dense, Layer
 from .model import Sequential
 
-__all__ = ["lenet5", "alexnet", "mlp"]
+__all__ = ["lenet5", "alexnet", "mlp", "vit_tiny", "gpt_tiny"]
 
 
 def _scaled(value: int, scale: float, minimum: int = 1) -> int:
@@ -90,3 +100,88 @@ def mlp(
     ]
     layers.append(Dense(num_classes, activation="linear", name=f"L{len(hidden) + 1}"))
     return Sequential(layers, input_shape, seed=seed, name="mlp")
+
+
+def _transformer_blocks(num_blocks: int, hidden: int) -> List[Layer]:
+    """The six flat sublayers of each pre-LN transformer block."""
+    layers: List[Layer] = []
+    for i in range(1, num_blocks + 1):
+        block = f"block{i}"
+        layers.extend(
+            [
+                LayerNorm(
+                    carry_residual=True,
+                    name=f"{block}.ln1",
+                    block=block,
+                    role="ln1",
+                ),
+                QKVProjection(name=f"{block}.qkv", block=block, role="qkv"),
+                AttentionSoftmax(
+                    name=f"{block}.softmax", block=block, role="softmax"
+                ),
+                AttentionOutput(
+                    name=f"{block}.attn_out", block=block, role="attn_out"
+                ),
+                LayerNorm(
+                    carry_residual=True,
+                    name=f"{block}.ln2",
+                    block=block,
+                    role="ln2",
+                ),
+                MLPBlock(
+                    hidden=hidden, name=f"{block}.mlp", block=block, role="mlp"
+                ),
+            ]
+        )
+    return layers
+
+
+def vit_tiny(
+    num_classes: int = 10,
+    input_shape: Sequence[int] = (3, 32, 32),
+    dim: int = 16,
+    patch: int = 8,
+    num_blocks: int = 2,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Sequential:
+    """Tiny vision transformer: patch embed, pre-LN blocks, mean-pool head.
+
+    Each block is six flat, individually shieldable sublayers (see
+    :mod:`repro.nn.attention`), so protection policies can address e.g.
+    ``block2.softmax`` — the Pelta protection unit — exactly as they address
+    ``L2`` in the conv zoo.  ``scale`` shrinks the embedding width for
+    CI-speed runs while preserving the block structure.
+    """
+    d = max(4, int(round(dim * scale)))
+    d -= d % 2  # keep the width even so QKV splits cleanly
+    layers: List[Layer] = [PatchEmbed(d, patch, name="embed")]
+    layers.extend(_transformer_blocks(num_blocks, hidden=2 * d))
+    layers.append(LayerNorm(carry_residual=False, name="ln_f"))
+    layers.append(MeanPoolHead(num_classes, name="head"))
+    return Sequential(layers, input_shape, seed=seed, name="vit_tiny")
+
+
+def gpt_tiny(
+    num_classes: int = 10,
+    input_shape: Sequence[int] = (12, 32),
+    dim: int = 16,
+    num_blocks: int = 2,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Sequential:
+    """Tiny GPT-style sequence classifier over one-hot token rows.
+
+    Input is ``(T, V)`` per sample — a length-``T`` sequence of one-hot (or
+    soft) rows over a ``V``-symbol vocabulary — embedded with a learned
+    projection + positional table, run through pre-LN attention blocks, and
+    mean-pooled into a class score.  Same six-sublayer block structure as
+    :func:`vit_tiny`.
+    """
+    d = max(4, int(round(dim * scale)))
+    d -= d % 2
+    layers: List[Layer] = [TokenEmbed(d, name="embed")]
+    layers.extend(_transformer_blocks(num_blocks, hidden=2 * d))
+    layers.append(LayerNorm(carry_residual=False, name="ln_f"))
+    layers.append(MeanPoolHead(num_classes, name="head"))
+    return Sequential(layers, input_shape, seed=seed, name="gpt_tiny")

@@ -19,6 +19,7 @@ class TestSurface:
             "simulate",
             "serve",
             "run_experiment",
+            "attack_suite",
             "ServerConfig",
             "RoundConfig",
             "ShardingConfig",
@@ -28,6 +29,16 @@ class TestSurface:
             "ReputationConfig",
             "ReputationTracker",
             "RULES",
+            "ProtectionPolicy",
+            "NoProtection",
+            "StaticPolicy",
+            "DarknetzPolicy",
+            "DynamicPolicy",
+            "PeltaPolicy",
+            "LayerRef",
+            "BlockSelector",
+            "ModelLayout",
+            "policy_from_spec",
         }
         for name in api.__all__:
             assert hasattr(api, name)

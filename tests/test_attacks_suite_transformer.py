@@ -1,0 +1,161 @@
+"""Attack suite over transformer workloads and block policies.
+
+The suite's ``model_factory`` swaps the paper's LeNet-5 reference victim
+for a zoo transformer; every attack (DRIA, MIA, DPIA) must run against
+block-structured policies, and the ``repro.api.attack_suite`` facade and
+``repro blocks`` CLI sweep must surface the same numbers JSON-safely.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.attacks.suite import AttackSuite
+from repro.cli import main
+from repro.core.policy import NoProtection, PeltaPolicy, StaticPolicy
+from repro.nn import vit_tiny
+
+
+def _factory(num_classes, seed):
+    return vit_tiny(num_classes=num_classes, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return vit_tiny(num_classes=10, seed=1).layout()
+
+
+class TestSuiteOnTransformer:
+    def test_audit_runs_under_block_policies(self, layout):
+        suite = AttackSuite(fast=True, model_factory=_factory)
+        for policy in (
+            NoProtection(layout),
+            PeltaPolicy(layout),
+            PeltaPolicy(layout, size_mw=1, v_mw=(0.5, 0.5), seed=2),
+        ):
+            report = suite.audit(policy)
+            assert set(report.verdicts) == {"DRIA", "MIA"}
+            for verdict in report.verdicts.values():
+                assert np.isfinite(verdict.result.score) or verdict.result.score == float("inf")
+
+    def test_depth_mismatch_rejected(self):
+        suite = AttackSuite(fast=True, model_factory=_factory)
+        with pytest.raises(ValueError, match="15"):
+            suite.audit(NoProtection(5))
+
+    def test_dpia_runs_on_transformer(self, layout):
+        suite = AttackSuite(fast=True, model_factory=_factory)
+        verdict = suite.audit_dpia(PeltaPolicy(layout), cycles=6)
+        assert verdict.result.attack == "DPIA"
+        assert 0.0 <= verdict.result.score <= 1.0
+
+    def test_default_suite_unchanged(self):
+        """No factory: the LeNet-5 reference path is bitwise untouched."""
+        a = AttackSuite(fast=True).audit(NoProtection(5))
+        b = AttackSuite(fast=True, model_factory=None).audit(NoProtection(5))
+        for name in a.verdicts:
+            assert a.verdicts[name].result.score == b.verdicts[name].result.score
+
+    def test_protection_reduces_mia_leakage_surface(self, layout):
+        suite = AttackSuite(fast=True, model_factory=_factory)
+        none = suite.audit(NoProtection(layout))
+        pelta = suite.audit(PeltaPolicy(layout))
+        # Protected sets are reflected in the verdict rows.
+        assert none.verdicts["MIA"].result.protected == frozenset()
+        assert pelta.verdicts["MIA"].result.protected == frozenset(
+            {2, 4, 6, 8, 10, 12}
+        )
+
+
+class TestFacade:
+    def test_attack_suite_payload(self):
+        payload = api.attack_suite("vit_tiny", fast=True)
+        assert payload["model"] == "vit_tiny"
+        assert set(payload["attacks"]) == {"DRIA", "MIA"}
+        json.dumps(payload)  # JSON-safe
+
+    def test_policy_threads_through(self, layout):
+        payload = api.attack_suite(
+            "vit_tiny", StaticPolicy(layout, ["block2.softmax"]), fast=True
+        )
+        assert payload["attacks"]["MIA"]["protected"] == [10]
+        assert "block2.softmax" in payload["policy"]
+
+    def test_callable_factory_and_default_model(self):
+        custom = api.attack_suite(_factory, fast=True)
+        assert custom["model"] == "custom"
+        reference = api.attack_suite(fast=True)
+        assert reference["model"] == "lenet5"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            api.attack_suite("resnet50", fast=True)
+
+    def test_run_experiment_blocks(self, capsys):
+        payload = api.run_experiment("blocks", fast=True)
+        labels = [row["label"] for row in payload["rows"]]
+        assert labels[0] == "none"
+        assert any(label.startswith("MW=") for label in labels)
+        assert "Block shielding sweep" in capsys.readouterr().out
+
+
+class TestCliBlocks:
+    def test_blocks_command_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "blocks.json"
+        assert (
+            main(
+                [
+                    "blocks",
+                    "--fast",
+                    "--model",
+                    "vit_tiny",
+                    "--mw-size",
+                    "1",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["command"] == "blocks"
+        rows = {row["label"]: row for row in payload["rows"]}
+        assert set(rows) >= {"none", "static block1", "static block2", "MW=1"}
+        # Cost rows ride along: protection costs secure memory.
+        assert rows["static all-blocks"]["tee_memory_mib"] > rows["none"]["tee_memory_mib"]
+        assert rows["none"]["tee_memory_mib"] == 0.0
+
+    def test_simulate_accepts_model_and_policy(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--clients",
+                    "6",
+                    "--rounds",
+                    "2",
+                    "--model",
+                    "vit_tiny",
+                    "--policy",
+                    "pelta-mw:1",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["totals"]["rounds"] == 2
+
+    def test_simulate_policy_spec_changes_cost(self, capsys):
+        main(["simulate", "--clients", "4", "--rounds", "1", "--seed", "3"])
+        base = json.loads(capsys.readouterr().out)
+        main(
+            [
+                "simulate",
+                "--clients", "4", "--rounds", "1", "--seed", "3",
+                "--policy", "static:2",
+            ]
+        )
+        protected = json.loads(capsys.readouterr().out)
+        assert protected["virtual_seconds"] != base["virtual_seconds"]

@@ -30,6 +30,11 @@ def _payload(**overrides):
             "commits_per_wall_second": 100.0,
             "dispatches_per_wall_second": 4000.0,
         },
+        "transformer": {
+            "eager_step_ms": 5.0,
+            "compiled_step_ms": 1.5,
+            "compile_speedup": 3.3,
+        },
     }
     for dotted, value in overrides.items():
         section, metric = dotted.split(".")
@@ -77,7 +82,7 @@ class TestComparePayloads:
         del baseline["fl_round"]
         rows = compare_payloads(_payload(), baseline)
         sections = {row["metric"].split(".")[0] for row in rows}
-        assert sections == {"conv_step", "serve"}
+        assert sections == {"conv_step", "serve", "transformer"}
 
     def test_threshold_is_adjustable(self):
         current = _payload(**{"conv_step.fused_step_ms": 2.2})

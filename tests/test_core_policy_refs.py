@@ -1,0 +1,204 @@
+"""Structured protection-policy addressing (LayerRef / BlockSelector).
+
+Covers the redesigned selector surface: canonical refs, block selectors,
+``block.role`` strings, the legacy integer-index shim (deprecation + exact
+schedule equivalence), structured slice envelopes, and the spec-string
+parser used by the CLI.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    BlockSelector,
+    DynamicPolicy,
+    LayerRef,
+    ModelLayout,
+    NoProtection,
+    PeltaPolicy,
+    PolicyError,
+    StaticPolicy,
+    flat_layout,
+    policy_from_spec,
+    structured_slices,
+)
+from repro.nn import lenet5, vit_tiny
+
+
+@pytest.fixture(scope="module")
+def vit_layout():
+    return vit_tiny(num_classes=10, seed=0).layout()
+
+
+class TestModelLayout:
+    def test_of_model_reads_blocks_and_roles(self, vit_layout):
+        assert vit_layout.num_layers == 15
+        assert vit_layout.block_names() == ["block1", "block2"]
+        ref = vit_layout.ref(4)
+        assert ref.name == "block1.softmax"
+        assert ref.block == "block1"
+        assert ref.role == "softmax"
+
+    def test_flat_layout_has_no_blocks(self):
+        layout = flat_layout(5)
+        assert layout.block_names() == []
+        assert [r.name for r in layout] == ["L1", "L2", "L3", "L4", "L5"]
+
+    def test_resolve_name_block_and_role(self, vit_layout):
+        assert [r.index for r in vit_layout.resolve("block2.softmax")] == [10]
+        assert [r.index for r in vit_layout.resolve("block1")] == [2, 3, 4, 5, 6, 7]
+        sel = BlockSelector("block2", roles=("ln1", "ln2"))
+        assert [r.index for r in vit_layout.resolve(sel)] == [8, 12]
+
+    def test_resolve_unknown_selector_raises(self, vit_layout):
+        with pytest.raises(PolicyError):
+            vit_layout.resolve("block9.softmax")
+        with pytest.raises(PolicyError):
+            vit_layout.resolve(BlockSelector("block1", roles=("conv",)))
+
+    def test_resolve_out_of_range_index(self, vit_layout):
+        with pytest.raises(PolicyError, match="outside"):
+            vit_layout.resolve(99)
+
+
+class TestLegacyIntShim:
+    """Raw integer indices keep working, warn, and schedule identically."""
+
+    def test_static_int_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="LayerRef"):
+            StaticPolicy(5, [2, 5])
+
+    def test_named_construction_does_not_warn(self, vit_layout):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            StaticPolicy(vit_layout, ["block1.softmax"])
+            PeltaPolicy(vit_layout)
+            NoProtection(vit_layout)
+
+    def test_static_schedules_bitwise_identical(self, vit_layout):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = StaticPolicy(vit_layout, [4, 6], max_slices=None)
+        named = StaticPolicy(
+            vit_layout, ["block1.softmax", "block1.ln2"], max_slices=None
+        )
+        for cycle in range(8):
+            assert legacy.layers_for_cycle(cycle) == named.layers_for_cycle(cycle)
+        assert legacy.all_possible_sets() == named.all_possible_sets()
+        assert legacy.describe() == named.describe()
+
+    def test_dynamic_layout_vs_int_bitwise_identical(self):
+        v_mw = (0.2, 0.1, 0.6, 0.1)
+        a = DynamicPolicy(5, 2, v_mw, seed=3)
+        b = DynamicPolicy(flat_layout(5), 2, v_mw, seed=3)
+        draws_a = [a.layers_for_cycle(c) for c in range(64)]
+        draws_b = [b.layers_for_cycle(c) for c in range(64)]
+        assert draws_a == draws_b
+
+
+class TestStructuredSlices:
+    def test_flat_refs_reduce_to_contiguous_runs(self):
+        layout = flat_layout(6)
+        refs = [layout.ref(i) for i in (1, 2, 4)]
+        units = structured_slices(refs)
+        assert [[r.index for r in unit] for unit in units] == [[1, 2], [4]]
+
+    def test_block_is_one_unit_even_when_non_adjacent(self, vit_layout):
+        # ln1 (2) and ln2 (6) of block1 are flat-non-adjacent but one unit.
+        refs = [vit_layout.ref(2), vit_layout.ref(6)]
+        assert len(structured_slices(refs)) == 1
+
+    def test_adjacent_blocks_are_two_units(self, vit_layout):
+        # L7 (block1.mlp) and L8 (block2.ln1) are flat-adjacent but belong
+        # to different blocks: the envelope must count two slices.
+        refs = [vit_layout.ref(7), vit_layout.ref(8)]
+        assert len(structured_slices(refs)) == 2
+
+
+class TestStaticEnvelope:
+    def test_two_blocks_fit_default_envelope(self, vit_layout):
+        policy = StaticPolicy(vit_layout, ["block1.mlp", "block2.ln1"])
+        assert policy.layers_for_cycle(0) == frozenset({7, 8})
+
+    def test_three_units_rejected(self, vit_layout):
+        with pytest.raises(PolicyError, match="slices"):
+            StaticPolicy(
+                vit_layout, ["embed", "block1.softmax", "block2.softmax"]
+            )
+
+    def test_conv_zoo_envelope_unchanged(self):
+        """Regression: flat conv models keep the paper's 2-slice rule."""
+        layout = lenet5().layout()
+        StaticPolicy(layout, ["L2", "L5"])  # 2 slices: fine
+        with pytest.raises(PolicyError, match="slices"):
+            StaticPolicy(layout, ["L1", "L3", "L5"])
+
+
+class TestPeltaPolicy:
+    def test_default_roles_static(self, vit_layout):
+        policy = PeltaPolicy(vit_layout)
+        assert policy.layers_for_cycle(0) == frozenset({2, 4, 6, 8, 10, 12})
+        assert policy.layers_for_cycle(7) == policy.layers_for_cycle(0)
+
+    def test_single_block_by_name_or_position(self, vit_layout):
+        by_name = PeltaPolicy(vit_layout, blocks=["block2"])
+        by_pos = PeltaPolicy(vit_layout, blocks=[2])
+        assert by_name.layers_for_cycle(0) == by_pos.layers_for_cycle(0)
+        assert by_name.layers_for_cycle(0) == frozenset({8, 10, 12})
+
+    def test_moving_window_draw_matches_dynamic_scheme(self, vit_layout):
+        policy = PeltaPolicy(vit_layout, size_mw=1, v_mw=(0.5, 0.5), seed=7)
+        expected_sets = [frozenset({2, 4, 6}), frozenset({8, 10, 12})]
+        for cycle in range(32):
+            drawn = policy.layers_for_cycle(cycle)
+            assert drawn in expected_sets
+            # Same (seed, cycle) keying as DynamicPolicy: redrawing is stable.
+            assert drawn == policy.layers_for_cycle(cycle)
+        assert sorted(policy.all_possible_sets(), key=sorted) == expected_sets
+
+    def test_expected_protection_sums_window_probs(self, vit_layout):
+        policy = PeltaPolicy(vit_layout, size_mw=1, v_mw=(0.25, 0.75), seed=0)
+        probs = policy.expected_protection()
+        assert probs[1] == pytest.approx(0.25)  # block1.ln1 (index 2)
+        assert probs[9] == pytest.approx(0.75)  # block2.softmax (index 10)
+        assert probs[0] == 0.0  # embed never protected
+
+    def test_modes_are_exclusive(self, vit_layout):
+        with pytest.raises(PolicyError, match="mutually exclusive"):
+            PeltaPolicy(vit_layout, blocks=["block1"], v_mw=(0.5, 0.5))
+        with pytest.raises(PolicyError, match="size_mw without v_mw"):
+            PeltaPolicy(vit_layout, size_mw=1)
+
+    def test_needs_named_blocks(self):
+        with pytest.raises(PolicyError, match="named blocks"):
+            PeltaPolicy(flat_layout(5))
+
+
+class TestPolicyFromSpec:
+    def test_specs_resolve(self, vit_layout):
+        cases = {
+            "none": frozenset(),
+            "static:block2.softmax+block2.ln2": frozenset({10, 12}),
+            "pelta": frozenset({2, 4, 6, 8, 10, 12}),
+            "pelta:block1": frozenset({2, 4, 6}),
+        }
+        for spec, expected in cases.items():
+            assert policy_from_spec(spec, vit_layout).layers_for_cycle(0) == expected
+
+    def test_mw_specs_are_seeded(self, vit_layout):
+        a = policy_from_spec("pelta-mw:1", vit_layout, seed=5)
+        b = policy_from_spec("pelta-mw:1", vit_layout, seed=5)
+        assert [a.layers_for_cycle(c) for c in range(16)] == [
+            b.layers_for_cycle(c) for c in range(16)
+        ]
+
+    def test_accepts_model_and_depth(self):
+        model = lenet5()
+        assert policy_from_spec("mw:2", model, seed=1).num_layers == 5
+        assert policy_from_spec("none", 5).num_layers == 5
+
+    def test_unknown_spec_rejected(self, vit_layout):
+        with pytest.raises(PolicyError, match="unknown policy spec"):
+            policy_from_spec("bogus:1", vit_layout)
