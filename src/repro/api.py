@@ -240,6 +240,10 @@ def serve(
     clip: bool = False,
     drift: float = 0.2,
     update_scale: float = 0.05,
+    chaos: bool = False,
+    chaos_rate: float = 0.1,
+    chaos_seed: int = 0,
+    breaker_budget: int = 0,
 ) -> dict:
     """Run the coordinator service under synthetic load; return its report.
 
@@ -256,9 +260,17 @@ def serve(
     top-k sparse frames and ``encoding`` picks the wire value dtype —
     at ``ratio=1.0`` with ``encoding="f64"`` the commits are
     bitwise-identical to the dense run.
+
+    With ``chaos=True`` every frame crosses a seeded fault-injecting
+    channel (drop / duplicate / reorder / corrupt / truncate / replay at
+    aggregate ``chaos_rate``) and the pipeline runs exactly-once: each
+    job's ``weights_sha256`` is bitwise identical to the ``chaos_rate=0``
+    run for any rate/seed, and the report gains a per-job ``transport``
+    section.  ``breaker_budget > 0`` arms the per-tenant circuit breaker
+    at that error budget.
     """
     from .obs import VirtualClock, fresh
-    from .serve import LoadSpec, ServeHarness, TenantQuota
+    from .serve import BreakerConfig, LoadSpec, ServeHarness, TenantQuota
 
     specs = [
         LoadSpec(
@@ -281,6 +293,9 @@ def serve(
             attack_strength=attack_strength,
             max_norm=max_norm,
             clip=clip,
+            chaos=chaos,
+            chaos_rate=chaos_rate if chaos else 0.0,
+            chaos_seed=chaos_seed,
         )
         for i in range(tenants)
     ]
@@ -290,6 +305,11 @@ def serve(
             workers=workers,
             quota=TenantQuota(max_queue_depth=max_queue_depth),
             clock=ctx.clock,
+            breaker=(
+                BreakerConfig(error_budget=breaker_budget)
+                if chaos and breaker_budget > 0
+                else None
+            ),
         ) as harness:
             return harness.run()
 

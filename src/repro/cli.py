@@ -509,9 +509,10 @@ def _cmd_serve(args: argparse.Namespace) -> None:
     import hashlib
 
     from .obs import VirtualClock, fresh, validate_metrics
-    from .serve import LoadSpec, ServeHarness, TenantQuota
+    from .serve import BreakerConfig, LoadSpec, ServeHarness, TenantQuota
     from .tee.storage import ReeFsBackend, SecureStorage
 
+    chaos = bool(getattr(args, "chaos", False))
     specs = [
         LoadSpec(
             tenant=f"tenant-{i}",
@@ -533,9 +534,17 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             attack_strength=args.attack_strength,
             max_norm=args.max_norm,
             clip=args.clip,
+            chaos=chaos,
+            chaos_rate=args.chaos_rate if chaos else 0.0,
+            chaos_seed=args.chaos_seed,
         )
         for i in range(args.tenants)
     ]
+    breaker = (
+        BreakerConfig(error_budget=args.chaos_breaker_budget)
+        if chaos and args.chaos_breaker_budget > 0
+        else None
+    )
     quota = TenantQuota(max_queue_depth=args.max_queue_depth)
     storage = None
     if args.state_dir:
@@ -559,18 +568,26 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             storage=storage,
             checkpoint_every=args.checkpoint_every,
             clock=ctx.clock,
+            breaker=breaker,
         ) as harness:
             harness.restore()
             report = harness.run()
-        validate_metrics(
-            ctx.registry.snapshot(),
-            required=(
-                "serve.jobs.active",
-                "serve.queue.depth",
-                "serve.backpressure.rejects",
-                "serve.worker.restarts",
-            ),
-        )
+        required = [
+            "serve.jobs.active",
+            "serve.queue.depth",
+            "serve.backpressure.rejects",
+            "serve.worker.restarts",
+        ]
+        if chaos:
+            required += [
+                "serve.transport.drops",
+                "serve.transport.duplicates",
+                "serve.transport.corrupt",
+                "serve.transport.retransmits",
+                "serve.transport.dedup.hits",
+                "serve.transport.breaker.trips",
+            ]
+        validate_metrics(ctx.registry.snapshot(), required=tuple(required))
     payload = {"schema": 1, "command": "serve", **report}
     text = json.dumps(payload, indent=2, sort_keys=True)
     if args.out:
@@ -997,6 +1014,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="events between checkpoints when --state-dir is set",
+    )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="route frames through the seeded chaos transport "
+        "(exactly-once delivery: committed weights stay bitwise identical "
+        "to a --chaos-rate 0 run for any rate/seed)",
+    )
+    serve.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.1,
+        help="aggregate per-send fault probability, split evenly across "
+        "drop/duplicate/reorder/corrupt/truncate/replay",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0, help="chaos fault-stream seed"
+    )
+    serve.add_argument(
+        "--chaos-breaker-budget",
+        type=int,
+        default=0,
+        help="malformed frames tolerated per tenant in a 30s sliding window "
+        "before the circuit breaker sheds it (0 = breaker off)",
     )
     serve.add_argument("--out", default=None, help="write the JSON report here")
     return parser

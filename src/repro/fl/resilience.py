@@ -65,6 +65,29 @@ class RetryPolicy:
         """Minimum deliveries for a cohort of ``cohort_size``."""
         return max(1, math.ceil(self.quorum * cohort_size))
 
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): ``base * 2**(a-1)``.
+
+        This is the single backoff schedule the whole codebase uses —
+        both :func:`collect_with_retries` (round-level client retries)
+        and the serve transport's ack-driven retransmission derive their
+        delays from it, so the two paths stay numerically identical for
+        the same policy.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return self.backoff_seconds * (2 ** (attempt - 1))
+
+    def bounded_backoff_for(self, attempt: int) -> float:
+        """:meth:`backoff_for` with the exponent capped at ``max_retries``.
+
+        Unbounded retransmission loops (exactly-once delivery must retry
+        until acknowledged) use this form: the delay grows exponentially
+        for the first ``max_retries`` attempts and then stays flat, so a
+        long outage never inflates the wait past the cap.
+        """
+        return self.backoff_for(min(max(attempt, 1), self.max_retries + 1))
+
 
 def collect_with_retries(
     executor: RoundExecutor,
@@ -94,7 +117,7 @@ def collect_with_retries(
         if not pending:
             break
         if attempt > 0:
-            backoff = policy.backoff_seconds * (2 ** (attempt - 1))
+            backoff = policy.backoff_for(attempt)
             for index in pending:
                 label = label_for(items[index]) if label_for else str(index)
                 registry.counter(

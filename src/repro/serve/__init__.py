@@ -27,6 +27,7 @@ long-running service layer:
 from .coordinator import (
     CommitEvent,
     Coordinator,
+    IngestResult,
     Job,
     JobState,
     PumpResult,
@@ -34,7 +35,15 @@ from .coordinator import (
     TenantQuota,
 )
 from .loadgen import LoadGenerator, LoadSpec, ServeHarness
+from .transport import (
+    BreakerConfig,
+    BreakerState,
+    ChaosChannel,
+    ChaosConfig,
+    TenantBreaker,
+)
 from .wire import (
+    AckMsg,
     ClientUpdateMsg,
     Encoding,
     FrameError,
@@ -44,10 +53,16 @@ from .wire import (
     WireVector,
     decode_frame,
     encode_frame,
+    verify_frame,
 )
 from .workers import ShardWorkerPool
 
 __all__ = [
+    "AckMsg",
+    "BreakerConfig",
+    "BreakerState",
+    "ChaosChannel",
+    "ChaosConfig",
     "CommitEvent",
     "ClientUpdateMsg",
     "Coordinator",
@@ -55,6 +70,7 @@ __all__ = [
     "encode_frame",
     "Encoding",
     "FrameError",
+    "IngestResult",
     "Job",
     "JobState",
     "LoadGenerator",
@@ -66,6 +82,8 @@ __all__ = [
     "ShardPartialMsg",
     "ShardWorkerPool",
     "SubmitResult",
+    "TenantBreaker",
     "TenantQuota",
+    "verify_frame",
     "WireVector",
 ]

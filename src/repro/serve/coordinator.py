@@ -59,7 +59,17 @@ from ..nn.serialize import (
 )
 from ..obs import get_registry, get_tracer
 from ..tee.storage import IntegrityError, RollbackError
-from .wire import ClientUpdateMsg, Encoding, WireVector, decode_frame, encode_frame
+from .transport import BreakerConfig, TenantBreaker
+from .wire import (
+    AckMsg,
+    ClientUpdateMsg,
+    Encoding,
+    FrameError,
+    WireVector,
+    decode_frame,
+    encode_frame,
+    verify_frame,
+)
 from .workers import ShardWorkerPool
 
 __all__ = [
@@ -68,6 +78,7 @@ __all__ = [
     "SubmitResult",
     "CommitEvent",
     "PumpResult",
+    "IngestResult",
     "Job",
     "Coordinator",
 ]
@@ -146,6 +157,25 @@ class PumpResult:
 
     commits: Tuple[CommitEvent, ...]
     rejected: Tuple[Tuple[int, str], ...]
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """What :meth:`Coordinator.ingest` did with one delivered frame.
+
+    ``status`` is one of ``accepted`` / ``duplicate`` / ``rejected:done``
+    / ``corrupt`` / ``shed`` / ``refused:*``.  ``ack`` is the
+    acknowledgement to send back (None for corrupt/shed/refused frames —
+    silence makes the client retransmit).  ``processed`` lists every
+    ``(seq, version_after)`` the in-order drain advanced past, and
+    ``pumped`` carries the commits/rejects those folds produced.
+    """
+
+    status: str
+    seq: Optional[int] = None
+    ack: Optional[AckMsg] = None
+    pumped: Optional[PumpResult] = None
+    processed: Tuple[Tuple[int, int], ...] = ()
 
 
 class _StreamingWindow:
@@ -344,6 +374,16 @@ class Job:
         self.rejects: Dict[str, int] = {}
         self.bytes_up = 0
         self.bytes_down = 0
+        # Exactly-once dedup ledger (chaos transport): ``cursor`` is the
+        # next transport seq to fold, ``stash`` the bounded reorder
+        # buffer of received-but-not-yet-in-order frames, ``terminal``
+        # the seqs acked ``rejected:done`` after the job finished.  A seq
+        # is a duplicate iff it is below the cursor, stashed, or
+        # terminal.  All three ride the checkpoint.
+        self.cursor = 0
+        self.stash: Dict[int, bytes] = {}
+        self.terminal: set = set()
+        self.transport: Dict[str, int] = {}
 
     @property
     def active(self) -> bool:
@@ -355,6 +395,9 @@ class Job:
 
     def _count_reject(self, reason: str) -> None:
         self.rejects[reason] = self.rejects.get(reason, 0) + 1
+
+    def _count_transport(self, reason: str) -> None:
+        self.transport[reason] = self.transport.get(reason, 0) + 1
 
     def _advance(self, flat: np.ndarray) -> None:
         self.version += 1
@@ -406,6 +449,15 @@ class Job:
             "reputation": None
             if self.reputation is None
             else self.reputation.state_dict(),
+            "transport": {
+                "cursor": self.cursor,
+                "stash": [
+                    [seq, base64.b64encode(self.stash[seq]).decode("ascii")]
+                    for seq in sorted(self.stash)
+                ],
+                "terminal": sorted(self.terminal),
+                "counters": dict(sorted(self.transport.items())),
+            },
         }
         return state
 
@@ -433,6 +485,17 @@ class Job:
         self.bytes_down = int(counters["bytes_down"])
         if self.reputation is not None and state["reputation"] is not None:
             self.reputation.load_state(state["reputation"])
+        transport = state.get("transport")
+        if transport is not None:
+            self.cursor = int(transport["cursor"])
+            self.stash = {
+                int(seq): base64.b64decode(frame)
+                for seq, frame in transport["stash"]
+            }
+            self.terminal = {int(seq) for seq in transport["terminal"]}
+            self.transport = {
+                k: int(v) for k, v in transport["counters"].items()
+            }
 
 
 class Coordinator:
@@ -454,10 +517,13 @@ class Coordinator:
         quota: Optional[TenantQuota] = None,
         quotas: Optional[Dict[str, TenantQuota]] = None,
         workers: int = 0,
+        breaker: Optional[BreakerConfig] = None,
     ) -> None:
         self.default_quota = quota or TenantQuota()
         self.quotas = dict(quotas or {})
         self.jobs: Dict[str, Job] = {}
+        self.breaker_config = breaker
+        self.breakers: Dict[str, TenantBreaker] = {}
         self.pool: Optional[ShardWorkerPool] = (
             ShardWorkerPool(workers) if workers > 0 else None
         )
@@ -483,6 +549,18 @@ class Coordinator:
         self._bytes_up = registry.counter("serve.bytes.up", "client→coordinator bytes")
         self._bytes_down = registry.counter(
             "serve.bytes.down", "coordinator→client bytes"
+        )
+        self._t_corrupt = registry.counter(
+            "serve.transport.corrupt", "frames rejected as malformed on ingest"
+        )
+        self._t_dedup = registry.counter(
+            "serve.transport.dedup.hits", "duplicate deliveries absorbed by the ledger"
+        )
+        self._t_shed = registry.counter(
+            "serve.transport.shed", "deliveries shed by an open tenant breaker"
+        )
+        self._t_trips = registry.counter(
+            "serve.transport.breaker.trips", "tenant circuit breakers tripped open"
         )
         self._jobs_gauge.set(0.0)
         self._queue_gauge.set(0.0)
@@ -586,6 +664,110 @@ class Coordinator:
         if job is not None:
             job._count_reject(reason)
         return SubmitResult(False, reason)
+
+    # -- chaos-transport ingest --------------------------------------------
+    def breaker_for(self, tenant: str) -> Optional[TenantBreaker]:
+        if self.breaker_config is None:
+            return None
+        breaker = self.breakers.get(tenant)
+        if breaker is None:
+            breaker = self.breakers[tenant] = TenantBreaker(self.breaker_config)
+        return breaker
+
+    def ingest(
+        self,
+        data: bytes,
+        *,
+        now: float = 0.0,
+        job_hint: Optional[str] = None,
+    ) -> IngestResult:
+        """Exactly-once ingest of one chaos-channel delivery.
+
+        Unlike :meth:`submit`, this path assumes a hostile wire: the
+        frame is CRC-verified first (malformed bytes are counted against
+        ``job_hint``'s tenant breaker and dropped without an ack), the
+        header dispatch id is run through the job's dedup ledger, and
+        accepted frames are stashed then folded strictly in seq order —
+        which makes the committed weights a pure function of the seq
+        prefix, bitwise independent of delivery order, duplication, or
+        retransmission timing.  Byte accounting happens at the channel
+        (every physical copy), never here.
+        """
+        try:
+            header = verify_frame(data)
+            if header.dispatch is None:
+                raise FrameError(
+                    "chaos ingest requires a v2 frame with a dispatch id"
+                )
+            message, _ = decode_frame(data)
+        except FrameError:
+            self._t_corrupt.inc()
+            job = self.jobs.get(job_hint) if job_hint is not None else None
+            if job is not None:
+                job._count_transport("corrupt")
+                breaker = self.breaker_for(job.tenant)
+                if breaker is not None and breaker.record_error(now):
+                    job._count_transport("breaker_trips")
+                    self._t_trips.inc(tenant=job.tenant)
+            return IngestResult("corrupt")
+        if not isinstance(message, ClientUpdateMsg):
+            return IngestResult("refused:msg_type")
+        job = self.jobs.get(message.job_id)
+        if job is None:
+            return IngestResult("refused:unknown_job")
+        seq = int(header.dispatch)
+        breaker = self.breaker_for(job.tenant)
+        if breaker is not None:
+            if not breaker.allow(now):
+                job._count_transport("shed")
+                self._t_shed.inc(tenant=job.tenant)
+                return IngestResult("shed", seq=seq)
+            breaker.record_ok(now)
+        if seq < job.cursor or seq in job.stash or seq in job.terminal:
+            job._count_transport("dedup_hits")
+            self._t_dedup.inc(tenant=job.tenant)
+            return IngestResult(
+                "duplicate",
+                seq=seq,
+                ack=AckMsg(job.job_id, seq, "duplicate"),
+            )
+        if job.state is JobState.DONE:
+            # Terminal: the job finished without this seq; remember it so
+            # replayed copies dedup, and tell the client to stop retrying.
+            job.terminal.add(seq)
+            job._count_transport("terminal")
+            return IngestResult(
+                "rejected:done",
+                seq=seq,
+                ack=AckMsg(job.job_id, seq, "rejected:done"),
+            )
+        if len(job.stash) >= job.quota.max_queue_depth:
+            self._backpressure.inc(tenant=job.tenant)
+            job._count_transport("refused")
+            return IngestResult("refused:backpressure", seq=seq)
+        job.stash[seq] = data
+        job._count_transport("inserts")
+        ack = AckMsg(job.job_id, seq, "accepted")
+        processed: List[Tuple[int, int]] = []
+        commits: List[CommitEvent] = []
+        rejected: List[Tuple[int, str]] = []
+        while job.cursor in job.stash and job.state is not JobState.DONE:
+            frame = job.stash.pop(job.cursor)
+            staged, _ = decode_frame(frame)
+            if job.state is JobState.RUNNING:
+                job.queue.append((frame, staged))
+                result = self.pump(job.job_id)
+                commits.extend(result.commits)
+                rejected.extend(result.rejected)
+            processed.append((job.cursor, job.version))
+            job.cursor += 1
+        return IngestResult(
+            "accepted",
+            seq=seq,
+            ack=ack,
+            pumped=PumpResult(tuple(commits), tuple(rejected)),
+            processed=tuple(processed),
+        )
 
     # -- processing --------------------------------------------------------
     def pump(self, job_id: Optional[str] = None) -> PumpResult:
@@ -720,12 +902,27 @@ class Coordinator:
         job.bytes_down += int(num_bytes)
         self._bytes_down.inc(int(num_bytes), tenant=job.tenant)
 
+    def charge_upload(self, job_id: str, num_bytes: int) -> None:
+        """Account uplink bytes put on the wire by a chaos channel.
+
+        Under chaos, bytes are charged per physical copy at send time
+        (originals, retransmits, channel-made duplicates) rather than at
+        receipt — the real cost of an unreliable uplink.
+        """
+        job = self.jobs[job_id]
+        job.bytes_up += int(num_bytes)
+        self._bytes_up.inc(int(num_bytes), tenant=job.tenant)
+
     # -- checkpoint / resume ----------------------------------------------
     def state_dict(self) -> Dict[str, object]:
         return {
             "schema": 1,
             "workers": self.workers,
             "jobs": [self.jobs[key].state_dict() for key in sorted(self.jobs)],
+            "breakers": {
+                tenant: self.breakers[tenant].state_dict()
+                for tenant in sorted(self.breakers)
+            },
         }
 
     def load_state(self, state: Dict[str, object]) -> None:
@@ -762,6 +959,11 @@ class Coordinator:
             )
             job.load_state(snapshot)
             self.jobs[job.job_id] = job
+        self.breakers = {}
+        for tenant, snapshot in state.get("breakers", {}).items():
+            breaker = self.breaker_for(tenant)
+            if breaker is not None:
+                breaker.load_state(snapshot)
         self._refresh_gauges()
 
     def checkpoint(self, storage) -> None:

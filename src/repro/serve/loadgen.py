@@ -22,6 +22,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -30,6 +31,7 @@ import numpy as np
 from ..fl.admission import AdmissionConfig
 from ..fl.compression import TopKCompressor
 from ..fl.config import BufferConfig, ShardingConfig
+from ..fl.resilience import RetryPolicy
 from ..nn.zoo import mlp
 from ..obs import VirtualClock, get_registry
 from ..sim.events import EventLoop
@@ -37,7 +39,16 @@ from ..sim.faults import FaultKind, FaultPlan, FaultRates
 from ..sim.network import NetworkModel
 from ..tee.storage import IntegrityError, RollbackError
 from .coordinator import TA_UUID, Coordinator, JobState, TenantQuota
-from .wire import ClientUpdateMsg, Encoding, WireVector, encode_frame
+from .transport import BreakerConfig, ChaosChannel, ChaosConfig
+from .wire import (
+    AckMsg,
+    ClientUpdateMsg,
+    Encoding,
+    FrameError,
+    WireVector,
+    decode_frame,
+    encode_frame,
+)
 
 __all__ = ["LoadSpec", "LoadGenerator", "ServeHarness"]
 
@@ -48,6 +59,9 @@ _STREAM_TRAITS = 9101
 _STREAM_TEACHER = 9102
 _STREAM_CLIENT = 9103
 _STREAM_UPDATE = 9104
+_STREAM_CHAOS_UP = 9105
+_STREAM_CHAOS_DOWN = 9106
+_STREAM_ACK_DELAY = 9107
 
 _ENCODINGS = {
     "f64": Encoding.F64,
@@ -88,6 +102,13 @@ class LoadSpec:
     attack_strength: float = 10.0
     max_norm: Optional[float] = None
     clip: bool = False
+    chaos: bool = False
+    chaos_rate: float = 0.0
+    chaos_seed: int = 0
+    reorder_window: float = 1.0
+    retransmit_timeout: float = 2.0
+    retry_backoff: float = 0.25
+    retry_cap: int = 5
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -103,6 +124,14 @@ class LoadSpec:
             )
         if self.ratio is not None and not 0.0 < self.ratio <= 1.0:
             raise ValueError("ratio must be in (0, 1]")
+        if not 0.0 <= self.chaos_rate <= 1.0:
+            raise ValueError("chaos_rate must be in [0, 1]")
+        if self.chaos_rate > 0.0 and not self.chaos:
+            raise ValueError("chaos_rate requires chaos=True")
+        if self.retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be positive")
+        if self.retry_cap < 0:
+            raise ValueError("retry_cap cannot be negative")
 
 
 class LoadGenerator:
@@ -167,10 +196,78 @@ class LoadGenerator:
         self.latencies: List[float] = []
         self._inflight: Dict[int, Dict[str, object]] = {}
         self._sent_at: Dict[int, float] = {}
+        self.chaos = spec.chaos
+        if spec.chaos:
+            # In-order folding needs every retained base version to stay
+            # within the staleness window: between building a frame for
+            # seq s (base = version after s - concurrency folds) and
+            # folding it, at most ceil(concurrency / buffer) commits can
+            # fire.  Refuse configs where stale rejects could ever fire —
+            # they would break the exactly-once weight invariant.
+            lag_needed = math.ceil(spec.concurrency / spec.buffer_size) + 1
+            if lag_needed > self.job.quota.max_version_lag:
+                raise ValueError(
+                    "chaos mode needs max_version_lag >= "
+                    f"ceil(concurrency/buffer_size)+1 = {lag_needed}, got "
+                    f"{self.job.quota.max_version_lag}"
+                )
+            self.policy = RetryPolicy(
+                max_retries=spec.retry_cap,
+                backoff_seconds=spec.retry_backoff,
+            )
+            chaos_config = ChaosConfig.uniform(
+                spec.chaos_rate, reorder_window=spec.reorder_window
+            )
+            self.uplink = ChaosChannel(
+                chaos_config,
+                seed=spec.chaos_seed,
+                stream=_STREAM_CHAOS_UP,
+                loop=loop,
+                deliver=self._deliver_uplink,
+                charge=lambda n: coordinator.charge_upload(spec.job_id, n),
+            )
+            self.downlink = ChaosChannel(
+                chaos_config,
+                seed=spec.chaos_seed,
+                stream=_STREAM_CHAOS_DOWN,
+                loop=loop,
+                deliver=self._receive_ack,
+                charge=lambda n: coordinator.charge_download(spec.job_id, n),
+            )
+            self._retransmit_counter = get_registry().counter(
+                "serve.transport.retransmits", "frames retransmitted after timeout"
+            )
+            self.next_seq = 0
+            # version_history[p] = the job's model version after the first
+            # p seqs were folded — a pure function of the seq prefix, so
+            # frame contents never depend on chaos timing.
+            self.version_history: List[int] = [0]
+            self.unacked: Dict[int, Dict[str, object]] = {}
+            self.retransmits = 0
+            self.acks = 0
+            self.corrupt_acks = 0
+            self.ack_index = 0
+            # Every armed retransmit timer, including ones that will fire
+            # as no-ops because the ack beat them: they must replay after
+            # a restore too, or the resumed run's event count drifts.
+            self._timers: Dict[int, List[float]] = {}
+            self._next_timer = 0
 
     # -- dispatching -------------------------------------------------------
     def fill(self) -> None:
         """Top the in-flight pipeline back up to ``spec.concurrency``."""
+        if self.chaos:
+            # Gate on the coordinator's cursor: at most ``concurrency``
+            # seqs may be unfolded at once, which bounds the reorder
+            # stash AND guarantees version_history already holds the
+            # base version every new frame needs.
+            job = self.coordinator.jobs[self.spec.job_id]
+            while (
+                not self.done
+                and self.next_seq - job.cursor < self.spec.concurrency
+            ):
+                self._dispatch_chaos()
+            return
         while not self.done and len(self._inflight) < self.spec.concurrency:
             self._dispatch_next()
 
@@ -206,8 +303,149 @@ class LoadGenerator:
         self._sent_at[dispatch] = sent_at
         self.loop.schedule_at(arrival, lambda d=dispatch: self._arrive(d))
 
+    def _dispatch_chaos(self) -> None:
+        """Send the next update through the chaos uplink.
+
+        Client dropout consumes a dispatch draw but no transport seq, so
+        seqs stay contiguous over frames actually put on the wire — the
+        cursor never waits on a frame that was never sent, and the
+        dispatch→(client, fault) mapping matches the fault-free run.
+        """
+        spec = self.spec
+        dispatch = self.next_dispatch
+        self.next_dispatch += 1
+        client = int(
+            np.random.default_rng(
+                (spec.seed, _STREAM_CLIENT, dispatch)
+            ).integers(spec.clients)
+        )
+        fault = self.plan.fault_for(dispatch, client)
+        if fault in (FaultKind.DROP, FaultKind.FAIL_ATTESTATION):
+            self.drops += 1
+            return
+        seq = self.next_seq
+        self.next_seq += 1
+        base_version = self.version_history[max(0, seq - spec.concurrency)]
+        job = self.coordinator.jobs[spec.job_id]
+        frame = self._build_frame(
+            dispatch, client, base_version, job.versions[base_version], seq=seq
+        )
+        self.coordinator.charge_download(spec.job_id, self.download_bytes)
+        factor = self.plan.delay_factor(dispatch, client, spec.straggler_factor)
+        delay = (
+            self.network.transfer_seconds(client, self.download_bytes)
+            + self.network.transfer_seconds(client, len(frame))
+        ) * factor
+        self._sent_at[dispatch] = self.loop.now
+        self.unacked[seq] = {
+            "frame": frame,
+            "client": client,
+            "dispatch": dispatch,
+            "attempts": 0,
+            "next_at": 0.0,
+        }
+        self.uplink.send(frame, key=seq, attempt=0, delay=delay)
+        self._arm_retransmit(seq, 1)
+
+    def _arm_retransmit(self, seq: int, attempt: int) -> None:
+        info = self.unacked.get(seq)
+        if info is None:
+            return
+        wait = self.spec.retransmit_timeout + self.policy.bounded_backoff_for(
+            attempt
+        )
+        at = self.loop.now + wait
+        info["attempts"] = attempt
+        info["next_at"] = at
+        timer = self._next_timer
+        self._next_timer += 1
+        self._timers[timer] = [at, float(seq), float(attempt)]
+        self.loop.schedule_at(at, lambda t=timer: self._timer_fire(t))
+
+    def _timer_fire(self, timer: int) -> None:
+        entry = self._timers.pop(timer, None)
+        if entry is None:
+            return
+        _, seq, attempt = entry
+        self._retransmit(int(seq), int(attempt))
+
+    def _retransmit(self, seq: int, attempt: int) -> None:
+        info = self.unacked.get(seq)
+        if info is None:
+            return
+        if self.done:
+            # The job finished without this seq; nothing left to deliver.
+            self.unacked.pop(seq, None)
+            return
+        if info["attempts"] != attempt:
+            return  # a newer timer superseded this one
+        self.retransmits += 1
+        self._retransmit_counter.inc(job=self.spec.job_id)
+        factor = self.plan.delay_factor(
+            int(info["dispatch"]), int(info["client"]), self.spec.straggler_factor
+        )
+        delay = (
+            self.network.transfer_seconds(int(info["client"]), len(info["frame"]))
+            * factor
+        )
+        self.uplink.send(info["frame"], key=seq, attempt=attempt, delay=delay)
+        self._arm_retransmit(seq, attempt + 1)
+
+    def _deliver_uplink(self, data: bytes) -> None:
+        outcome = self.coordinator.ingest(
+            data, now=self.loop.now, job_hint=self.spec.job_id
+        )
+        if outcome.ack is not None:
+            self._send_ack(outcome.ack)
+        for seq, version_after in outcome.processed:
+            self.version_history.append(int(version_after))
+        if outcome.pumped is not None:
+            now = self.loop.now
+            for event in outcome.pumped.commits:
+                for committed in event.dispatches:
+                    sent = self._sent_at.pop(committed, None)
+                    if sent is not None:
+                        latency = now - sent
+                        self.latencies.append(latency)
+                        self._latency_hist.observe(latency, job=self.spec.job_id)
+            for rejected, _reason in outcome.pumped.rejected:
+                self._sent_at.pop(rejected, None)
+        job = self.coordinator.jobs[self.spec.job_id]
+        if job.state is JobState.DONE:
+            self.done = True
+        else:
+            self.fill()
+
+    def _send_ack(self, ack: AckMsg) -> None:
+        frame = encode_frame(ack)
+        index = self.ack_index
+        self.ack_index += 1
+        delay = float(
+            np.random.default_rng(
+                (self.spec.chaos_seed, _STREAM_ACK_DELAY, index)
+            ).uniform(0.005, 0.05)
+        )
+        self.downlink.send(frame, key=index, attempt=0, delay=delay)
+
+    def _receive_ack(self, data: bytes) -> None:
+        try:
+            message, _ = decode_frame(data)
+        except FrameError:
+            self.corrupt_acks += 1
+            return  # the retransmit timer covers a lost/corrupted ack
+        if not isinstance(message, AckMsg):
+            return
+        self.acks += 1
+        # Any ack — accepted, duplicate, or terminal — stops retransmission.
+        self.unacked.pop(int(message.dispatch), None)
+
     def _build_frame(
-        self, dispatch: int, client: int, base_version: int, base_flat: np.ndarray
+        self,
+        dispatch: int,
+        client: int,
+        base_version: int,
+        base_flat: np.ndarray,
+        seq: Optional[int] = None,
     ) -> bytes:
         spec = self.spec
         noise = np.random.default_rng(
@@ -228,7 +466,8 @@ class LoadGenerator:
                 base_version,
                 int(self.num_samples[client]),
                 vector,
-            )
+            ),
+            dispatch=seq,
         )
 
     # -- arrivals ----------------------------------------------------------
@@ -284,6 +523,42 @@ class LoadGenerator:
                 }
                 for dispatch, info in sorted(self._inflight.items())
             ],
+            **(
+                {
+                    "chaos": {
+                        "next_seq": self.next_seq,
+                        "version_history": list(self.version_history),
+                        "retransmits": self.retransmits,
+                        "acks": self.acks,
+                        "corrupt_acks": self.corrupt_acks,
+                        "ack_index": self.ack_index,
+                        "unacked": [
+                            {
+                                "seq": seq,
+                                "frame": base64.b64encode(
+                                    info["frame"]
+                                ).decode("ascii"),
+                                "client": info["client"],
+                                "dispatch": info["dispatch"],
+                                "attempts": info["attempts"],
+                                "next_at": info["next_at"],
+                            }
+                            for seq, info in sorted(self.unacked.items())
+                        ],
+                        "timers": [
+                            [timer, at, seq, attempt]
+                            for timer, (at, seq, attempt) in sorted(
+                                self._timers.items()
+                            )
+                        ],
+                        "next_timer": self._next_timer,
+                        "uplink": self.uplink.state_dict(),
+                        "downlink": self.downlink.state_dict(),
+                    }
+                }
+                if self.chaos
+                else {}
+            ),
         }
 
     def load_state(self, state: Dict[str, object]) -> None:
@@ -307,6 +582,31 @@ class LoadGenerator:
             }
             for entry in state["inflight"]
         }
+        if self.chaos:
+            chaos = state["chaos"]
+            self.next_seq = int(chaos["next_seq"])
+            self.version_history = [int(v) for v in chaos["version_history"]]
+            self.retransmits = int(chaos["retransmits"])
+            self.acks = int(chaos["acks"])
+            self.corrupt_acks = int(chaos["corrupt_acks"])
+            self.ack_index = int(chaos["ack_index"])
+            self.unacked = {
+                int(entry["seq"]): {
+                    "frame": base64.b64decode(entry["frame"]),
+                    "client": int(entry["client"]),
+                    "dispatch": int(entry["dispatch"]),
+                    "attempts": int(entry["attempts"]),
+                    "next_at": float(entry["next_at"]),
+                }
+                for entry in chaos["unacked"]
+            }
+            self._timers = {
+                int(timer): [float(at), float(seq), float(attempt)]
+                for timer, at, seq, attempt in chaos["timers"]
+            }
+            self._next_timer = int(chaos["next_timer"])
+            self.uplink.load_state(chaos["uplink"])
+            self.downlink.load_state(chaos["downlink"])
 
 
 class ServeHarness:
@@ -330,6 +630,7 @@ class ServeHarness:
         storage=None,
         checkpoint_every: int = 1,
         clock: Optional[VirtualClock] = None,
+        breaker: Optional[BreakerConfig] = None,
     ) -> None:
         if not specs:
             raise ValueError("at least one LoadSpec is required")
@@ -337,7 +638,7 @@ class ServeHarness:
             raise ValueError("checkpoint_every must be >= 1")
         self.clock = clock if clock is not None else VirtualClock()
         self.loop = EventLoop(self.clock)
-        self.coordinator = Coordinator(quota=quota, workers=workers)
+        self.coordinator = Coordinator(quota=quota, workers=workers, breaker=breaker)
         self.generators = [
             LoadGenerator(spec, self.coordinator, self.loop) for spec in specs
         ]
@@ -430,6 +731,17 @@ class ServeHarness:
             self.loop.schedule_at(
                 at, lambda g=generator, d=dispatch: g._arrive(d)
             )
+        for generator in self.generators:
+            if not generator.chaos:
+                continue
+            generator.uplink.reschedule()
+            generator.downlink.reschedule()
+            for timer, (at, _, _) in sorted(
+                generator._timers.items(), key=lambda kv: (kv[1][0], kv[0])
+            ):
+                self.loop.schedule_at(
+                    at, lambda g=generator, t=timer: g._timer_fire(t)
+                )
         return True
 
     # -- reporting ---------------------------------------------------------
@@ -442,6 +754,46 @@ class ServeHarness:
             job = self.coordinator.jobs[generator.spec.job_id]
             latencies = np.asarray(generator.latencies, dtype=np.float64)
             total_commits += job.version
+            transport = None
+            if generator.chaos:
+                up = generator.uplink.counters
+                sends = up["sends"]
+                originals = sends - generator.retransmits
+                inserts = job.transport.get("inserts", 0)
+                breaker = self.coordinator.breakers.get(job.tenant)
+                transport = {
+                    "chaos_rate": generator.spec.chaos_rate,
+                    "chaos_seed": generator.spec.chaos_seed,
+                    "cursor": job.cursor,
+                    "sends": sends,
+                    "copies": up["copies"],
+                    "deliveries": up["deliveries"],
+                    "drops": up["drops"],
+                    "duplicates": up["duplicates"],
+                    "reorders": up["reorders"],
+                    "corruptions": up["corruptions"],
+                    "truncations": up["truncations"],
+                    "replays": up["replays"],
+                    "dup_clean_deliveries": up["dup_clean"],
+                    "retransmits": generator.retransmits,
+                    "acks_received": generator.acks,
+                    "corrupt_acks": generator.corrupt_acks,
+                    "dedup_hits": job.transport.get("dedup_hits", 0),
+                    "inserts": inserts,
+                    "shed": job.transport.get("shed", 0),
+                    "refused": job.transport.get("refused", 0),
+                    "terminal": job.transport.get("terminal", 0),
+                    "corrupt_frames": job.transport.get("corrupt", 0),
+                    "breaker_trips": 0 if breaker is None else breaker.trips,
+                    "goodput": (
+                        round(inserts / sends, 9) if sends else None
+                    ),
+                    "retransmit_overhead": (
+                        round(generator.retransmits / originals, 9)
+                        if originals
+                        else None
+                    ),
+                }
             jobs.append(
                 {
                     "tenant": job.tenant,
@@ -476,6 +828,7 @@ class ServeHarness:
                     "weights_sha256": hashlib.sha256(
                         np.ascontiguousarray(job.flat, dtype="<f8").tobytes()
                     ).hexdigest(),
+                    **({"transport": transport} if transport is not None else {}),
                 }
             )
         elapsed = float(self.clock.time)

@@ -4,13 +4,23 @@ Every message travels as one **frame**::
 
     offset  width  field
     0       4      magic  b"GSRV"
-    4       1      version (WIRE_VERSION)
+    4       1      version (1 or 2)
     5       1      msg_type (MsgType)
     6       1      encoding (Encoding) — value encoding of the payload
     7       1      flags (bit 0: FLAG_SPARSE)
     8       4      body length (u32, big-endian)
-    12      4      CRC32 of the body (u32, big-endian)
-    16      ...    body
+    12      4      CRC32 (u32, big-endian)
+    [16     8      dispatch id (u64, big-endian) — version 2 only]
+    16|24   ...    body
+
+Version 1 is the compact header the original service spoke; version 2
+appends a u64 **transport dispatch id** so the receiving endpoint can
+deduplicate retransmitted or replayed frames (and correlate ACKs)
+before parsing the body.  The CRC32 covers the header prefix (bytes
+0–12), the dispatch id when present, and the body — the CRC field
+itself is the only uncovered region — so *any* single-bit flip in a
+frame is detected: a flip in covered bytes changes the computed CRC, a
+flip in the CRC field changes the expected one.
 
 Scalars inside the body are big-endian (network order); bulk array bytes
 are little-endian typed buffers (``<f8``/``<f4``/``<f2``/``u1``/``<u4``)
@@ -59,33 +69,42 @@ from ..fl.compression import INDEX_WIRE_BYTES, VALUE_WIRE_BYTES, SparseUpdate
 
 __all__ = [
     "WIRE_VERSION",
+    "WIRE_VERSION_DISPATCH",
     "MAGIC",
     "HEADER_BYTES",
+    "HEADER_BYTES_V2",
     "FLAG_SPARSE",
     "MsgType",
     "Encoding",
     "FrameError",
+    "FrameHeader",
     "WireVector",
     "ModelDownloadMsg",
     "ClientUpdateMsg",
     "ShardPartialMsg",
+    "AckMsg",
     "encode_frame",
     "decode_frame",
+    "verify_frame",
     "iter_frames",
 ]
 
 MAGIC = b"GSRV"
 WIRE_VERSION = 1
+WIRE_VERSION_DISPATCH = 2
 FLAG_SPARSE = 0x01
 
 _HEADER = struct.Struct(">4sBBBBII")
 HEADER_BYTES = _HEADER.size  # 16
+_DISPATCH = struct.Struct(">Q")
+HEADER_BYTES_V2 = HEADER_BYTES + _DISPATCH.size  # 24
 
 
 class MsgType(enum.IntEnum):
     MODEL_DOWNLOAD = 1
     CLIENT_UPDATE = 2
     SHARD_PARTIAL = 3
+    ACK = 4
 
 
 class Encoding(enum.IntEnum):
@@ -455,13 +474,75 @@ class ShardPartialMsg:
         return cls(job_id, shard_id, folds, total_samples, tuple(components))
 
 
-Message = Union[ModelDownloadMsg, ClientUpdateMsg, ShardPartialMsg]
+@dataclass(frozen=True)
+class AckMsg:
+    """Coordinator → client: receipt for one transport dispatch id.
+
+    ``status`` is ``"accepted"`` (entered the dedup ledger, will be
+    processed exactly once), ``"duplicate"`` (ledger hit — an earlier
+    copy already holds the slot), or ``"rejected:<reason>"`` (terminal:
+    the client must stop retransmitting this dispatch).  The dispatch id
+    travels in the ack *body*, so acks default to the compact version-1
+    header; the client correlates after a normal body decode.
+    """
+
+    job_id: str
+    dispatch: int
+    status: str
+
+    msg_type = MsgType.ACK
+
+    def _pack_body(self) -> bytes:
+        return (
+            _pack_str(self.job_id)
+            + struct.pack(">Q", self.dispatch)
+            + _pack_str(self.status)
+        )
+
+    @classmethod
+    def _unpack_body(cls, body, encoding, sparse):
+        if encoding is not Encoding.F64 or sparse:
+            raise FrameError("ack frames carry no vector payload")
+        job_id, at = _unpack_str(body, 0)
+        if at + 8 > len(body):
+            raise FrameError("truncated ack dispatch")
+        (dispatch,) = struct.unpack_from(">Q", body, at)
+        status, at = _unpack_str(body, at + 8)
+        _expect_end(body, at)
+        return cls(job_id, dispatch, status)
+
+
+Message = Union[ModelDownloadMsg, ClientUpdateMsg, ShardPartialMsg, AckMsg]
 
 _DECODERS = {
     MsgType.MODEL_DOWNLOAD: ModelDownloadMsg,
     MsgType.CLIENT_UPDATE: ClientUpdateMsg,
     MsgType.SHARD_PARTIAL: ShardPartialMsg,
+    MsgType.ACK: AckMsg,
 }
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Validated frame header: layout fields plus the covered span.
+
+    ``dispatch`` is the transport dispatch id for version-2 frames and
+    ``None`` for version-1.  ``header_bytes`` is where the body starts
+    relative to the frame start; ``end`` is the offset one past the
+    body.  Produced by :func:`verify_frame`, which also checks the CRC —
+    so holding a ``FrameHeader`` means the *entire* frame is intact and
+    the dispatch id can be trusted for dedup without parsing the body.
+    """
+
+    version: int
+    msg_type: MsgType
+    encoding: Encoding
+    flags: int
+    body_len: int
+    crc: int
+    dispatch: Optional[int]
+    header_bytes: int
+    end: int
 
 
 def _expect_end(body: bytes, at: int) -> None:
@@ -470,7 +551,7 @@ def _expect_end(body: bytes, at: int) -> None:
 
 
 def _frame_meta(message: Message) -> Tuple[Encoding, int]:
-    if isinstance(message, ShardPartialMsg):
+    if isinstance(message, (ShardPartialMsg, AckMsg)):
         return Encoding.F64, 0
     vector = (
         message.vector if isinstance(message, ModelDownloadMsg) else message.delta
@@ -478,20 +559,79 @@ def _frame_meta(message: Message) -> Tuple[Encoding, int]:
     return vector.encoding, FLAG_SPARSE if vector.is_sparse else 0
 
 
-def encode_frame(message: Message) -> bytes:
-    """Serialise one message into its canonical frame bytes."""
+def _frame_crc(prefix: bytes, extension: bytes, body: bytes) -> int:
+    crc = zlib.crc32(prefix)
+    crc = zlib.crc32(extension, crc)
+    return zlib.crc32(body, crc) & 0xFFFFFFFF
+
+
+def encode_frame(message: Message, *, dispatch: Optional[int] = None) -> bytes:
+    """Serialise one message into its canonical frame bytes.
+
+    With ``dispatch`` set the frame uses the version-2 header and
+    carries that transport dispatch id; otherwise the compact version-1
+    header is emitted (byte-identical to the original protocol's frames
+    except for the strengthened CRC coverage, which keeps the length
+    unchanged).
+    """
+    if dispatch is not None and not 0 <= int(dispatch) < 2**64:
+        raise FrameError(f"dispatch id out of u64 range: {dispatch}")
     body = message._pack_body()
     encoding, flags = _frame_meta(message)
-    header = _HEADER.pack(
-        MAGIC,
-        WIRE_VERSION,
-        int(message.msg_type),
-        int(encoding),
-        flags,
+    version = WIRE_VERSION if dispatch is None else WIRE_VERSION_DISPATCH
+    extension = b"" if dispatch is None else _DISPATCH.pack(int(dispatch))
+    prefix = struct.pack(
+        ">4sBBBBI", MAGIC, version, int(message.msg_type), int(encoding), flags,
         len(body),
-        zlib.crc32(body) & 0xFFFFFFFF,
     )
-    return header + body
+    crc = _frame_crc(prefix, extension, body)
+    return prefix + struct.pack(">I", crc) + extension + body
+
+
+def verify_frame(data: bytes, at: int = 0) -> FrameHeader:
+    """Validate one frame's header *and* CRC without parsing the body.
+
+    This is the cheap integrity gate the exactly-once ingest path runs
+    before anything else: a returned :class:`FrameHeader` certifies the
+    frame bytes are intact end to end, so its ``dispatch`` id is safe to
+    use for dedup-ledger lookups without decoding the payload.  Raises
+    :class:`FrameError` on any violation.
+    """
+    if at + HEADER_BYTES > len(data):
+        raise FrameError("truncated frame header")
+    magic, version, msg_type, encoding, flags, body_len, crc = _HEADER.unpack_from(
+        data, at
+    )
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if version not in (WIRE_VERSION, WIRE_VERSION_DISPATCH):
+        raise FrameError(f"unsupported wire version {version}")
+    try:
+        msg_type = MsgType(msg_type)
+        encoding = Encoding(encoding)
+    except ValueError as exc:
+        raise FrameError(str(exc)) from exc
+    if flags & ~FLAG_SPARSE:
+        raise FrameError(f"unknown flags 0x{flags:02x}")
+    dispatch = None
+    header_bytes = HEADER_BYTES
+    extension = b""
+    if version == WIRE_VERSION_DISPATCH:
+        header_bytes = HEADER_BYTES_V2
+        if at + header_bytes > len(data):
+            raise FrameError("truncated dispatch extension")
+        extension = bytes(data[at + HEADER_BYTES : at + header_bytes])
+        (dispatch,) = _DISPATCH.unpack(extension)
+    start = at + header_bytes
+    end = start + body_len
+    if end > len(data):
+        raise FrameError("truncated frame body")
+    if _frame_crc(data[at : at + 12], extension, data[start:end]) != crc:
+        raise FrameError("CRC mismatch")
+    return FrameHeader(
+        version, msg_type, encoding, flags, body_len, crc, dispatch,
+        header_bytes, end,
+    )
 
 
 def decode_frame(data: bytes, at: int = 0) -> Tuple[Message, int]:
@@ -501,33 +641,12 @@ def decode_frame(data: bytes, at: int = 0) -> Tuple[Message, int]:
     unknown version/type/encoding, CRC mismatch, truncation, or trailing
     garbage inside the declared body.
     """
-    if at + HEADER_BYTES > len(data):
-        raise FrameError("truncated frame header")
-    magic, version, msg_type, encoding, flags, body_len, crc = _HEADER.unpack_from(
-        data, at
+    header = verify_frame(data, at)
+    body = bytes(data[at + header.header_bytes : header.end])
+    message = _DECODERS[header.msg_type]._unpack_body(
+        body, header.encoding, bool(header.flags & FLAG_SPARSE)
     )
-    if magic != MAGIC:
-        raise FrameError(f"bad magic {magic!r}")
-    if version != WIRE_VERSION:
-        raise FrameError(f"unsupported wire version {version}")
-    try:
-        msg_type = MsgType(msg_type)
-        encoding = Encoding(encoding)
-    except ValueError as exc:
-        raise FrameError(str(exc)) from exc
-    if flags & ~FLAG_SPARSE:
-        raise FrameError(f"unknown flags 0x{flags:02x}")
-    start = at + HEADER_BYTES
-    end = start + body_len
-    if end > len(data):
-        raise FrameError("truncated frame body")
-    body = data[start:end]
-    if zlib.crc32(body) & 0xFFFFFFFF != crc:
-        raise FrameError("CRC mismatch")
-    message = _DECODERS[msg_type]._unpack_body(
-        body, encoding, bool(flags & FLAG_SPARSE)
-    )
-    return message, end
+    return message, header.end
 
 
 def iter_frames(data: bytes):

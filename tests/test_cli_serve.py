@@ -68,6 +68,41 @@ class TestCli:
         assert "serve" in capsys.readouterr().out
 
 
+CHAOS = [*BASE, "--chaos", "--chaos-rate", "0.1", "--chaos-seed", "2"]
+
+
+@pytest.mark.chaos
+class TestChaosCli:
+    def test_chaos_report_carries_transport_sections(self, serve_cli):
+        payload = json.loads(
+            serve_cli("c.json", "--chaos", "--chaos-rate", "0.1", "--chaos-seed", "2")
+        )
+        for job in payload["jobs"]:
+            transport = job["transport"]
+            assert transport["chaos_rate"] == 0.1
+            assert transport["shed"] == 0 and transport["refused"] == 0
+            assert transport["dedup_hits"] == transport["dup_clean_deliveries"]
+
+    def test_chaos_weights_match_the_fault_free_run(self, serve_cli):
+        clean = json.loads(serve_cli("clean.json", "--chaos", "--chaos-rate", "0"))
+        chaotic = json.loads(
+            serve_cli("f.json", "--chaos", "--chaos-rate", "0.2", "--chaos-seed", "7")
+        )
+        for a, b in zip(clean["jobs"], chaotic["jobs"]):
+            assert a["weights_sha256"] == b["weights_sha256"]
+
+    def test_breaker_budget_flag_reports_trips(self, serve_cli):
+        payload = json.loads(
+            serve_cli(
+                "bk.json", "--chaos", "--chaos-rate", "0.2", "--chaos-seed", "0",
+                "--chaos-breaker-budget", "1",
+            )
+        )
+        assert any(
+            job["transport"]["breaker_trips"] >= 1 for job in payload["jobs"]
+        )
+
+
 class TestKillResume:
     def test_sigkill_mid_run_then_resume_is_byte_identical(
         self, tmp_path, spawn_repro, spawn_repro_background
@@ -97,4 +132,35 @@ class TestKillResume:
 
         # same command line again: restores from the checkpoint and finishes
         spawn_repro(*BASE, "--state-dir", str(state_dir), "--out", str(out))
+        assert out.read_bytes() == ref_out.read_bytes()
+
+    @pytest.mark.chaos
+    def test_sigkill_mid_chaos_then_resume_is_byte_identical(
+        self, tmp_path, spawn_repro, spawn_repro_background
+    ):
+        # the tentpole's crash story: dedup + retransmit state ride the
+        # sealed checkpoints, so a kill -9 in the middle of a fault storm
+        # resumes to the same report bytes as the uninterrupted chaos run
+        ref_out = tmp_path / "ref.json"
+        spawn_repro(
+            *CHAOS, "--state-dir", str(tmp_path / "ref-state"),
+            "--out", str(ref_out),
+        )
+
+        state_dir = tmp_path / "state"
+        out = tmp_path / "resumed.json"
+        victim = spawn_repro_background(
+            *CHAOS, "--state-dir", str(state_dir), "--out", str(out)
+        )
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            if state_dir.exists() and any(state_dir.rglob("*")):
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("no checkpoint appeared before the deadline")
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        spawn_repro(*CHAOS, "--state-dir", str(state_dir), "--out", str(out))
         assert out.read_bytes() == ref_out.read_bytes()

@@ -15,8 +15,11 @@ from repro.fl.compression import (
 from repro.serve.wire import (
     FLAG_SPARSE,
     HEADER_BYTES,
+    HEADER_BYTES_V2,
     MAGIC,
     WIRE_VERSION,
+    WIRE_VERSION_DISPATCH,
+    AckMsg,
     ClientUpdateMsg,
     Encoding,
     FrameError,
@@ -27,6 +30,7 @@ from repro.serve.wire import (
     decode_frame,
     encode_frame,
     iter_frames,
+    verify_frame,
 )
 
 pytestmark = pytest.mark.serve
@@ -53,7 +57,13 @@ class TestFraming:
         assert encoding == Encoding.F64
         assert flags == 0
         assert body_len == len(frame) - HEADER_BYTES
-        assert crc == zlib.crc32(frame[HEADER_BYTES:]) & 0xFFFFFFFF
+        # CRC covers the header prefix plus the body (the CRC field is
+        # the only uncovered span), so single-bit header damage is loud.
+        assert (
+            crc
+            == zlib.crc32(frame[HEADER_BYTES:], zlib.crc32(frame[:12]))
+            & 0xFFFFFFFF
+        )
 
     def test_sparse_flag_set(self, rng):
         sparse = WireVector.sparse(64, np.arange(4), rng.standard_normal(4))
@@ -93,18 +103,18 @@ class TestFraming:
             encode_frame(ModelDownloadMsg("job", 1, WireVector.dense(_vector(rng))))
         )
         body = bytes(frame[HEADER_BYTES:]) + b"\x00"
-        header = struct.pack(
-            ">4sBBBBII",
+        prefix = struct.pack(
+            ">4sBBBBI",
             MAGIC,
             WIRE_VERSION,
             int(MsgType.MODEL_DOWNLOAD),
             int(Encoding.F64),
             0,
             len(body),
-            zlib.crc32(body) & 0xFFFFFFFF,
         )
+        crc = zlib.crc32(body, zlib.crc32(prefix)) & 0xFFFFFFFF
         with pytest.raises(FrameError, match="trailing"):
-            decode_frame(header + body)
+            decode_frame(prefix + struct.pack(">I", crc) + body)
 
 
 # --- message round trips ----------------------------------------------------
@@ -180,6 +190,90 @@ class TestRoundTrips:
         # quantization error is bounded by half a level
         levels = (vector.max() - vector.min()) / 255.0
         assert np.abs(a.vector.flat64() - vector).max() <= levels / 2 + 1e-12
+
+
+# --- v2 dispatch frames and acks -------------------------------------------
+
+
+class TestDispatchFrames:
+    def test_v2_header_carries_dispatch(self, rng):
+        message = ClientUpdateMsg("j", 1, 77, 0, 8, WireVector.dense(_vector(rng)))
+        frame = encode_frame(message, dispatch=123456789)
+        assert frame[4] == WIRE_VERSION_DISPATCH
+        header = verify_frame(frame)
+        assert header.dispatch == 123456789
+        assert header.header_bytes == HEADER_BYTES_V2
+        decoded, end = decode_frame(frame)
+        assert end == len(frame)
+        assert encode_frame(decoded, dispatch=123456789) == frame
+
+    def test_v1_header_has_no_dispatch(self, rng):
+        frame = encode_frame(
+            ModelDownloadMsg("j", 0, WireVector.dense(_vector(rng)))
+        )
+        header = verify_frame(frame)
+        assert header.dispatch is None
+        assert header.header_bytes == HEADER_BYTES
+
+    def test_v1_and_v2_bodies_are_identical(self, rng):
+        message = ClientUpdateMsg("j", 1, 2, 0, 8, WireVector.dense(_vector(rng)))
+        v1 = encode_frame(message)
+        v2 = encode_frame(message, dispatch=7)
+        assert len(v2) == len(v1) + (HEADER_BYTES_V2 - HEADER_BYTES)
+        assert v2[HEADER_BYTES_V2:] == v1[HEADER_BYTES:]
+
+    def test_same_message_different_dispatch_differs(self, rng):
+        message = ClientUpdateMsg("j", 1, 2, 0, 8, WireVector.dense(_vector(rng)))
+        assert encode_frame(message, dispatch=1) != encode_frame(message, dispatch=2)
+
+    def test_dispatch_extension_is_crc_covered(self, rng):
+        frame = bytearray(
+            encode_frame(
+                ClientUpdateMsg("j", 1, 2, 0, 8, WireVector.dense(_vector(rng))),
+                dispatch=5,
+            )
+        )
+        frame[HEADER_BYTES] ^= 0x01  # first byte of the dispatch extension
+        with pytest.raises(FrameError, match="CRC"):
+            decode_frame(bytes(frame))
+
+    def test_negative_dispatch_rejected(self, rng):
+        message = ModelDownloadMsg("j", 0, WireVector.dense(_vector(rng)))
+        with pytest.raises(FrameError, match="dispatch"):
+            encode_frame(message, dispatch=-1)
+
+    def test_ack_round_trip(self):
+        for status in ("accepted", "duplicate", "rejected:done"):
+            message = AckMsg("tenant-a/job", 4096, status)
+            frame = encode_frame(message)
+            decoded, end = decode_frame(frame)
+            assert end == len(frame)
+            assert decoded == message
+            assert decoded.msg_type == MsgType.ACK
+
+    def test_ack_v2_round_trip(self):
+        message = AckMsg("j", 9, "accepted")
+        frame = encode_frame(message, dispatch=9)
+        decoded, _ = decode_frame(frame)
+        assert decoded == message
+        assert verify_frame(frame).dispatch == 9
+
+    def test_verify_frame_matches_decode_on_concatenation(self, rng):
+        frames = [
+            encode_frame(
+                ClientUpdateMsg("j", i, i, 0, 8, WireVector.dense(_vector(rng))),
+                dispatch=i,
+            )
+            for i in range(3)
+        ]
+        blob = b"".join(frames)
+        at = 0
+        seen = []
+        while at < len(blob):
+            header = verify_frame(blob, at)
+            seen.append(header.dispatch)
+            at = header.end
+        assert seen == [0, 1, 2]
 
 
 # --- byte accounting (satellite: SparseUpdate.wire_bytes linkage) ----------
